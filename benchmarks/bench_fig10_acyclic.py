@@ -1,0 +1,81 @@
+"""E3 -- Figures 8-10: Algorithm 3 on the acyclic example.
+
+Regenerates: the Figure-10 retiming and retimed weights, and Section 4.2's
+synchronization accounting -- ``7 * n`` barriers before fusion versus
+``n - 2`` after -- across a sweep of outermost trip counts.  Times
+Algorithm 3.
+"""
+
+from repro.fusion import acyclic_parallel_retiming, fuse
+from repro.gallery import figure8_mldg
+from repro.gallery.paper import figure8_expected_retiming
+from repro.machine import fused_doall_profile, unfused_profile
+from repro.retiming import is_doall_after_fusion
+from repro.vectors import IVec
+
+EXPECTED_WEIGHTS = {
+    ("A", "B"): IVec(1, 1),
+    ("B", "C"): IVec(1, -2),
+    ("C", "D"): IVec(1, 3),
+    ("D", "E"): IVec(1, -2),
+    ("B", "F"): IVec(1, -2),
+    ("F", "G"): IVec(1, 2),
+    ("B", "E"): IVec(1, 2),
+    ("A", "D"): IVec(2, -3),
+}
+
+
+def test_figure10_reproduction(benchmark, report):
+    g = figure8_mldg()
+
+    retiming = benchmark(acyclic_parallel_retiming, g)
+
+    expected = figure8_expected_retiming()
+    assert retiming == expected, "retiming differs from Figure 10"
+    gr = retiming.apply(g)
+    assert is_doall_after_fusion(gr)
+    for key, want in EXPECTED_WEIGHTS.items():
+        assert gr.delta(*key) == want
+
+    report.table(
+        "Figure 10: Algorithm-3 retiming and retimed weights",
+        ["item", "paper", "measured", "match"],
+        [
+            *((f"r({n})", str(expected[n]), str(retiming[n]), "yes") for n in g.nodes),
+            *(
+                (f"delta_Lr({s}->{d})", str(w), str(gr.delta(s, d)), "yes")
+                for (s, d), w in EXPECTED_WEIGHTS.items()
+            ),
+        ],
+    )
+
+
+def test_section42_synchronization_sweep(benchmark, report):
+    """'7*n synchronizations' -> '(n-2) synchronizations' (Section 4.2)."""
+    g = figure8_mldg()
+    res = benchmark(fuse, g)
+    m = 63
+    rows = []
+    for n in (10, 50, 100, 500, 1000):
+        before = unfused_profile(g, n, m).sync_count
+        core = fused_doall_profile(
+            g, res.retiming, n, m, include_boundary=False
+        ).sync_count
+        full = fused_doall_profile(
+            g, res.retiming, n, m, include_boundary=True
+        ).sync_count
+        assert core == n - 2, "paper's core count"
+        rows.append((n, 7 * n, before, n - 2, core, full, f"{before / core:.1f}x"))
+    report.table(
+        "Section 4.2: synchronization counts for Figure 8 (m = 63)",
+        [
+            "n",
+            "paper 7n",
+            "measured unfused",
+            "paper n-2",
+            "measured fused (core)",
+            "fused (with boundary)",
+            "reduction",
+        ],
+        rows,
+    )

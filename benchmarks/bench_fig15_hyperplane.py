@@ -1,0 +1,75 @@
+"""E4 -- Figures 14-16: Algorithm 5 on the cyclic hyperplane example.
+
+Regenerates: the Figure-15 retiming and retimed dependence sets, the
+schedule vector ``s = (5, 1)`` and hyperplane ``h = (1, -5)`` of Section
+4.4 / Figure 16.  Times Algorithm 5 (LLOFRA + schedule construction).
+"""
+
+from repro.fusion import hyperplane_parallel_fusion
+from repro.gallery import figure14_mldg
+from repro.gallery.paper import (
+    figure14_expected_hyperplane,
+    figure14_expected_retiming,
+    figure14_expected_schedule,
+)
+from repro.vectors import IVec, is_strict_schedule_vector
+
+EXPECTED_SETS = {
+    ("A", "B"): {(0, 5)},
+    ("B", "C"): {(0, 0), (0, 5)},
+    ("C", "D"): {(0, 0), (0, 2)},
+    ("D", "C"): {(0, 1)},
+    ("D", "E"): {(0, 0)},
+    ("E", "B"): {(0, 0), (1, 0)},
+    ("B", "F"): {(0, 0)},
+    ("F", "G"): {(1, -4)},
+    ("B", "E"): {(1, 3)},
+    ("A", "D"): {(0, 0), (1, 3)},
+}
+
+
+def test_figure15_figure16_reproduction(benchmark, report):
+    g = figure14_mldg()
+
+    hp = benchmark(hyperplane_parallel_fusion, g)
+
+    assert hp.retiming == figure14_expected_retiming(), "Figure 15 retiming"
+    assert hp.schedule == figure14_expected_schedule(), "s = (5,1)"
+    assert hp.hyperplane == figure14_expected_hyperplane(), "h = (1,-5)"
+    assert is_strict_schedule_vector(hp.schedule, hp.retimed_vectors)
+
+    gr = hp.retiming.apply(g)
+    for (src, dst), want in EXPECTED_SETS.items():
+        assert gr.D(src, dst) == frozenset(IVec(v) for v in want), f"{src}->{dst}"
+
+    expected = figure14_expected_retiming()
+    report.table(
+        "Figure 15: Algorithm-5 (LLOFRA) retiming",
+        ["node", "paper r", "measured r", "match"],
+        [(n, str(expected[n]), str(hp.retiming[n]), "yes") for n in g.nodes],
+    )
+    report.table(
+        "Figure 15: retimed dependence-vector sets D_Lr",
+        ["edge", "paper", "measured", "match"],
+        [
+            (
+                f"{s}->{d}",
+                str(sorted(want)),
+                str(sorted(tuple(v) for v in gr.D(s, d))),
+                "yes",
+            )
+            for (s, d), want in EXPECTED_SETS.items()
+        ],
+    )
+    report.table(
+        "Section 4.4 / Figure 16: wavefront schedule",
+        ["item", "paper", "measured"],
+        [
+            ("schedule vector s", "(5, 1)", str(hp.schedule)),
+            ("hyperplane h", "(1, -5)", str(hp.hyperplane)),
+        ],
+    )
+
+    from repro.viz import format_hyperplane_grid
+
+    report.text("\n== Figure 16 rendering ==\n" + format_hyperplane_grid(hp.schedule, rows=4, cols=8))

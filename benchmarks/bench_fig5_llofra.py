@@ -1,0 +1,60 @@
+"""E1 -- Figures 5 and 6: LLOFRA on the running example.
+
+Regenerates: the constraint graph of Figure 5, the retiming function of
+Figure 6 (``r(A)=r(B)=(0,0), r(C)=(0,-2), r(D)=(0,-3)``) and the retimed
+edge weights of Figure 6a.  Times Algorithm 2 (one lexicographic
+Bellman-Ford run).
+"""
+
+from repro.fusion import legal_fusion_retiming, llofra_constraint_graph
+from repro.gallery import figure2_mldg
+from repro.gallery.paper import figure2_expected_llofra_retiming
+from repro.graph import is_fusion_legal
+from repro.vectors import IVec
+
+EXPECTED_WEIGHTS = {
+    ("A", "B"): IVec(1, 1),
+    ("B", "C"): IVec(0, 0),
+    ("C", "D"): IVec(0, 0),
+    ("A", "C"): IVec(0, 3),
+    ("D", "A"): IVec(2, -2),
+    ("C", "C"): IVec(1, 0),
+}
+
+
+def test_figure5_figure6_reproduction(benchmark, report):
+    g = figure2_mldg()
+
+    retiming = benchmark(legal_fusion_retiming, g)
+
+    expected = figure2_expected_llofra_retiming()
+    assert retiming == expected, "retiming differs from Figure 6"
+
+    gr = retiming.apply(g)
+    assert is_fusion_legal(gr)
+    for (src, dst), want in EXPECTED_WEIGHTS.items():
+        assert gr.delta(src, dst) == want, f"{src}->{dst}"
+
+    cg = llofra_constraint_graph(g)
+    report.table(
+        "Figure 5: constraint graph of the running example",
+        ["edge", "weight"],
+        [
+            (f"{'v0' if u == cg.source else u} -> {v}", str(w))
+            for (u, v, w) in cg.edges
+        ],
+    )
+    report.table(
+        "Figure 6: LLOFRA retiming and retimed edge weights",
+        ["item", "paper", "measured", "match"],
+        [
+            *(
+                (f"r({n})", str(expected[n]), str(retiming[n]), "yes")
+                for n in g.nodes
+            ),
+            *(
+                (f"delta_Lr({s}->{d})", str(w), str(gr.delta(s, d)), "yes")
+                for (s, d), w in EXPECTED_WEIGHTS.items()
+            ),
+        ],
+    )

@@ -1,0 +1,71 @@
+"""Section 1's shift-and-peel inefficiency claim, as a measured crossover.
+
+"[Shift-and-peel] may fuse loops in the presence of fusion-preventing
+dependencies.  However, when the number of peeled iterations exceeds the
+number of iterations per processor, this method is not efficient."
+
+We sweep the processor count on Figure 8 (both techniques can fuse it) and
+measure makespans under the blocked-execution model: shift-and-peel pays
+``peel`` serial steps per row and degrades as iterations-per-processor
+approach the peel count, while the retiming-fused DOALL loop keeps scaling.
+The table pins the threshold the paper states.
+"""
+
+from repro.baselines import shift_and_peel
+from repro.fusion import fuse
+from repro.gallery import figure8_mldg
+from repro.machine import profile_fusion
+from repro.machine.peel_model import shift_and_peel_time
+
+N, M = 100, 63
+
+
+def test_peel_crossover(benchmark, report):
+    g = figure8_mldg()
+    sp = benchmark(shift_and_peel, g)
+    assert sp.legal and sp.peel_count == 3
+
+    res = fuse(g)
+    retimed = profile_fusion(res, N, M)
+
+    rows = []
+    for p in (1, 2, 4, 8, 16, 21, 32, 64):
+        t_sp = shift_and_peel_time(g, sp, N, M, p)
+        t_rt = retimed.parallel_time(p)
+        per_proc = (M + 1) // p
+        efficient = sp.efficient_for(M, p)
+        rows.append(
+            (
+                p,
+                per_proc,
+                sp.peel_count,
+                "yes" if efficient else "NO (peel >= iters/proc)",
+                t_sp,
+                t_rt,
+                f"{t_sp / t_rt:.2f}x",
+            )
+        )
+    report.table(
+        f"Shift-and-peel vs retiming on Figure 8 (n={N}, m={M}, peel={sp.peel_count})",
+        [
+            "P",
+            "iters/proc",
+            "peel",
+            "M&A efficient?",
+            "T shift-and-peel",
+            "T retiming (DOALL)",
+            "slowdown",
+        ],
+        rows,
+    )
+
+    # the claim: equal at P=1, and shift-and-peel strictly slower once
+    # parallel; the gap must widen as iterations-per-processor shrink
+    assert rows[0][4] == rows[0][5]
+    slowdowns = [r[4] / r[5] for r in rows[1:]]
+    assert all(s > 1.0 for s in slowdowns)
+    assert slowdowns[-1] > slowdowns[0]
+    # shift-and-peel stops scaling past the threshold (its makespan is flat
+    # from P=32 to P=64 while retiming keeps halving), ending at >= 2x
+    assert rows[-1][4] == rows[-2][4]
+    assert rows[-1][4] / rows[-1][5] >= 2.0

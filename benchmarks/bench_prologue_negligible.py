@@ -1,0 +1,64 @@
+"""Section 1's prologue claim, measured.
+
+"An initial sequence (the prologue) is created in order to provide the
+correct initial data.  Such additional code usually requires a small
+computation time when compared to that of the total execution of the
+innermost loop and can be considered negligible."
+
+For every DOALL-fusable Section-5 example we measure the fraction of all
+statement instances that execute in the boundary rows (prologue +
+epilogue) of the fused loop, sweeping the outer trip count.  Expected
+shape: the fraction is bounded by ``max_shift / (n+1)`` and vanishes as
+``n`` grows -- the claim, quantified.
+"""
+
+from repro.fusion import Parallelism, fuse
+from repro.gallery import all_section5_examples
+from repro.machine import fused_doall_profile
+
+M = 63
+
+
+def test_prologue_fraction(benchmark, report):
+    examples = [
+        (ex, fuse(ex.mldg()))
+        for ex in all_section5_examples()
+    ]
+    doall = [(ex, res) for (ex, res) in examples if res.parallelism is Parallelism.DOALL]
+    assert doall
+
+    ex0, res0 = doall[0]
+    benchmark(fused_doall_profile, ex0.mldg(), res0.retiming, 100, M)
+
+    rows = []
+    for (ex, res) in doall:
+        g = ex.mldg()
+        shifts = [res.retiming[node][0] for node in g.nodes]
+        span = max(shifts) - min(shifts)
+        for n in (10, 100, 1000):
+            full = fused_doall_profile(g, res.retiming, n, M, include_boundary=True)
+            core = fused_doall_profile(g, res.retiming, n, M, include_boundary=False)
+            boundary = full.total_work - core.total_work
+            fraction = boundary / full.total_work
+            rows.append(
+                (
+                    ex.key,
+                    n,
+                    span,
+                    boundary,
+                    full.total_work,
+                    f"{100 * fraction:.2f}%",
+                )
+            )
+            # bound: boundary rows number at most 2*span, each at most a
+            # full row of work
+            assert fraction <= 2 * span / (n + 1) + 1e-9
+    report.table(
+        f"Prologue/epilogue work fraction of the fused loop (m={M})",
+        ["example", "n", "shift span", "boundary work", "total work", "fraction"],
+        rows,
+    )
+    # the paper's "negligible" claim: under 2% by n=1000 on every example
+    for row in rows:
+        if row[1] == 1000:
+            assert float(row[5].rstrip("%")) < 2.0, row

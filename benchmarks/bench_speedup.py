@@ -1,0 +1,82 @@
+"""E7 -- simulated multiprocessor speedup before vs after fusion.
+
+The paper argues fusion wins by eliminating synchronization (Section 1);
+this experiment makes that concrete on the abstract barrier machine
+(DESIGN.md substitution S9): makespan and speedup for P in {1..16} with a
+fixed per-barrier cost, before and after fusion, for the Section-5
+examples.  Expected shape: equal compute work, with the fused schedule
+pulling ahead as P (and hence the relative weight of barriers) grows.
+"""
+
+from repro.fusion import fuse
+from repro.gallery import all_section5_examples
+from repro.machine import profile_fusion, unfused_profile
+
+N, M = 100, 63
+SYNC_COST = 25  # work-units per barrier
+PROCS = (1, 2, 4, 8, 16)
+
+
+def test_speedup_table(benchmark, report):
+    from repro.fusion import Parallelism
+
+    benchmark(unfused_profile, all_section5_examples()[0].mldg(), N, M)
+    rows = []
+    for ex in all_section5_examples():
+        g = ex.mldg()
+        res = fuse(g)
+        before = unfused_profile(g, N, M)
+        after = profile_fusion(res, N, M)
+        wavefront = res.parallelism is Parallelism.HYPERPLANE
+        for p in PROCS:
+            tb = before.parallel_time(p, sync_cost=SYNC_COST)
+            ta = after.parallel_time(p, sync_cost=SYNC_COST)
+            rows.append(
+                (
+                    ex.key + (" (wavefront)" if wavefront else ""),
+                    p,
+                    tb,
+                    ta,
+                    f"{tb / ta:.2f}x",
+                    f"{before.total_work / tb:.2f}",
+                    f"{after.total_work / ta:.2f}",
+                )
+            )
+        # Headline claim, for the DOALL cases: fused is strictly faster at
+        # scale (same work, far fewer barriers).  The wavefront cases have
+        # no executable unfused baseline (backward same-iteration
+        # dependencies), so their "unfused" column is nominal only.
+        if not wavefront:
+            tb16 = before.parallel_time(16, sync_cost=SYNC_COST)
+            ta16 = after.parallel_time(16, sync_cost=SYNC_COST)
+            assert ta16 < tb16, ex.key
+
+    report.table(
+        f"Simulated speedup, barrier cost {SYNC_COST} (n={N}, m={M})",
+        [
+            "example",
+            "P",
+            "T unfused",
+            "T fused",
+            "fused vs unfused",
+            "speedup unfused",
+            "speedup fused",
+        ],
+        rows,
+    )
+
+
+def test_simulation_throughput(benchmark):
+    """Time one full profile comparison (the simulator itself is fast)."""
+    ex = all_section5_examples()[2]  # figure 14, the hyperplane case
+    g = ex.mldg()
+    res = fuse(g)
+
+    def run():
+        before = unfused_profile(g, N, M)
+        after = profile_fusion(res, N, M)
+        return before.parallel_time(8, sync_cost=SYNC_COST), after.parallel_time(
+            8, sync_cost=SYNC_COST
+        )
+
+    benchmark(run)

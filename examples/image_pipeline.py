@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""An image-processing pipeline: smooth -> gradient -> enhance -> output.
+
+The paper's introduction motivates fusion with multi-dimensional
+applications like image processing: consecutive whole-image passes touch
+the same arrays and pay one synchronisation per pass per row block.  This
+example writes a four-stage pipeline in the loop DSL, shows that direct
+fusion is illegal (the gradient reads smoothed pixels *ahead* of the
+current one), fuses it with full parallelism via retiming, verifies the
+generated code bit-for-bit against the original, and simulates the
+synchronisation savings.
+
+Run with::
+
+    python examples/image_pipeline.py
+"""
+
+from repro.baselines import direct_fusion
+from repro.codegen import apply_fusion, emit_fused_program
+from repro.depend import dependence_table, describe_dependencies, extract_mldg
+from repro.fusion import fuse
+from repro.loopir import parse_program
+from repro.machine import profile_fusion, unfused_profile
+from repro.verify import verify_fusion_result
+
+PIPELINE = """
+do i = 0, n
+  doall j = 0, m                ! loop Smooth
+    s[i][j] = 0.25 * (img[i][j] + img[i-1][j] + img[i-2][j] + img[i-1][j-1])
+  end
+  doall j = 0, m                ! loop Grad
+    g[i][j] = s[i][j+2] - s[i][j-1]
+  end
+  doall j = 0, m                ! loop Enhance
+    h[i][j] = s[i][j] + 0.5 * g[i][j+1]
+  end
+  doall j = 0, m                ! loop Out
+    out[i][j] = h[i][j] + 0.125 * out[i-1][j]
+  end
+end
+"""
+
+
+def main() -> None:
+    nest = parse_program(PIPELINE)
+    g = extract_mldg(nest)
+
+    print("=== dependence analysis ===")
+    print(g.describe())
+    print()
+    print(describe_dependencies(dependence_table(nest)))
+    print()
+
+    print("=== naive fusion ===")
+    print(direct_fusion(g).describe())
+    print()
+
+    print("=== retiming-based fusion ===")
+    result = fuse(g)
+    print(result.summary())
+    print()
+
+    fused = apply_fusion(nest, result.retiming, mldg=g)
+    print("=== generated fused program ===")
+    print(emit_fused_program(fused))
+    print()
+
+    print("=== semantic verification ===")
+    reports = verify_fusion_result(nest, result)
+    ok = all(r.equivalent for r in reports)
+    print(
+        f"{len(reports)} executions across serial and randomised-"
+        f"{result.parallelism.value} orders: "
+        + ("all bit-identical to the original" if ok else "MISMATCH!")
+    )
+    assert ok
+    print()
+
+    print("=== simulated machine (n=480, m=640, barrier cost 25) ===")
+    n, m = 480, 640
+    before = unfused_profile(g, n, m)
+    after = profile_fusion(result, n, m)
+    print(f"{'P':>3} {'T unfused':>12} {'T fused':>12} {'improvement':>12}")
+    for p in (1, 2, 4, 8, 16):
+        tb = before.parallel_time(p, sync_cost=25)
+        ta = after.parallel_time(p, sync_cost=25)
+        print(f"{p:>3} {tb:>12} {ta:>12} {tb / ta:>11.2f}x")
+    print(
+        f"\nsynchronisations: {before.sync_count} -> {after.sync_count} "
+        f"({before.sync_count / after.sync_count:.1f}x fewer)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Fusing a three-dimensional nest: the paper's algorithms beyond 2-D.
+
+The MLDG model (Definition 2.2) is n-dimensional, but the paper works out
+its algorithms for the two-dimensional case.  This example runs the
+library's n-D generalisations on a 3-D kernel (one sequential time loop
+over two DOALL spatial dimensions):
+
+* the generalised Algorithm 4 (`multidim_parallel_retiming`) makes every
+  dependence outermost-carried or zero -- the whole 2-D spatial slab
+  becomes DOALL per time step;
+* the generalised Lemma 4.3 (`multidim_schedule_vector`) builds a strict
+  wavefront schedule when that fails;
+* the dimension-agnostic dataflow executor verifies both bit-exactly
+  against an order-free reference semantics, with the spatial iterations
+  executed in random order.
+
+Run with::
+
+    python examples/multidimensional.py
+"""
+
+from repro import IVec, MLDG
+from repro.fusion import (
+    NoParallelRetimingError,
+    multidim_hyperplane_fusion,
+    multidim_parallel_retiming,
+)
+from repro.verify import verify_retimed_execution
+
+
+def heat3d_mldg() -> MLDG:
+    """Three stages of a 3-D explicit scheme: stencil, flux limit, update.
+
+    Vectors are (time, y, x).  The Flux stage reads Stencil values from
+    *ahead* in both spatial directions within the same time step -- the 3-D
+    analogue of the paper's fusion-preventing dependencies.
+    """
+    g = MLDG(dim=3)
+    g.add_dependence("Stencil", "Flux", IVec(0, -1, 0), IVec(0, 0, -2))
+    g.add_dependence("Flux", "Update", IVec(0, 0, 0))
+    g.add_dependence("Update", "Stencil", IVec(1, 0, 1), IVec(2, -1, 0))
+    g.add_dependence("Update", "Update", IVec(1, 0, 0))
+    return g
+
+
+def main() -> None:
+    g = heat3d_mldg()
+    print("3-D kernel MLDG (vectors are (t, y, x)):")
+    print(g.describe())
+    print()
+
+    r = multidim_parallel_retiming(g)
+    gr = r.apply(g)
+    print("generalised Algorithm 4:")
+    print(f"  retiming: {r.describe()}")
+    print("  retimed vectors:", sorted(set(gr.all_vectors())))
+    assert all(d[0] >= 1 or d.is_zero() for d in gr.all_vectors())
+    print("  -> every dependence is time-carried or zero: the fused spatial")
+    print("     slab is fully parallel within each time step.")
+    print()
+
+    bounds = (4, 4, 4)
+    ok = verify_retimed_execution(g, r, bounds, mode="doall", order_seed=17)
+    print(
+        f"dataflow verification over a {bounds} box, spatial iterations in "
+        f"random order: {'bit-identical to the reference' if ok else 'MISMATCH'}"
+    )
+    assert ok
+    print()
+
+    # a variant whose same-step coupling is circular: only a wavefront works
+    g2 = MLDG(dim=3)
+    g2.add_dependence("R", "U", IVec(0, 0, -1))
+    g2.add_dependence("U", "R", IVec(0, 0, 3), IVec(1, -1, 0))
+    print("wavefront-only variant:")
+    print(g2.describe())
+    try:
+        multidim_parallel_retiming(g2)
+        raise AssertionError("expected the parallel retiming to fail")
+    except NoParallelRetimingError as exc:
+        print(f"  generalised Algorithm 4 fails in phase {exc.phase!r} "
+              f"(certificate {' -> '.join(exc.cycle)})")
+    r2, s = multidim_hyperplane_fusion(g2)
+    print(f"  generalised Lemma 4.3 schedule: s = {s}")
+    ok = verify_retimed_execution(
+        g2, r2, (3, 3, 6), mode="hyperplane", schedule=s, order_seed=5
+    )
+    print(f"  wavefront execution verified: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

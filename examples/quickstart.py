@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: fuse a sequence of DOALL loops that naive fusion cannot touch.
+
+Builds a small multi-dimensional loop dependence graph (MLDG) by hand, asks
+the library for the best fusion, and prints what happened.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import IVec, MLDG, fuse
+from repro.baselines import direct_fusion
+
+
+def main() -> None:
+    # Three DOALL loops inside one outer loop.  Loop B consumes A's values
+    # from two inner iterations AHEAD (vector (0, -2)): after naive fusion,
+    # B at iteration j would read a value A only produces at j+2 -- a
+    # fusion-preventing dependence.
+    g = MLDG(dim=2)
+    g.add_dependence("A", "B", IVec(0, -2))
+    g.add_dependence("B", "C", IVec(0, -1))
+    g.add_dependence("C", "A", IVec(1, 0))  # outermost-carried feedback
+
+    print("input MLDG:")
+    print(g.describe())
+    print()
+
+    print("naive fusion:", direct_fusion(g).describe())
+    print()
+
+    # Multi-dimensional retiming makes fusion legal AND keeps the fused
+    # innermost loop fully parallel.
+    result = fuse(g)
+    print("retiming-based fusion:")
+    print(result.summary())
+    print()
+    print(
+        f"-> one fused loop, {result.parallelism.value} parallelism; "
+        f"synchronisations drop from {g.num_nodes} per outer iteration to 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Compiling Algorithm 5's hyperplane schedule down to ordinary loops.
+
+The paper proves a DOALL hyperplane always exists (Theorem 4.4) but leaves
+the code for it "beyond the scope of this paper".  This example shows the
+missing step in two equivalent ways:
+
+1. **Unimodular view** -- the wavefront is the fused nest under the
+   transformation ``T`` whose first row is the schedule vector ``s``:
+   transformed first coordinates *are* the wavefront levels, so the
+   transformed nest is an ordinary row-parallel loop (checked on the MLDG).
+2. **Emitted code** -- ``emit_wavefront_program`` prints that skewed nest,
+   and ``wavefront_iterations`` enumerates its (t, p) points exactly;
+   executing the program wavefront-by-wavefront (randomised within each
+   front) is verified bit-identical to the sequential original.
+
+Run with::
+
+    python examples/wavefront_compilation.py
+"""
+
+from repro.codegen import (
+    ArrayStore,
+    emit_wavefront_program,
+    run_fused,
+    run_original,
+    wavefront_iterations,
+)
+from repro.pipeline import fuse_program
+from repro.retiming import is_doall_after_fusion
+from repro.transforms import transform_mldg, wavefront_transform
+from repro.gallery.extended import extended_kernels
+
+
+def main() -> None:
+    kernel = next(k for k in extended_kernels() if k.key == "anisotropic-sweep")
+    print(f"kernel: {kernel.title}\n")
+    print(kernel.code)
+    print()
+
+    out = fuse_program(kernel.code)
+    result = out.fusion
+    print(f"fuse() -> {result.strategy.value}: schedule s = {result.schedule}, "
+          f"hyperplane h = {result.hyperplane}")
+    print(f"retiming: {result.retiming.describe()}")
+    print()
+
+    # 1. the unimodular view
+    T = wavefront_transform(result.schedule)
+    skewed = transform_mldg(result.retimed, T)
+    print(f"wavefront transform T = {T} (det {T.det})")
+    print("transformed dependence vectors:", sorted(set(skewed.all_vectors())))
+    assert is_doall_after_fusion(skewed)
+    print("-> every transformed vector is outermost-carried or zero: the")
+    print("   skewed nest is an ordinary fused loop with DOALL rows.\n")
+
+    # 2. the emitted skewed program
+    print(emit_wavefront_program(out.fused, result.schedule))
+    print()
+
+    # 3. executable proof
+    n, m = 10, 9
+    base = ArrayStore.for_program(out.nest, n, m, seed=8)
+    reference = run_original(out.nest, n, m, store=base.copy())
+    waved = run_fused(
+        out.fused, n, m, store=base.copy(), mode="hyperplane",
+        schedule=result.schedule, order_seed=99,
+    )
+    print(f"wavefront execution vs original: "
+          f"{'bit-identical' if reference.equal(waved) else 'MISMATCH'}")
+    assert reference.equal(waved)
+
+    levels = list(wavefront_iterations(out.fused, result.schedule, n, m))
+    widths = [len(pts) for _t, pts in levels]
+    print(f"{len(levels)} wavefronts over the {n+1}x{m+1} fused space; "
+          f"widest front has {max(widths)} parallel points.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Weather-model relaxation sweeps: when only a wavefront is fully parallel.
+
+Fluid mechanics and weather forecasting (the paper's motivating domains)
+lean on successive-relaxation sweeps whose loops exchange values in *both*
+directions within one outer time step.  Theorem 4.2's conditions then fail
+-- no retiming makes the fused rows independent -- and Algorithm 5 instead
+produces a schedule vector ``s`` and a DOALL *hyperplane*: all grid points
+on each wavefront ``s . (i, j) = t`` update in parallel.
+
+This example builds such a kernel as an MLDG, shows Algorithm 4's
+negative-cycle certificate, computes the wavefront schedule, and simulates
+both the wavefront's parallelism profile and (for a DOALL-able variant) the
+row-parallel alternative.
+
+Run with::
+
+    python examples/weather_stencils.py
+"""
+
+from repro import IVec, MLDG, fuse
+from repro.fusion import (
+    NoParallelRetimingError,
+    cyclic_parallel_retiming,
+    hyperplane_parallel_fusion,
+)
+from repro.machine import hyperplane_profile, unfused_profile
+
+
+def relaxation_mldg() -> MLDG:
+    """Residual/update/correct sweeps with bidirectional intra-step coupling."""
+    g = MLDG(dim=2)
+    # residual needs this step's updates from two columns ahead ...
+    g.add_dependence("Residual", "Update", IVec(0, -2))
+    # ... while the update consumes residuals computed three columns back,
+    # and carries state to the next outer time step
+    g.add_dependence("Update", "Residual", IVec(0, 3), IVec(1, -2))
+    g.add_dependence("Update", "Correct", IVec(0, 0))
+    g.add_dependence("Correct", "Update", IVec(1, 1))
+    return g
+
+
+def main() -> None:
+    g = relaxation_mldg()
+    print("relaxation kernel MLDG:")
+    print(g.describe())
+    print()
+
+    # Algorithm 4 provably cannot give row parallelism here:
+    try:
+        cyclic_parallel_retiming(g)
+        raise AssertionError("unexpected: Theorem 4.2 conditions held")
+    except NoParallelRetimingError as exc:
+        print(f"Algorithm 4 fails as expected ({exc.phase} phase):")
+        print(f"  certificate cycle: {' -> '.join(exc.cycle)}")
+    print()
+
+    # Algorithm 5 always succeeds:
+    hp = hyperplane_parallel_fusion(g)
+    print("Algorithm 5 (wavefront) result:")
+    print(f"  retiming   : {hp.retiming.describe()}")
+    print(f"  schedule s : {hp.schedule}")
+    print(f"  hyperplane : {hp.hyperplane}")
+    print(
+        f"  -> all grid points with {hp.schedule[0]}*i + {hp.schedule[1]}*j = t "
+        "update concurrently"
+    )
+    print()
+
+    # The unified driver reaches the same answer:
+    result = fuse(g)
+    assert result.schedule == hp.schedule
+
+    n, m = 200, 400
+    wave = hyperplane_profile(g, hp.retiming, hp.schedule, n, m)
+    base = unfused_profile(g, n, m)
+    print(f"simulated machine, n={n}, m={m}:")
+    print(
+        f"  wavefronts: {wave.num_phases}; widest front "
+        f"{max(wave.work)} points, mean {wave.total_work / wave.num_phases:.1f}"
+    )
+    for p in (4, 16, 64):
+        print(
+            f"  P={p:>3}: wavefront T={wave.parallel_time(p):>8} "
+            f"(speedup {wave.speedup(p):5.1f}x) vs serial T={wave.total_work}"
+        )
+    print()
+    print(
+        "note: the unfused loop sequence is not even executable here -- the "
+        "Update -> Residual coupling flows backwards within a time step -- "
+        f"so the wavefront's {base.num_phases}-phase nominal baseline is "
+        "hypothetical; the wavefront is the *only* parallel schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

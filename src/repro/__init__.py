@@ -1,0 +1,96 @@
+"""repro -- polynomial-time nested loop fusion with full parallelism.
+
+A production-quality reproduction of Sha, O'Neil & Passos,
+*Efficient Polynomial-Time Nested Loop Fusion with Full Parallelism*
+(ICPP 1996).  The library fuses a sequence of DOALL innermost loops nested
+in one outermost loop -- even in the presence of fusion-preventing
+dependencies -- and recovers full parallelism of the fused innermost loop
+via multi-dimensional retiming.
+
+Quick start::
+
+    from repro import IVec, MLDG, fuse
+
+    g = MLDG(dim=2)
+    g.add_dependence("A", "B", IVec(0, -2))   # fusion-preventing
+    g.add_dependence("B", "C", IVec(1, 1))
+    result = fuse(g)                          # picks Algorithm 3/4/5
+    print(result.summary())
+
+Package map (see DESIGN.md for the full inventory):
+
+====================  ====================================================
+``repro.vectors``     lexicographic integer-vector algebra
+``repro.graph``       the MLDG model, legality, serialization, generators
+``repro.constraints`` difference-constraint systems and Bellman-Ford
+``repro.retiming``    multi-dimensional retiming, schedules, hyperplanes
+``repro.fusion``      Algorithms 2-5 and the unified ``fuse()`` driver
+``repro.loopir``      loop-nest AST, DSL parser, printer, synthesis
+``repro.depend``      dependence extraction: program -> MLDG
+``repro.codegen``     retimed/fused code generation and execution
+``repro.machine``     abstract parallel machine simulator (syncs, speedup)
+``repro.baselines``   comparison fusion techniques from the literature
+``repro.verify``      semantic-equivalence and DOALL runtime checking
+``repro.gallery``     the paper's figures, Section-5 set, extended kernels
+``repro.transforms``  unimodular interchange/reversal/skew, wavefront map
+``repro.viz``         iteration-space and wavefront text renderings
+``repro.pipeline``    one-call fuse_program / fuse_and_verify
+``repro.experiments`` programmatic regeneration of every evaluation table
+====================  ====================================================
+"""
+
+from repro.vectors import ExtVec, IVec
+from repro.graph import (
+    MLDG,
+    DependenceEdge,
+    check_legal,
+    is_fusion_legal,
+    is_legal,
+    mldg_from_json,
+    mldg_from_table,
+    mldg_to_dot,
+    mldg_to_json,
+)
+from repro.retiming import Retiming
+from repro.pipeline import PipelineResult, fuse_and_verify, fuse_program
+from repro.fusion import (
+    FusionError,
+    FusionResult,
+    Parallelism,
+    Strategy,
+    acyclic_parallel_retiming,
+    cyclic_parallel_retiming,
+    fuse,
+    hyperplane_parallel_fusion,
+    legal_fusion_retiming,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IVec",
+    "ExtVec",
+    "MLDG",
+    "DependenceEdge",
+    "Retiming",
+    "fuse",
+    "fuse_program",
+    "fuse_and_verify",
+    "PipelineResult",
+    "FusionResult",
+    "FusionError",
+    "Strategy",
+    "Parallelism",
+    "legal_fusion_retiming",
+    "acyclic_parallel_retiming",
+    "cyclic_parallel_retiming",
+    "hyperplane_parallel_fusion",
+    "check_legal",
+    "is_legal",
+    "is_fusion_legal",
+    "mldg_from_table",
+    "mldg_to_json",
+    "mldg_from_json",
+    "mldg_to_dot",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Baseline fusion techniques from the literature (Section 1's comparisons).
+
+Reimplemented at the granularity the paper compares against (see DESIGN.md's
+substitution notes): which loops each method can fuse, how many
+synchronizations remain, and what parallelism survives.
+
+* :mod:`~repro.baselines.direct` -- naive fusion: legal only without
+  fusion-preventing dependencies (Warren's condition / Theorem 3.1);
+* :mod:`~repro.baselines.kennedy_mckinley` -- greedy typed-fusion
+  partitioning (Kennedy & McKinley): fuse what is legal, split groups at
+  fusion-preventing edges, optionally also at parallelism-destroying edges;
+* :mod:`~repro.baselines.shift_and_peel` -- Manjikian & Abdelrahman's
+  shift-and-peel: inner-dimension alignment shifts plus boundary peeling;
+* :mod:`~repro.baselines.distribution` -- full loop distribution (the
+  no-fusion endpoint: maximal parallelism, maximal synchronization).
+"""
+
+from repro.baselines.direct import DirectFusionOutcome, direct_fusion
+from repro.baselines.kennedy_mckinley import (
+    TypedFusionOutcome,
+    typed_fusion,
+)
+from repro.baselines.shift_and_peel import ShiftAndPeelOutcome, shift_and_peel
+from repro.baselines.distribution import DistributionOutcome, loop_distribution
+from repro.baselines.transform_based import TransformSearchOutcome, transform_search
+
+__all__ = [
+    "direct_fusion",
+    "DirectFusionOutcome",
+    "typed_fusion",
+    "TypedFusionOutcome",
+    "shift_and_peel",
+    "ShiftAndPeelOutcome",
+    "loop_distribution",
+    "DistributionOutcome",
+    "transform_search",
+    "TransformSearchOutcome",
+]

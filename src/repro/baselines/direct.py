@@ -1,0 +1,49 @@
+"""Naive (direct) loop fusion.
+
+Warren's classic condition, equal to Theorem 3.1 with the zero retiming:
+fusion is legal iff no dependence vector is fusion-preventing.  No
+transformation is attempted -- this is the baseline every later technique
+improves on, and the one that fails on the paper's Figures 2, 8 and 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.legality import fusion_preventing_edges, is_fusion_legal
+from repro.graph.mldg import MLDG
+from repro.retiming.verify import is_doall_after_fusion
+
+__all__ = ["DirectFusionOutcome", "direct_fusion"]
+
+
+@dataclass(frozen=True)
+class DirectFusionOutcome:
+    """Result of attempting naive fusion."""
+
+    legal: bool
+    doall: bool  # meaningful only when legal
+    blockers: List[str]  # fusion-preventing edges when illegal
+
+    @property
+    def syncs_per_outer_iteration(self) -> int:
+        """1 when fused; callers substitute |V| when fusion failed."""
+        return 1 if self.legal else -1
+
+    def describe(self) -> str:
+        if not self.legal:
+            return "cannot fuse: fusion-preventing dependencies on " + ", ".join(
+                self.blockers
+            )
+        return "fused; innermost loop " + ("DOALL" if self.doall else "serialised")
+
+
+def direct_fusion(g: MLDG) -> DirectFusionOutcome:
+    """Attempt to fuse all loops with no enabling transformation."""
+    if is_fusion_legal(g):
+        return DirectFusionOutcome(
+            legal=True, doall=is_doall_after_fusion(g), blockers=[]
+        )
+    blockers = [f"{e.src}->{e.dst}" for e in fusion_preventing_edges(g)]
+    return DirectFusionOutcome(legal=False, doall=False, blockers=blockers)

@@ -1,0 +1,40 @@
+"""Loop distribution: the no-fusion endpoint of the design space.
+
+Kennedy & McKinley use distribution after fusion to recover parallelism;
+fully distributed, every innermost loop runs alone.  Parallelism is maximal
+(each loop was DOALL to begin with), synchronization is maximal too: one
+barrier per loop per outermost iteration -- exactly the ``7n`` baseline the
+paper starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.graph.mldg import MLDG
+
+__all__ = ["DistributionOutcome", "loop_distribution"]
+
+
+@dataclass(frozen=True)
+class DistributionOutcome:
+    """The fully-distributed schedule."""
+
+    groups: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def syncs_per_outer_iteration(self) -> int:
+        return len(self.groups)
+
+    @property
+    def all_parallel(self) -> bool:
+        return True  # each group is a single DOALL loop by the program model
+
+    def describe(self) -> str:
+        return " ; ".join("{" + g[0] + "}[DOALL]" for g in self.groups)
+
+
+def loop_distribution(g: MLDG) -> DistributionOutcome:
+    """One group per loop, in program order."""
+    return DistributionOutcome(groups=tuple((n,) for n in g.nodes))

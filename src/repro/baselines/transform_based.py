@@ -1,0 +1,105 @@
+"""Baseline: naive fusion followed by a unimodular transformation search.
+
+The classic alternative to retiming: fuse the loops *as written* (only
+possible without fusion-preventing dependencies) and then look for a
+single-nest transformation -- interchange, reversal, skewing, or
+compositions -- that makes the fused innermost loop parallel.
+
+This baseline separates two failure modes the paper's technique avoids:
+
+* when naive fusion is illegal, no amount of post-fusion transformation
+  can help (there is no fused nest to transform);
+* when it is legal but serialised, a bounded search over unimodular
+  matrices sometimes recovers parallelism (e.g. a wavefront skew of the
+  fused IIR-2D nest) -- but unlike multi-dimensional retiming it can never
+  *create* legality, and the wavefront it finds is exactly what
+  Algorithm 5 constructs directly, without search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.graph.legality import is_fusion_legal
+from repro.graph.mldg import MLDG
+from repro.retiming.verify import is_doall_after_fusion
+from repro.transforms.unimodular import (
+    Unimodular,
+    interchange,
+    reversal,
+    skew,
+    transform_mldg,
+)
+
+__all__ = ["TransformSearchOutcome", "transform_search"]
+
+
+@dataclass(frozen=True)
+class TransformSearchOutcome:
+    """Result of the naive-fusion + transformation search."""
+
+    fusable: bool  # naive fusion legal at all?
+    transform: Optional[Unimodular]  # None: nothing found (or not fusable)
+    reason: str = ""
+
+    @property
+    def parallel(self) -> bool:
+        return self.transform is not None
+
+    def describe(self) -> str:
+        if not self.fusable:
+            return f"cannot fuse naively: {self.reason}"
+        if self.transform is None:
+            return "fused, but no unimodular transformation parallelises it"
+        return f"fused + transformed by T = {self.transform}"
+
+
+def _candidates(max_skew: int) -> Iterator[Unimodular]:
+    identity = Unimodular(rows=((1, 0), (0, 1)))
+    basics = [identity, interchange(), reversal(1)]
+    skews = [skew(f) for f in range(-max_skew, max_skew + 1) if f] + [
+        skew(f, of=0) for f in range(-max_skew, max_skew + 1) if f
+    ]
+    seen = set()
+    for first in basics + skews:
+        for second in [identity] + basics + skews:
+            t = second.compose(first)
+            if t.rows not in seen:
+                seen.add(t.rows)
+                yield t
+
+
+def _valid_and_parallel(g: MLDG) -> bool:
+    """Sequentially valid (all non-zero vectors lexicographically positive)
+    with a DOALL innermost loop (no surviving (0, k) vector)."""
+    zero = (0,) * g.dim
+    for d in g.all_vectors():
+        if tuple(d) < zero:
+            return False
+    return is_doall_after_fusion(g)
+
+
+def transform_search(g: MLDG, *, max_skew: int = 4) -> TransformSearchOutcome:
+    """Search for a unimodular transformation parallelising the naive fusion.
+
+    Candidates: interchange, inner reversal, skews up to ``max_skew`` in
+    either direction and axis, and all pairwise compositions -- a few
+    hundred matrices, the kind of bounded search a production compiler of
+    the era would attempt.
+    """
+    if not is_fusion_legal(g):
+        from repro.graph.legality import fusion_preventing_edges
+
+        blockers = ", ".join(f"{e.src}->{e.dst}" for e in fusion_preventing_edges(g))
+        return TransformSearchOutcome(
+            fusable=False, transform=None, reason=f"fusion-preventing edges {blockers}"
+        )
+    if is_doall_after_fusion(g):
+        return TransformSearchOutcome(
+            fusable=True, transform=Unimodular(rows=((1, 0), (0, 1)))
+        )
+    for t in _candidates(max_skew):
+        if _valid_and_parallel(transform_mldg(g, t)):
+            return TransformSearchOutcome(fusable=True, transform=t)
+    return TransformSearchOutcome(fusable=True, transform=None)

@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-fuse analyze  program.loop   # dependence report + MLDG
+    repro-fuse fuse     program.loop   # retime + fuse + emit code
+    repro-fuse demo     fig2           # run a gallery example end to end
+
+``python -m repro.cli`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import direct_fusion
+from repro.codegen import apply_fusion, emit_fused_program
+from repro.depend import dependence_table, describe_dependencies, extract_mldg
+from repro.fusion import FusionError, Strategy, fuse
+from repro.graph import mldg_to_dot, mldg_to_json
+from repro.loopir import ParseError, ValidationError, parse_program
+from repro.machine import profile_fusion, unfused_profile
+
+__all__ = ["main", "build_arg_parser"]
+
+_DEMOS = {
+    "fig2": "figure 2 (running example; Algorithm 4, DOALL)",
+    "fig8": "figure 8 (acyclic; Algorithm 3, DOALL)",
+    "fig14": "figure 14 (cyclic; Algorithm 5, hyperplane)",
+    "iir2d": "2-D IIR filter section (reconstructed example 4)",
+    "sor": "SOR-style sweep (reconstructed example 5)",
+}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuse",
+        description="Polynomial-time nested loop fusion with full parallelism "
+        "(Sha/O'Neil/Passos, ICPP 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="dependence analysis of a DSL program")
+    p_an.add_argument("file", help="loop DSL source file ('-' for stdin)")
+    p_an.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_an.add_argument("--json", action="store_true", help="emit MLDG JSON")
+
+    p_fu = sub.add_parser("fuse", help="fuse a DSL program with full parallelism")
+    p_fu.add_argument("file", help="loop DSL source file ('-' for stdin)")
+    p_fu.add_argument(
+        "--strategy",
+        default="auto",
+        choices=[s.value for s in Strategy],
+        help="force a specific algorithm (default: auto)",
+    )
+    p_fu.add_argument("--no-emit", action="store_true", help="skip code emission")
+    p_fu.add_argument(
+        "--verify",
+        action="store_true",
+        help="execute original and fused programs and compare results",
+    )
+    p_fu.add_argument(
+        "--profile",
+        metavar="N,M,P",
+        help="simulate on an N x M iteration space with P processors",
+    )
+    p_fu.add_argument(
+        "--iterspace",
+        action="store_true",
+        help="render the fused iteration space (Figures 7/13 style)",
+    )
+    p_fu.add_argument(
+        "--locality",
+        action="store_true",
+        help="report reuse distances before and after fusion",
+    )
+    p_fu.add_argument(
+        "--compile",
+        action="store_true",
+        dest="compile_kernel",
+        help="print the compiled Python/numpy kernel for the fused program",
+    )
+
+    p_demo = sub.add_parser("demo", help="run a gallery example")
+    p_demo.add_argument("name", choices=sorted(_DEMOS), help="example name")
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate every experiment table (no timing)"
+    )
+    p_rep.add_argument("--size", metavar="N,M", default="100,63",
+                       help="iteration-space size (default 100,63)")
+
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    nest = parse_program(_read_source(args.file))
+    records = dependence_table(nest)
+    g = extract_mldg(nest, check=False)
+    if args.dot:
+        print(mldg_to_dot(g))
+        return 0
+    if args.json:
+        print(mldg_to_json(g))
+        return 0
+    from repro.graph import mldg_stats
+
+    print(g.describe())
+    print()
+    print(mldg_stats(g).describe())
+    print()
+    print(describe_dependencies(records))
+    outcome = direct_fusion(g)
+    print()
+    print(f"direct fusion: {outcome.describe()}")
+    return 0
+
+
+def _report_fusion(
+    g,
+    result,
+    nest=None,
+    *,
+    emit=True,
+    verify=False,
+    profile=None,
+    iterspace=False,
+    locality=False,
+    compile_kernel=False,
+) -> int:
+    print(result.summary())
+    if nest is not None and emit:
+        fused = apply_fusion(nest, result.retiming, mldg=result.original)
+        print()
+        print("! ===== transformed program =====")
+        print(emit_fused_program(fused))
+    if nest is not None and verify:
+        from repro.verify import verify_fusion_result
+
+        reports = verify_fusion_result(nest, result)
+        ok = all(r.equivalent for r in reports)
+        print()
+        print(
+            f"verification: {len(reports)} executions "
+            f"({', '.join(sorted({r.mode for r in reports}))}) -> "
+            + ("ALL EQUIVALENT" if ok else "MISMATCH")
+        )
+        if not ok:
+            return 1
+    if iterspace:
+        from repro.viz import format_hyperplane_grid, format_iteration_space
+
+        print()
+        print("iteration space after retiming and fusion:")
+        print(format_iteration_space(result.retimed))
+        if result.hyperplane is not None:
+            print()
+            print(format_hyperplane_grid(result.schedule))
+    if locality:
+        from repro.machine import locality_report
+
+        print()
+        print("reuse distances (mean / max / hit-ratio @ 8, 64, 512):")
+        for row in locality_report(g, 63, result.retiming):
+            shape, mean, worst, *hits = row
+            hits_text = ", ".join(f"{h:.2f}" for h in hits)
+            print(f"  {shape:>8}: {mean:9.1f} / {worst:6d} / {hits_text}")
+    if nest is not None and compile_kernel:
+        from repro.codegen import apply_fusion as _apply
+        from repro.codegen.pycompile import compile_fused
+
+        fused = _apply(nest, result.retiming, mldg=result.original)
+        print()
+        print("# compiled Python/numpy kernel")
+        print(compile_fused(fused).source)
+    if profile:
+        try:
+            n, m, p = (int(x) for x in profile.split(","))
+        except ValueError:
+            print(f"bad --profile value {profile!r}; expected N,M,P", file=sys.stderr)
+            return 2
+        before = unfused_profile(g, n, m)
+        after = profile_fusion(result, n, m)
+        print()
+        print(f"machine simulation (n={n}, m={m}, P={p}):")
+        print(f"  unfused: {before.sync_count} syncs, T(P)={before.parallel_time(p, sync_cost=10)}")
+        print(f"  fused  : {after.sync_count} syncs, T(P)={after.parallel_time(p, sync_cost=10)}")
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    nest = parse_program(_read_source(args.file))
+    g = extract_mldg(nest)
+    result = fuse(g, strategy=args.strategy)
+    return _report_fusion(
+        g,
+        result,
+        nest,
+        emit=not args.no_emit,
+        verify=args.verify,
+        profile=args.profile,
+        iterspace=args.iterspace,
+        locality=args.locality,
+        compile_kernel=args.compile_kernel,
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.gallery import (
+        figure2_mldg,
+        figure8_mldg,
+        figure14_mldg,
+        floyd_steinberg_mldg,
+        iir2d_mldg,
+    )
+    from repro.gallery.common import iir2d_code
+    from repro.gallery.paper import figure2_code
+
+    builders = {
+        "fig2": (figure2_mldg, figure2_code()),
+        "fig8": (figure8_mldg, None),
+        "fig14": (figure14_mldg, None),
+        "iir2d": (iir2d_mldg, iir2d_code()),
+        "sor": (floyd_steinberg_mldg, None),
+    }
+    build, code = builders[args.name]
+    g = build()
+    print(f"demo: {_DEMOS[args.name]}")
+    print()
+    print(g.describe())
+    print()
+    result = fuse(g)
+    nest = parse_program(code) if code else None
+    return _report_fusion(g, result, nest, emit=True, verify=nest is not None)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "fuse":
+            return _cmd_fuse(args)
+        if args.command == "demo":
+            return _cmd_demo(args)
+        if args.command == "report":
+            from repro.experiments import full_report
+
+            try:
+                n, m = (int(x) for x in args.size.split(","))
+            except ValueError:
+                print(f"bad --size value {args.size!r}; expected N,M", file=sys.stderr)
+                return 2
+            print(full_report(n, m))
+            return 0
+    except (ParseError, ValidationError, FusionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

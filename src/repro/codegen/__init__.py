@@ -1,0 +1,42 @@
+"""Retiming-aware code generation and execution.
+
+Turns a loop nest plus a fusion result into:
+
+* a :class:`~repro.codegen.fused.FusedProgram` -- the fused single loop with
+  per-node retiming shifts and a dependence-respecting body order;
+* pretty-printed transformed source in the shape of the paper's Figures 3b,
+  6b and 12b (prologue / per-iteration boundary code / fused DOALL loop /
+  epilogue) via :mod:`~repro.codegen.emit`;
+* actual execution over numpy-backed array stores via
+  :mod:`~repro.codegen.interp`, in serial, DOALL (randomised row order) or
+  hyperplane (wavefront) mode -- the basis of the semantic-equivalence
+  verification in :mod:`repro.verify`.
+"""
+
+from repro.codegen.fused import DeadlockError, FusedProgram, FusedNode, apply_fusion
+from repro.codegen.emit import emit_fused_program
+from repro.codegen.interp import (
+    ArrayStore,
+    ExecutionOrderError,
+    run_fused,
+    run_original,
+)
+from repro.codegen.pycompile import CompiledKernel, compile_fused, compile_original
+from repro.codegen.wavefront import emit_wavefront_program, wavefront_iterations
+
+__all__ = [
+    "compile_original",
+    "compile_fused",
+    "CompiledKernel",
+    "emit_wavefront_program",
+    "wavefront_iterations",
+    "FusedProgram",
+    "FusedNode",
+    "DeadlockError",
+    "apply_fusion",
+    "emit_fused_program",
+    "ArrayStore",
+    "run_original",
+    "run_fused",
+    "ExecutionOrderError",
+]

@@ -1,0 +1,154 @@
+"""Pretty-print a fused program in the paper's Figure-12b shape.
+
+The emitted text has four parts:
+
+1. **prologue** -- whole DOALL rows of leading original outer iterations
+   that the shifted core loop no longer covers (Figure 12b's loops 10/20);
+2. the **fused outer loop** over the core range, with per-iteration *inner
+   boundary* statements before and after
+3. the **fused DOALL inner loop** (loop 70 in the figure);
+4. **epilogue** -- trailing whole rows (Figure 12b's loops 30/40).
+
+The output documents the transformation (what a compiler would emit);
+execution uses :mod:`repro.codegen.interp`, whose uniform guarded order is
+dependence-correct for any legal retiming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.codegen.fused import FusedProgram
+from repro.loopir.ast_nodes import ArrayRef, Assignment, BinOp, Const, Expr, UnaryOp
+
+__all__ = ["emit_fused_program"]
+
+#: An index base: a concrete integer, or (symbol, constant) like ("n", -1).
+_Base = Union[int, Tuple[str, int]]
+
+
+def _index_text(base: _Base, offset: int) -> str:
+    if isinstance(base, int):
+        return str(base + offset)
+    sym, k = base
+    total = k + offset
+    if total == 0:
+        return sym
+    return f"{sym}+{total}" if total > 0 else f"{sym}{total}"
+
+
+def _ref_text(ref: ArrayRef, i_base: _Base, j_base: _Base) -> str:
+    return (
+        f"{ref.array}[{_index_text(i_base, ref.offset[0])}]"
+        f"[{_index_text(j_base, ref.offset[1])}]"
+    )
+
+
+def _expr_text(e: Expr, i_base: _Base, j_base: _Base) -> str:
+    if isinstance(e, ArrayRef):
+        return _ref_text(e, i_base, j_base)
+    if isinstance(e, Const):
+        return str(e)
+    if isinstance(e, UnaryOp):
+        return f"-{_expr_text(e.operand, i_base, j_base)}"
+    if isinstance(e, BinOp):
+
+        def wrap(sub: Expr) -> str:
+            text = _expr_text(sub, i_base, j_base)
+            if isinstance(sub, BinOp) and e.op in ("*", "/") and sub.op in ("+", "-"):
+                return f"({text})"
+            return text
+
+        return f"{wrap(e.left)} {e.op} {wrap(e.right)}"
+    raise TypeError(f"unknown expression node {e!r}")
+
+
+def _stmt_text(stmt: Assignment, i_base: _Base, j_base: _Base) -> str:
+    return (
+        f"{_ref_text(stmt.target, i_base, j_base)} = "
+        f"{_expr_text(stmt.expr, i_base, j_base)}"
+    )
+
+
+def emit_fused_program(fp: FusedProgram) -> str:
+    """Figure-12b style source for the fused program.
+
+    Boundary extents are decided from the (constant) retiming shifts; the
+    core loop bounds stay symbolic in the nest's ``n`` and ``m``.
+    """
+    nest = fp.original
+    i_name, j_name = nest.index_names
+    n_sym, m_sym = nest.outer_bound, nest.inner_bound
+    shifts0 = [node.shift[0] for node in fp.body]
+    shifts1 = [node.shift[1] for node in fp.body]
+    lo_i = max(-s for s in shifts0)
+    hi_i_off = -max(shifts0)  # core hi_i = n + hi_i_off
+    lo_j = max(-s for s in shifts1)
+    hi_j_off = -max(shifts1)  # core hi_j = m + hi_j_off
+
+    lines: List[str] = []
+
+    # ---- prologue: leading whole rows in original execution order -------
+    max_prologue = max((lo_i + node.shift[0] for node in fp.body), default=0)
+    first = True
+    for i_orig in range(0, max_prologue):
+        for node in fp.body:
+            if i_orig < lo_i + node.shift[0]:
+                if first:
+                    lines.append("! --- prologue ---")
+                    first = False
+                lines.append(
+                    f"doall {j_name} = 0, {m_sym}"
+                    f"        ! loop {node.label} at {i_name} = {i_orig}"
+                )
+                for stmt in node.statements:
+                    lines.append(f"  {_stmt_text(stmt, i_orig, (j_name, 0))}")
+                lines.append("end")
+
+    # ---- fused outer loop ------------------------------------------------
+    lines.append(f"do {i_name} = {lo_i}, {_index_text((n_sym, 0), hi_i_off)}")
+
+    # inner boundary before the DOALL (original j' = 0 .. lo_j + shift1 - 1)
+    for node in fp.body:
+        for j_orig in range(0, lo_j + node.shift[1]):
+            for stmt in node.shifted_statements():
+                j_fused = j_orig - node.shift[1]
+                lines.append(f"  {_stmt_text(stmt, (i_name, 0), j_fused)}")
+
+    # fused DOALL core
+    lines.append(f"  doall {j_name} = {lo_j}, {_index_text((m_sym, 0), hi_j_off)}")
+    for node in fp.body:
+        for stmt in node.shifted_statements():
+            lines.append(f"    {_stmt_text(stmt, (i_name, 0), (j_name, 0))}")
+    lines.append("  end")
+
+    # inner boundary after the DOALL (original j' = hi_j + shift1 + 1 .. m)
+    for node in fp.body:
+        for k in range(hi_j_off + node.shift[1] + 1, 1):
+            # original j' = m + k; fused j = m + k - shift1
+            for stmt in node.shifted_statements():
+                lines.append(
+                    f"  {_stmt_text(stmt, (i_name, 0), (m_sym, k - node.shift[1]))}"
+                )
+
+    lines.append("end")
+
+    # ---- epilogue: trailing whole rows -----------------------------------
+    first = True
+    min_start = min((hi_i_off + node.shift[0] + 1 for node in fp.body), default=1)
+    for k in range(min_start, 1):
+        for node in fp.body:
+            if hi_i_off + node.shift[0] + 1 <= k:
+                if first:
+                    lines.append("! --- epilogue ---")
+                    first = False
+                i_text = _index_text((n_sym, 0), k)
+                lines.append(
+                    f"doall {j_name} = 0, {m_sym}"
+                    f"        ! loop {node.label} at {i_name} = {i_text}"
+                )
+                for stmt in node.statements:
+                    lines.append(f"  {_stmt_text(stmt, (n_sym, k), (j_name, 0))}")
+                lines.append("end")
+
+    return "\n".join(lines)

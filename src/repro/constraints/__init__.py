@@ -1,0 +1,45 @@
+"""Difference-constraint systems and their Bellman-Ford solvers.
+
+Section 2.4 of the paper reduces retiming-function search to systems of
+inequalities ``x_j - x_i <= a_ij`` over integers (Problem ILP) and over
+integer 2-vectors compared lexicographically (Problem 2-ILP).  Both are
+solved on a *constraint graph*: vertex ``v_0`` connected to every unknown
+with weight zero, one edge per constraint, shortest paths by Bellman-Ford.
+Feasibility is exactly the absence of a (lexicographically) negative cycle
+(Theorems 2.2 and 2.3).
+
+* :func:`~repro.constraints.bellman_ford.bellman_ford` -- the generic solver
+  (weights need ``+`` and ``<``), with negative-cycle certificates;
+* :func:`~repro.constraints.bellman_ford.scalar_bellman_ford` -- Problem ILP;
+* :func:`~repro.constraints.vector_bellman_ford.vector_bellman_ford` --
+  Algorithm 1 ("TwoDimBellmanFord"), generalised to any dimension;
+* :class:`~repro.constraints.system.ScalarConstraintSystem` /
+  :class:`~repro.constraints.system.VectorConstraintSystem` -- declarative
+  front-ends used by the fusion algorithms.
+"""
+
+from repro.constraints.bellman_ford import (
+    BellmanFordResult,
+    NegativeCycleError,
+    bellman_ford,
+    scalar_bellman_ford,
+)
+from repro.constraints.vector_bellman_ford import vector_bellman_ford
+from repro.constraints.system import (
+    InfeasibleSystemError,
+    ScalarConstraintSystem,
+    VectorConstraintSystem,
+)
+from repro.constraints.constraint_graph import ConstraintGraph
+
+__all__ = [
+    "bellman_ford",
+    "scalar_bellman_ford",
+    "vector_bellman_ford",
+    "BellmanFordResult",
+    "NegativeCycleError",
+    "ConstraintGraph",
+    "ScalarConstraintSystem",
+    "VectorConstraintSystem",
+    "InfeasibleSystemError",
+]

@@ -1,0 +1,149 @@
+"""Generic Bellman-Ford with negative-cycle certificates.
+
+One implementation serves both of the paper's solvers:
+
+* Problem ILP (Section 2.4) uses integer weights;
+* Algorithm 1 ("TwoDimBellmanFord") uses lexicographically-ordered vector
+  weights -- see :mod:`repro.constraints.vector_bellman_ford`.
+
+The weight domain only needs ``+`` (weight extension) and ``<`` (total
+order), which both ``int``/``float`` and
+:class:`~repro.vectors.extended.ExtVec` provide.  Tentative distances start
+at a caller-supplied ``top`` (plus infinity) and the source at ``zero``.
+
+After ``|V| - 1`` relaxation rounds a further improving edge proves a
+negative cycle; the certificate cycle is recovered by walking predecessor
+links ``|V|`` steps back from the improving edge's head.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "bellman_ford",
+    "scalar_bellman_ford",
+    "BellmanFordResult",
+    "NegativeCycleError",
+]
+
+Node = TypeVar("Node", bound=Hashable)
+W = TypeVar("W")  # weight type: needs + and <
+
+
+class NegativeCycleError(Exception):
+    """Raised by the constraint-system front-ends on infeasible systems.
+
+    ``cycle`` lists the nodes of one negative-weight cycle (a certificate of
+    infeasibility per Theorems 2.2/2.3).
+    """
+
+    def __init__(self, cycle: List) -> None:
+        super().__init__(f"negative-weight cycle: {' -> '.join(map(str, cycle))}")
+        self.cycle = cycle
+
+
+@dataclass
+class BellmanFordResult(Generic[Node, W]):
+    """Distances and predecessors from one source, or a negative cycle.
+
+    ``negative_cycle`` is ``None`` on success.  When set, ``dist``/``pred``
+    hold the (meaningless beyond diagnosis) state at detection time.
+    """
+
+    dist: Dict[Node, W]
+    pred: Dict[Node, Optional[Node]]
+    negative_cycle: Optional[List[Node]]
+
+    @property
+    def feasible(self) -> bool:
+        return self.negative_cycle is None
+
+
+def _trace_cycle(
+    pred: Dict[Node, Optional[Node]], start: Node, num_nodes: int
+) -> List[Node]:
+    """Walk predecessors ``num_nodes`` times to land inside the cycle, then
+    collect it (standard certificate extraction)."""
+    v: Optional[Node] = start
+    for _ in range(num_nodes):
+        assert v is not None
+        v = pred[v]
+    assert v is not None
+    cycle = [v]
+    u = pred[v]
+    while u is not None and u != v:
+        cycle.append(u)
+        u = pred[u]
+    cycle.reverse()
+    return cycle
+
+
+def bellman_ford(
+    nodes: Sequence[Node],
+    edges: Sequence[Tuple[Node, Node, W]],
+    source: Node,
+    *,
+    zero: W,
+    top: W,
+) -> BellmanFordResult[Node, W]:
+    """Shortest paths from ``source`` under any totally-ordered weight domain.
+
+    Parameters
+    ----------
+    nodes, edges:
+        The graph; edges are ``(u, v, w)`` triples.
+    source:
+        Start node (the constraint graph's ``v_0``).
+    zero:
+        Additive identity of the weight domain (distance of the source).
+    top:
+        "Unreached" sentinel; must satisfy ``d + w < top`` for reachable
+        distances (e.g. ``math.inf`` or ``ExtVec.top(dim)``).
+    """
+    if source not in set(nodes):
+        raise ValueError(f"source {source!r} not among nodes")
+    dist: Dict[Node, W] = {v: top for v in nodes}
+    pred: Dict[Node, Optional[Node]] = {v: None for v in nodes}
+    dist[source] = zero
+
+    n = len(nodes)
+    for _round in range(n - 1):
+        changed = False
+        for (u, v, w) in edges:
+            du = dist[u]
+            if du == top:
+                continue
+            candidate = du + w
+            if candidate < dist[v]:
+                dist[v] = candidate
+                pred[v] = u
+                changed = True
+        if not changed:
+            break
+    else:
+        # ran all n-1 rounds with changes: must verify for negative cycles
+        pass
+
+    for (u, v, w) in edges:
+        du = dist[u]
+        if du == top:
+            continue
+        if du + w < dist[v]:
+            # one more improvement possible => negative cycle reachable from source
+            pred[v] = u
+            cycle = _trace_cycle(pred, v, n)
+            return BellmanFordResult(dist=dist, pred=pred, negative_cycle=cycle)
+
+    return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None)
+
+
+def scalar_bellman_ford(
+    nodes: Sequence[Node],
+    edges: Sequence[Tuple[Node, Node, int]],
+    source: Node,
+) -> BellmanFordResult[Node, float]:
+    """Problem ILP's solver: integer weights, ``math.inf`` as unreached."""
+    return bellman_ford(nodes, edges, source, zero=0, top=math.inf)

@@ -1,0 +1,181 @@
+"""Declarative difference-constraint systems (Problems ILP and 2-ILP).
+
+These classes are the front-end the fusion algorithms use: declare unknowns,
+add ``x_j - x_i <= w`` (or ``==``) constraints, call :meth:`solve`.  Solving
+builds the Section-2.4 constraint graph and runs the appropriate
+Bellman-Ford; infeasibility raises :class:`InfeasibleSystemError` carrying
+the negative-cycle certificate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.constraints.bellman_ford import bellman_ford
+from repro.constraints.constraint_graph import SUPER_SOURCE, ConstraintGraph
+from repro.constraints.vector_bellman_ford import vector_bellman_ford
+from repro.vectors import ExtVec, IVec
+
+__all__ = [
+    "InfeasibleSystemError",
+    "ScalarConstraintSystem",
+    "VectorConstraintSystem",
+]
+
+
+class InfeasibleSystemError(Exception):
+    """The system has no solution; ``cycle`` is a negative-cycle certificate.
+
+    The cycle is reported over the original unknowns (the super-source can
+    never participate in a cycle since it has no incoming edges).
+    """
+
+    def __init__(self, cycle: List[Hashable]) -> None:
+        names = " -> ".join(str(c) for c in cycle)
+        super().__init__(f"infeasible difference-constraint system (cycle: {names})")
+        self.cycle = cycle
+
+
+class ScalarConstraintSystem:
+    """Problem ILP: integer unknowns, constraints ``x_j - x_i <= a_ij``.
+
+    >>> s = ScalarConstraintSystem(["a", "b"])
+    >>> s.add_leq("a", "b", 3)      # x_b - x_a <= 3
+    >>> sol = s.solve()
+    >>> sol["b"] - sol["a"] <= 3
+    True
+    """
+
+    def __init__(self, unknowns) -> None:
+        self._unknowns = list(unknowns)
+        self._constraints: List[Tuple[Hashable, Hashable, int]] = []
+
+    def add_leq(self, i: Hashable, j: Hashable, bound: int) -> None:
+        """Add ``x_j - x_i <= bound``."""
+        self._constraints.append((i, j, int(bound)))
+
+    def add_eq(self, i: Hashable, j: Hashable, value: int) -> None:
+        """Add ``x_j - x_i == value`` (a pair of opposing inequalities)."""
+        self.add_leq(i, j, value)
+        self.add_leq(j, i, -value)
+
+    def constraint_graph(self) -> ConstraintGraph:
+        return ConstraintGraph.build(self._unknowns, self._constraints, zero=0)
+
+    def solve(self) -> Dict[Hashable, int]:
+        """Feasible values (shortest-path distances from ``v_0``).
+
+        Unknowns untouched by any constraint get 0.  Raises
+        :class:`InfeasibleSystemError` when a negative cycle exists.
+        """
+        g = self.constraint_graph()
+        result = bellman_ford(g.nodes, g.edges, g.source, zero=0, top=math.inf)
+        if not result.feasible:
+            cycle = [c for c in result.negative_cycle if c != SUPER_SOURCE]
+            raise InfeasibleSystemError(cycle)
+        out: Dict[Hashable, int] = {}
+        for u in self._unknowns:
+            d = result.dist[u]
+            out[u] = 0 if d == math.inf else int(d)
+        return out
+
+    def is_feasible(self) -> bool:
+        try:
+            self.solve()
+            return True
+        except InfeasibleSystemError:
+            return False
+
+
+class VectorConstraintSystem:
+    """Problem 2-ILP (any dimension): vector unknowns under lexicographic order.
+
+    Constraints ``r_j - r_i <= w_ij`` with ``w_ij`` an :class:`IVec` or an
+    :class:`ExtVec` (infinite components constrain only a coordinate prefix).
+    Feasibility is Theorem 2.3: no constraint-graph cycle with weight
+    lexicographically below the zero vector.
+    """
+
+    def __init__(self, unknowns, *, dim: int = 2) -> None:
+        if dim < 1:
+            raise ValueError("dimension must be >= 1")
+        self._dim = dim
+        self._unknowns = list(unknowns)
+        self._constraints: List[Tuple[Hashable, Hashable, ExtVec]] = []
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def _coerce(self, w) -> ExtVec:
+        if isinstance(w, ExtVec):
+            v = w
+        elif isinstance(w, IVec):
+            v = ExtVec.from_ivec(w)
+        else:
+            v = ExtVec(tuple(w))
+        if v.dim != self._dim:
+            raise ValueError(f"weight {v} has dimension {v.dim}, system has {self._dim}")
+        return v
+
+    def add_leq(self, i: Hashable, j: Hashable, bound) -> None:
+        """Add ``r_j - r_i <= bound`` (lexicographic)."""
+        self._constraints.append((i, j, self._coerce(bound)))
+
+    def add_eq(self, i: Hashable, j: Hashable, value: IVec) -> None:
+        """Add ``r_j - r_i == value``.
+
+        Only finite values make sense for equalities, and the opposing
+        inequality uses the negated vector (the paper's phase-two back-edges,
+        Section 4.3).
+        """
+        vec = self._coerce(value)
+        if not vec.is_finite():
+            raise ValueError("equality constraints must have finite weights")
+        self.add_leq(i, j, vec)
+        self.add_leq(j, i, -vec)
+
+    def constraint_graph(self) -> ConstraintGraph:
+        return ConstraintGraph.build(
+            self._unknowns, self._constraints, zero=ExtVec([0] * self._dim)
+        )
+
+    def solve(self, *, verify: bool = True) -> Dict[Hashable, IVec]:
+        """Feasible vector values; raises :class:`InfeasibleSystemError` if none.
+
+        Distances whose trailing coordinates remain ``+inf`` (possible when
+        weights carry infinite components, as in Algorithm 3's constraint
+        graph) are unconstrained there and resolve to 0, mirroring the
+        paper's "set the second component of r to 0" step.  With
+        ``verify=True`` (default) the returned assignment is checked against
+        every constraint; a failure indicates an unsupported mix of finite
+        and infinite weights and raises ``ValueError``.
+        """
+        g = self.constraint_graph()
+        result = vector_bellman_ford(g.nodes, g.edges, g.source, dim=self._dim)
+        if not result.feasible:
+            cycle = [c for c in result.negative_cycle if c != SUPER_SOURCE]
+            raise InfeasibleSystemError(cycle)
+        out: Dict[Hashable, IVec] = {}
+        for u in self._unknowns:
+            d = result.dist[u]
+            out[u] = IVec([int(c) if isinstance(c, int) else 0 for c in d])
+        if verify:
+            for (i, j, w) in self._constraints:
+                diff = ExtVec.from_ivec(out[j] - out[i])
+                if tuple(diff) > tuple(w):
+                    raise ValueError(
+                        f"resolved solution violates {j!s} - {i!s} <= {w}: "
+                        f"got {out[j] - out[i]} (mixed finite/infinite weights "
+                        "are only supported when the infinite coordinates are "
+                        "genuinely unconstrained)"
+                    )
+        return out
+
+    def is_feasible(self) -> bool:
+        try:
+            self.solve()
+            return True
+        except InfeasibleSystemError:
+            return False

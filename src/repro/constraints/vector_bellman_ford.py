@@ -1,0 +1,76 @@
+"""Algorithm 1: the multi-dimensional (lexicographic) Bellman-Ford.
+
+The paper's ``TwoDimBellmanFord`` initialises every tentative retiming to
+``(inf, inf)``, the source ``v_0`` to ``(0, 0)``, and relaxes edges under
+*lexicographic* comparison with *componentwise* weight extension.  The
+shortest path from ``v_0`` to ``v_i`` in the constraint graph is a feasible
+solution of the 2-ILP system (Theorem 2.3); a lexicographically-negative
+cycle certifies infeasibility.
+
+We generalise to any dimension: the algorithm is unchanged, only the vector
+width differs.  Weights may carry ``+inf`` components
+(:class:`~repro.vectors.extended.ExtVec`) to constrain only a coordinate
+prefix, as in the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence, Tuple, TypeVar, Union
+
+from repro.constraints.bellman_ford import BellmanFordResult, bellman_ford
+from repro.vectors import ExtVec, IVec
+
+__all__ = ["vector_bellman_ford"]
+
+Node = TypeVar("Node", bound=Hashable)
+_W = Union[IVec, ExtVec]
+
+
+def vector_bellman_ford(
+    nodes: Sequence[Node],
+    edges: Sequence[Tuple[Node, Node, _W]],
+    source: Node,
+    *,
+    dim: int,
+) -> BellmanFordResult[Node, ExtVec]:
+    """Lexicographic shortest paths from ``source`` (Algorithm 1).
+
+    Returns a :class:`~repro.constraints.bellman_ford.BellmanFordResult`
+    whose distances are :class:`ExtVec`; reachable distances are finite and
+    can be converted with ``.to_ivec()``.
+    """
+    if dim < 1:
+        raise ValueError("dimension must be >= 1")
+    norm_edges = []
+    for (u, v, w) in edges:
+        if isinstance(w, IVec):
+            w = ExtVec.from_ivec(w)
+        elif not isinstance(w, ExtVec):
+            w = ExtVec(tuple(w))
+        if w.dim != dim:
+            raise ValueError(f"edge {u}->{v} weight {w} has wrong dimension")
+        norm_edges.append((u, v, w))
+    return bellman_ford(
+        nodes,
+        norm_edges,
+        source,
+        zero=ExtVec([0] * dim),
+        top=ExtVec.top(dim),
+    )
+
+
+def solve_distances_as_ivecs(
+    result: BellmanFordResult, *, unreachable: IVec
+) -> Dict[Hashable, IVec]:
+    """Convert a feasible vector result's distances to finite ``IVec``s.
+
+    Unreachable nodes (distance still ``top``) map to ``unreachable`` -- for
+    retiming purposes an unconstrained node may take any value, and the zero
+    vector is the conventional choice.
+    """
+    if not result.feasible:
+        raise ValueError("cannot extract distances from an infeasible result")
+    out: Dict[Hashable, IVec] = {}
+    for node, d in result.dist.items():
+        out[node] = d.to_ivec() if d.is_finite() else unreachable
+    return out

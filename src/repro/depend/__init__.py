@@ -1,0 +1,29 @@
+"""Dependence analysis: loop-nest program -> MLDG.
+
+Implements Definition 2.1 for the uniform-access program model: for a value
+written by loop ``u`` as ``X[i+a][j+b]`` and read by loop ``v`` as
+``X[i+c][j+d]``, the loop dependence vector is
+``(a - c, b - d)`` (consumer iteration minus producer iteration).
+
+* :func:`~repro.depend.extract.extract_mldg` -- build the full MLDG;
+* :func:`~repro.depend.extract.dependence_table` -- the raw per-edge
+  vector sets with the contributing statement pairs (for reporting);
+* :mod:`~repro.depend.classify` -- per-dependence classification
+  (self-dependence, outermost-loop-carried, fusion-preventing, ...).
+"""
+
+from repro.depend.extract import (
+    DependenceRecord,
+    dependence_table,
+    extract_mldg,
+)
+from repro.depend.classify import DependenceKind, classify_dependence, describe_dependencies
+
+__all__ = [
+    "extract_mldg",
+    "dependence_table",
+    "DependenceRecord",
+    "DependenceKind",
+    "classify_dependence",
+    "describe_dependencies",
+]

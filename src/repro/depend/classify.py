@@ -1,0 +1,48 @@
+"""Classification of extracted dependencies (Section 2.1 terminology)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.depend.extract import DependenceRecord
+from repro.graph.legality import VectorClass, classify_vector
+
+__all__ = ["DependenceKind", "classify_dependence", "describe_dependencies"]
+
+
+class DependenceKind:
+    """Paper terms for a dependence between two loops (Section 2.1)."""
+
+    SELF = "self-dependence"
+    OUTER_CARRIED = "outmost-loop-carried"
+    SAME_ITERATION = "same-outer-iteration"
+
+
+def classify_dependence(rec: DependenceRecord) -> str:
+    """Section 2.1's taxonomy.
+
+    * *self-dependence*: produced and consumed by the same innermost loop
+      (e.g. the ``c`` values in the paper's loop C);
+    * *outmost-loop-carried*: the value crosses outermost iterations
+      (``d[0] > 0``), e.g. loop D's ``e`` consumed by loop A;
+    * *same-outer-iteration*: produced and consumed within one outermost
+      iteration (``d[0] == 0``) -- the only dependencies that can be
+      fusion-preventing.
+    """
+    if rec.src == rec.dst:
+        return DependenceKind.SELF
+    if rec.vector[0] > 0:
+        return DependenceKind.OUTER_CARRIED
+    return DependenceKind.SAME_ITERATION
+
+
+def describe_dependencies(records: List[DependenceRecord]) -> str:
+    """Readable report used by the CLI: one line per dependence, with the
+    Section-3.1 fusion classification appended."""
+    lines = []
+    for rec in records:
+        kind = classify_dependence(rec)
+        fusion = classify_vector(rec.vector)
+        marker = "  <-- fusion-preventing" if fusion == VectorClass.FUSION_PREVENTING else ""
+        lines.append(f"{rec.src} -> {rec.dst} {rec.vector} [{kind}]{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Flow-dependence extraction from loop nests.
+
+The program model is single-assignment per array (enforced by
+:func:`repro.loopir.validate.validate_program`), so every read of a written
+array has exactly one producer statement and one constant dependence
+vector.  Reads of input arrays (never written) carry no dependence.
+
+Intra-loop same-iteration dependencies (vector ``(0, 0)`` inside one loop
+body) are *not* recorded as MLDG self-loops: statement order within the
+body preserves them under any fusion, and a ``(0,0)`` self-loop would
+wrongly mark the graph deadlocked.  Every other flow dependence becomes an
+edge vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graph.mldg import MLDG
+from repro.loopir.ast_nodes import Assignment, LoopNest
+from repro.loopir.validate import validate_program
+from repro.vectors import IVec
+
+__all__ = ["extract_mldg", "dependence_table", "DependenceRecord"]
+
+
+@dataclass(frozen=True)
+class DependenceRecord:
+    """One flow dependence: producer/consumer loops, statements and vector."""
+
+    array: str
+    src: str  # producer loop label
+    dst: str  # consumer loop label
+    vector: IVec
+    producer: Assignment
+    consumer: Assignment
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src} -> {self.dst} {self.vector} via '{self.array}' "
+            f"({self.producer.target} ... read {self.array})"
+        )
+
+
+def dependence_table(nest: LoopNest, *, check: bool = True) -> List[DependenceRecord]:
+    """All flow dependencies of the nest (Definition 2.1), one per read.
+
+    With ``check`` (default) the nest is validated against the program model
+    first, so the resulting vectors are guaranteed meaningful.
+    """
+    if check:
+        validate_program(nest)
+
+    writers: Dict[str, Tuple[str, Assignment]] = nest.writers()
+    records: List[DependenceRecord] = []
+    for loop in nest.loops:
+        for stmt in loop.statements:
+            for ref in stmt.reads():
+                if ref.array not in writers:
+                    continue
+                w_label, w_stmt = writers[ref.array]
+                vector = w_stmt.target.offset - ref.offset
+                if w_label == loop.label and vector.is_zero():
+                    # intra-body same-iteration flow: preserved by statement
+                    # order, not an MLDG edge (see module docstring)
+                    continue
+                records.append(
+                    DependenceRecord(
+                        array=ref.array,
+                        src=w_label,
+                        dst=loop.label,
+                        vector=vector,
+                        producer=w_stmt,
+                        consumer=stmt,
+                    )
+                )
+    return records
+
+
+def extract_mldg(nest: LoopNest, *, check: bool = True) -> MLDG:
+    """Build the MLDG of a loop nest (Definition 2.2).
+
+    Nodes appear in program order (one per DOALL loop, including loops with
+    no dependencies); edges accumulate the full ``D_L`` vector sets.
+    """
+    g = MLDG(dim=nest.dim)
+    for loop in nest.loops:
+        g.add_node(loop.label)
+    for rec in dependence_table(nest, check=check):
+        g.add_dependence(rec.src, rec.dst, rec.vector)
+    return g

@@ -1,0 +1,75 @@
+"""The paper's fusion algorithms (the primary contribution).
+
+Four polynomial-time algorithms, all reductions to difference-constraint
+systems solved by Bellman-Ford on a constraint graph:
+
+* **Algorithm 2 (LLOFRA)** -- :func:`~repro.fusion.legal.legal_fusion_retiming`:
+  retime so every edge weight is ``>= (0,0)``; fusion becomes legal.  Always
+  succeeds on a legal MLDG (Theorem 3.2).
+* **Algorithm 3** -- :func:`~repro.fusion.acyclic.acyclic_parallel_retiming`:
+  for acyclic MLDGs, retime so the fused innermost loop is DOALL.  Always
+  succeeds on a legal acyclic MLDG (Theorem 4.1).
+* **Algorithm 4** -- :func:`~repro.fusion.cyclic.cyclic_parallel_retiming`:
+  two-phase retiming for cyclic MLDGs; succeeds iff the x- and y-constraint
+  graphs have no negative cycle (Theorem 4.2), and then the fused loop is
+  DOALL.
+* **Algorithm 5** -- :func:`~repro.fusion.hyperplane.hyperplane_parallel_fusion`:
+  the general fallback; LLOFRA plus a wavefront schedule vector and DOALL
+  hyperplane (Lemma 4.3, Theorem 4.4).  Always succeeds on a legal MLDG.
+
+:func:`~repro.fusion.driver.fuse` picks the strongest applicable guarantee
+automatically and verifies the result.
+"""
+
+from repro.fusion.errors import (
+    FusionError,
+    IllegalMLDGError,
+    NoParallelRetimingError,
+    NotAcyclicError,
+)
+from repro.fusion.legal import legal_fusion_retiming, llofra, llofra_constraint_graph
+from repro.fusion.acyclic import (
+    acyclic_constraint_graph,
+    acyclic_parallel_retiming,
+)
+from repro.fusion.cyclic import (
+    CyclicPhaseGraphs,
+    cyclic_parallel_retiming,
+    cyclic_phase_graphs,
+)
+from repro.fusion.hyperplane import HyperplaneFusion, hyperplane_parallel_fusion
+from repro.fusion.multidim import (
+    multidim_hyperplane_fusion,
+    multidim_parallel_retiming,
+    multidim_schedule_vector,
+)
+from repro.fusion.driver import (
+    FusionResult,
+    Parallelism,
+    Strategy,
+    fuse,
+)
+
+__all__ = [
+    "FusionError",
+    "IllegalMLDGError",
+    "NotAcyclicError",
+    "NoParallelRetimingError",
+    "legal_fusion_retiming",
+    "llofra",
+    "llofra_constraint_graph",
+    "acyclic_parallel_retiming",
+    "acyclic_constraint_graph",
+    "cyclic_parallel_retiming",
+    "cyclic_phase_graphs",
+    "CyclicPhaseGraphs",
+    "hyperplane_parallel_fusion",
+    "HyperplaneFusion",
+    "multidim_parallel_retiming",
+    "multidim_schedule_vector",
+    "multidim_hyperplane_fusion",
+    "fuse",
+    "FusionResult",
+    "Parallelism",
+    "Strategy",
+]

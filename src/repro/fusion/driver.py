@@ -1,0 +1,193 @@
+"""The unified fusion driver.
+
+:func:`fuse` applies the strongest applicable algorithm of the paper and
+returns a verified :class:`FusionResult`:
+
+* acyclic MLDG -> Algorithm 3, DOALL fused loop (Theorem 4.1);
+* cyclic MLDG satisfying Theorem 4.2 -> Algorithm 4, DOALL fused loop;
+* any other legal MLDG -> Algorithm 5, DOALL hyperplane (Theorem 4.4).
+
+Every result is re-verified against the paper's invariants
+(:func:`repro.retiming.verify.verify_retiming`) before being returned --
+the algorithms are trusted, but the verification is cheap and turns any
+latent bug into a loud error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fusion.acyclic import acyclic_parallel_retiming
+from repro.fusion.cyclic import cyclic_parallel_retiming
+from repro.fusion.errors import FusionError, IllegalMLDGError, NoParallelRetimingError
+from repro.fusion.hyperplane import hyperplane_parallel_fusion
+from repro.fusion.legal import legal_fusion_retiming
+from repro.graph.analysis import is_acyclic
+from repro.graph.legality import check_legal, is_fusion_legal
+from repro.graph.mldg import MLDG
+from repro.retiming import ROW_SCHEDULE, Retiming, hyperplane_for_schedule
+from repro.retiming.verify import RetimingVerification, verify_retiming
+from repro.vectors import IVec
+
+__all__ = ["Strategy", "Parallelism", "FusionResult", "fuse"]
+
+
+class Strategy(enum.Enum):
+    """Which algorithm produced (or should produce) the fusion."""
+
+    AUTO = "auto"
+    DIRECT = "direct"  # no retiming; Theorem 3.1 check only
+    LEGAL_ONLY = "legal-only"  # Algorithm 2 (LLOFRA)
+    ACYCLIC = "acyclic"  # Algorithm 3
+    CYCLIC = "cyclic"  # Algorithm 4
+    HYPERPLANE = "hyperplane"  # Algorithm 5
+
+
+class Parallelism(enum.Enum):
+    """Parallelism of the fused innermost loop."""
+
+    DOALL = "doall"  # all iterations of a row in parallel
+    HYPERPLANE = "hyperplane"  # all iterations on a wavefront in parallel
+    SERIAL = "serial"  # fused loop carries dependencies
+
+
+@dataclass
+class FusionResult:
+    """Everything the caller needs to apply and report a fusion."""
+
+    strategy: Strategy
+    parallelism: Parallelism
+    retiming: Retiming
+    original: MLDG
+    retimed: MLDG
+    schedule: IVec
+    hyperplane: Optional[IVec]
+    verification: RetimingVerification
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def is_doall(self) -> bool:
+        return self.parallelism is Parallelism.DOALL
+
+    def summary(self) -> str:
+        lines = [
+            f"strategy     : {self.strategy.value}",
+            f"parallelism  : {self.parallelism.value}",
+            f"retiming     : {self.retiming.describe()}",
+            f"schedule s   : {self.schedule}",
+        ]
+        if self.hyperplane is not None:
+            lines.append(f"hyperplane h : {self.hyperplane}")
+        for e in self.retimed.edges():
+            lines.append(f"  retimed {e}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _result(
+    g: MLDG,
+    r: Retiming,
+    strategy: Strategy,
+    *,
+    schedule: IVec,
+    hyperplane: Optional[IVec],
+    notes: Optional[List[str]] = None,
+) -> FusionResult:
+    gr = r.apply(g)
+    # Cycle-weight preservation is a telescoping identity, so sampling a
+    # bounded number of cycles keeps verification O(small) on dense graphs.
+    verification = verify_retiming(g, r, cycle_limit=100)
+    if not verification.ok_for_legal_fusion:
+        raise FusionError(
+            f"internal error: {strategy.value} produced an invalid retiming: "
+            + "; ".join(verification.problems)
+        )
+    if verification.doall:
+        parallelism = Parallelism.DOALL
+    elif hyperplane is not None:
+        parallelism = Parallelism.HYPERPLANE
+    else:
+        parallelism = Parallelism.SERIAL
+    return FusionResult(
+        strategy=strategy,
+        parallelism=parallelism,
+        retiming=r,
+        original=g,
+        retimed=gr,
+        schedule=schedule,
+        hyperplane=hyperplane,
+        verification=verification,
+        notes=list(notes or []),
+    )
+
+
+def fuse(g: MLDG, strategy: Strategy | str = Strategy.AUTO) -> FusionResult:
+    """Fuse the loop nest modelled by ``g``, maximising parallelism.
+
+    ``strategy`` forces a specific algorithm; the default ``AUTO`` picks:
+    Algorithm 3 for DAGs, else Algorithm 4, else Algorithm 5.  Raises
+    :class:`~repro.fusion.errors.FusionError` subclasses on illegal inputs
+    or when a forced strategy does not apply.
+    """
+    if isinstance(strategy, str):
+        strategy = Strategy(strategy)
+
+    report = check_legal(g)
+    if not report.legal:
+        raise IllegalMLDGError(report.violations)
+
+    if strategy is Strategy.DIRECT:
+        if not is_fusion_legal(g):
+            raise FusionError(
+                "direct fusion is illegal: fusion-preventing dependencies exist "
+                "(use LLOFRA or a parallel strategy)"
+            )
+        r = Retiming.zero(dim=g.dim)
+        return _result(
+            g, r, Strategy.DIRECT, schedule=ROW_SCHEDULE, hyperplane=None,
+            notes=["no retiming applied"],
+        )
+
+    if strategy is Strategy.LEGAL_ONLY:
+        r = legal_fusion_retiming(g, check=False)
+        return _result(g, r, Strategy.LEGAL_ONLY, schedule=ROW_SCHEDULE, hyperplane=None)
+
+    if strategy is Strategy.ACYCLIC:
+        r = acyclic_parallel_retiming(g, check=False)
+        return _result(g, r, Strategy.ACYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
+
+    if strategy is Strategy.CYCLIC:
+        r = cyclic_parallel_retiming(g, check=False)
+        return _result(g, r, Strategy.CYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
+
+    if strategy is Strategy.HYPERPLANE:
+        hp = hyperplane_parallel_fusion(g, check=False)
+        return _result(
+            g,
+            hp.retiming,
+            Strategy.HYPERPLANE,
+            schedule=hp.schedule,
+            hyperplane=hp.hyperplane,
+        )
+
+    # AUTO
+    if is_acyclic(g):
+        r = acyclic_parallel_retiming(g, check=False)
+        return _result(g, r, Strategy.ACYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
+    try:
+        r = cyclic_parallel_retiming(g, check=False)
+        return _result(g, r, Strategy.CYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
+    except NoParallelRetimingError as exc:
+        hp = hyperplane_parallel_fusion(g, check=False)
+        return _result(
+            g,
+            hp.retiming,
+            Strategy.HYPERPLANE,
+            schedule=hp.schedule,
+            hyperplane=hp.hyperplane,
+            notes=[f"Theorem 4.2 conditions failed ({exc.phase} phase); "
+                   "fell back to hyperplane parallelism"],
+        )

@@ -1,0 +1,56 @@
+"""Exception types for the fusion algorithms."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = [
+    "FusionError",
+    "IllegalMLDGError",
+    "NotAcyclicError",
+    "NoParallelRetimingError",
+]
+
+
+class FusionError(Exception):
+    """Base class for fusion failures."""
+
+
+class IllegalMLDGError(FusionError):
+    """The input MLDG does not model an executable nested loop.
+
+    Carries the structural violations from
+    :func:`repro.graph.legality.check_legal`.
+    """
+
+    def __init__(self, violations: List[str]) -> None:
+        detail = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        super().__init__(f"illegal MLDG: {detail}{more}")
+        self.violations = violations
+
+
+class NotAcyclicError(FusionError):
+    """Algorithm 3 was invoked on a cyclic MLDG."""
+
+    def __init__(self, cycle: Optional[List[str]] = None) -> None:
+        extra = f" (cycle: {' -> '.join(cycle)})" if cycle else ""
+        super().__init__(f"Algorithm 3 requires an acyclic MLDG{extra}")
+        self.cycle = cycle
+
+
+class NoParallelRetimingError(FusionError):
+    """Algorithm 4's Theorem-4.2 conditions fail: no DOALL retiming exists.
+
+    ``phase`` names the failing constraint graph (``"x"`` or ``"y"``) and
+    ``cycle`` is the negative-cycle certificate.  Callers should fall back to
+    Algorithm 5 (hyperplane parallelism), which always succeeds.
+    """
+
+    def __init__(self, phase: str, cycle: List[str]) -> None:
+        super().__init__(
+            f"no fully-parallel fusion exists: negative cycle in the {phase} "
+            f"constraint graph ({' -> '.join(map(str, cycle))})"
+        )
+        self.phase = phase
+        self.cycle = cycle

@@ -1,0 +1,154 @@
+"""n-dimensional generalisations of the paper's 2-D algorithms.
+
+The MLDG model (Definition 2.2) is n-dimensional, but the paper "focuses on
+two-dimensional cases".  Two of its algorithms generalise directly and are
+provided here for deeper nests:
+
+**Full parallelism for n-D MLDGs** (generalising Algorithm 4).  The 2-D
+invariant -- every retimed vector is outermost-carried or exactly zero --
+makes the whole inner nest DOALL and extends naturally:
+
+* *phase one* solves the scalar first-coordinate system with hard-edges
+  (vector sets mixing later coordinates at a shared first coordinate)
+  tightened by one, exactly as in 2-D;
+* *phases two..n* replace the single y-equality system with one scalar
+  equality system **per remaining coordinate** -- for a non-hard edge whose
+  retimed first coordinate is zero, all its relevant vectors share one
+  tail, and forcing that tail to zero decouples componentwise.
+
+Feasibility of every system is necessary and sufficient, mirroring
+Theorem 4.2; failures carry the phase index and negative-cycle certificate.
+
+**n-D wavefront schedules** (generalising Lemma 4.3).  For retimed vectors
+that are all lexicographically non-negative, a strict schedule is built
+right-to-left: the last coordinate gets weight 1, and each earlier
+coordinate's weight is chosen to dominate the worst negative tail of the
+vectors whose first non-zero position it is:
+
+.. math::
+   s_k = \\max\\left(1,\\; 1 + \\max_{d : \\mathrm{fnz}(d) = k}
+          \\left\\lfloor -\\frac{\\sum_{j>k} s_j d_j}{d_k} \\right\\rfloor\\right)
+
+(For ``n = 2`` this agrees with Lemma 4.3 up to clamping ``s_0 >= 1``; the
+paper permits negative skews, which are valid but gratuitous.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.constraints import InfeasibleSystemError, ScalarConstraintSystem
+from repro.fusion.errors import IllegalMLDGError, NoParallelRetimingError
+from repro.fusion.legal import legal_fusion_retiming
+from repro.graph.legality import check_legal
+from repro.graph.mldg import MLDG
+from repro.retiming import Retiming
+from repro.vectors import IVec
+
+__all__ = [
+    "multidim_parallel_retiming",
+    "multidim_schedule_vector",
+    "multidim_hyperplane_fusion",
+]
+
+
+def multidim_parallel_retiming(g: MLDG, *, check: bool = True) -> Retiming:
+    """A retiming making every vector outermost-carried or zero (any dim).
+
+    For 2-D inputs this computes the same answers as Algorithm 4 (the test
+    suite pins that); for higher dimensions it chains one equality phase
+    per extra coordinate.  Raises
+    :class:`~repro.fusion.errors.NoParallelRetimingError` with the failing
+    phase name (``"x"`` for phase one, ``"tail[k]"`` for coordinate ``k``).
+    """
+    if check:
+        report = check_legal(g)
+        if not report.legal:
+            raise IllegalMLDGError(report.violations)
+
+    # phase one: first coordinates, hard-edges tightened
+    phase_one = ScalarConstraintSystem(g.nodes)
+    for e in g.edges():
+        bound = e.delta[0] - (1 if e.is_hard else 0)
+        phase_one.add_leq(e.src, e.dst, bound)
+    try:
+        r0 = phase_one.solve()
+    except InfeasibleSystemError as exc:
+        raise NoParallelRetimingError("x", exc.cycle) from exc
+
+    # phases two..n: zero the tails of surviving same-first-coordinate edges
+    tails: List[Dict[str, int]] = []
+    for axis in range(1, g.dim):
+        system = ScalarConstraintSystem(g.nodes)
+        for e in g.edges():
+            if e.is_hard:
+                continue
+            if e.delta[0] + r0[e.src] - r0[e.dst] == 0:
+                system.add_eq(e.src, e.dst, e.delta[axis])
+        try:
+            tails.append(system.solve())
+        except InfeasibleSystemError as exc:
+            raise NoParallelRetimingError(f"tail[{axis}]", exc.cycle) from exc
+
+    mapping = {
+        node: IVec([r0[node]] + [t[node] for t in tails]) for node in g.nodes
+    }
+    return Retiming(mapping, dim=g.dim)
+
+
+def _first_nonzero(d: IVec) -> int:
+    for k, c in enumerate(d):
+        if c != 0:
+            return k
+    raise ValueError("zero vector has no first non-zero coordinate")
+
+
+def multidim_schedule_vector(dependence_vectors: Iterable[IVec]) -> IVec:
+    """A strict schedule vector for lex-non-negative vectors of any dimension.
+
+    Every non-zero input must be lexicographically non-negative (retime with
+    LLOFRA first); the result ``s`` satisfies ``s . d > 0`` for all of them.
+    """
+    vecs = [d for d in dependence_vectors if not d.is_zero()]
+    if not vecs:
+        raise ValueError("need at least one non-zero dependence vector")
+    dim = vecs[0].dim
+    for d in vecs:
+        if d.dim != dim:
+            raise ValueError("mixed dimensions in schedule construction")
+        if tuple(d) < tuple([0] * dim):
+            raise ValueError(f"vector {d} is lexicographically negative")
+
+    weights = [0] * dim
+    weights[dim - 1] = 1
+    for k in range(dim - 2, -1, -1):
+        worst = 1
+        for d in vecs:
+            if _first_nonzero(d) != k:
+                continue
+            tail = sum(weights[j] * d[j] for j in range(k + 1, dim))
+            worst = max(worst, (-tail) // d[k] + 1)
+        weights[k] = worst
+    s = IVec(weights)
+    for d in vecs:
+        if s.dot(d) <= 0:
+            raise AssertionError(f"constructed schedule {s} fails on {d}")
+    return s
+
+
+def multidim_hyperplane_fusion(g: MLDG, *, check: bool = True):
+    """Generalised Algorithm 5: LLOFRA plus an n-D strict schedule.
+
+    Returns ``(retiming, schedule)``.  In n > 2 dimensions there is a whole
+    (n-1)-dimensional DOALL hyperplane orthogonal to ``s`` rather than a
+    single direction vector, so no ``h`` is returned; iterate levels
+    ``t = s . x`` and run each level in parallel.
+    """
+    r = legal_fusion_retiming(g, check=check)
+    gr = r.apply(g)
+    vecs = [d for d in gr.all_vectors() if not d.is_zero()]
+    if not vecs:
+        s = IVec([1] + [0] * (g.dim - 1))
+    else:
+        s = multidim_schedule_vector(vecs)
+    return r, s

@@ -1,0 +1,46 @@
+"""Example MLDGs and loop-nest programs.
+
+* :mod:`repro.gallery.paper` -- the paper's own figures, transcribed exactly:
+  Figure 2 (the running 4-node cyclic 2LDG with its source code), Figure 8
+  (the 7-node acyclic 2LDG) and Figure 14 (the 7-node cyclic 2LDG needing
+  hyperplane parallelism), plus the expected retimings from Figures 6, 10,
+  12 and 15 for verification.
+* :mod:`repro.gallery.common` -- the "common MLDG" kernels completing the
+  Section-5 experiment set (2-D IIR filter section; Floyd-Steinberg error
+  diffusion), each given both as an MLDG and as runnable loop-IR source.
+"""
+
+from repro.gallery.paper import (
+    figure2_code,
+    figure2_expected_alg4_retiming,
+    figure2_expected_llofra_retiming,
+    figure2_mldg,
+    figure8_expected_retiming,
+    figure8_mldg,
+    figure14_expected_retiming,
+    figure14_mldg,
+)
+from repro.gallery.extended import ExtendedKernel, extended_kernels
+from repro.gallery.common import (
+    all_section5_examples,
+    floyd_steinberg_mldg,
+    iir2d_mldg,
+    Section5Example,
+)
+
+__all__ = [
+    "figure2_mldg",
+    "figure2_code",
+    "figure2_expected_llofra_retiming",
+    "figure2_expected_alg4_retiming",
+    "figure8_mldg",
+    "figure8_expected_retiming",
+    "figure14_mldg",
+    "figure14_expected_retiming",
+    "iir2d_mldg",
+    "floyd_steinberg_mldg",
+    "Section5Example",
+    "all_section5_examples",
+    "ExtendedKernel",
+    "extended_kernels",
+]

@@ -1,0 +1,198 @@
+"""The paper's figures, transcribed exactly.
+
+Each ``figureN_mldg()`` builds the MLDG of the corresponding figure; the
+``figureN_expected_*`` helpers return the retiming functions the paper
+reports, so the test suite can assert exact reproduction.
+
+Sources in the paper:
+
+* **Figure 2** -- the running example: nodes A-D, where node C is the loop
+  containing both the ``c`` and ``d`` statements.  ``D_L(A,B)={(1,1),(2,1)}``,
+  ``D_L(B,C)={(0,-2),(0,1)}`` (a hard-edge), ``D_L(C,D)={(0,-1)}``,
+  ``D_L(A,C)={(0,1)}``, ``D_L(D,A)={(2,1)}``, ``D_L(C,C)={(1,0)}``.
+* **Figure 6** -- LLOFRA retiming of Figure 2: ``r(A)=r(B)=(0,0)``,
+  ``r(C)=(0,-2)``, ``r(D)=(0,-3)``.
+* **Figure 12** -- Algorithm 4 retiming of Figure 2: ``r(A)=r(B)=(0,0)``,
+  ``r(C)=(-1,0)``, ``r(D)=(-1,-1)``.
+* **Figure 8** -- the acyclic example, nodes A-G.
+* **Figure 10** -- Algorithm 3 retiming of Figure 8: first coordinates
+  ``(0,-1,-2,-2,-1,-2,-2)`` for ``A..G``, second coordinates zero.
+* **Figure 14** -- Figure 8 modified with edges ``D->C`` and ``E->B`` and
+  redefined vector sets, which forces hyperplane parallelism.
+* **Figure 15** -- LLOFRA retiming of Figure 14: ``r(A)=(0,0)``,
+  ``r(B)=(0,-4)``, ``r(C)=(0,-6)``, ``r(D)=(0,-3)``, ``r(E)=(0,-5)``,
+  ``r(F)=(0,-6)``, ``r(G)=(0,0)``; schedule ``s=(5,1)``, hyperplane
+  ``h=(1,-5)``.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.graph import MLDG, mldg_from_table
+from repro.retiming import Retiming
+from repro.vectors import IVec
+
+__all__ = [
+    "figure2_mldg",
+    "figure2_code",
+    "figure2_expected_llofra_retiming",
+    "figure2_expected_alg4_retiming",
+    "figure8_mldg",
+    "figure8_expected_retiming",
+    "figure14_mldg",
+    "figure14_expected_retiming",
+    "figure14_expected_schedule",
+    "figure14_expected_hyperplane",
+]
+
+
+def figure2_mldg() -> MLDG:
+    """The running example's 2LDG (Figure 2a)."""
+    return mldg_from_table(
+        {
+            ("A", "B"): [(1, 1), (2, 1)],
+            ("B", "C"): [(0, -2), (0, 1)],  # hard-edge
+            ("C", "D"): [(0, -1)],
+            ("A", "C"): [(0, 1)],
+            ("D", "A"): [(2, 1)],
+            ("C", "C"): [(1, 0)],  # self-dependence of the c/d loop
+        },
+        nodes=["A", "B", "C", "D"],
+    )
+
+
+def figure2_code() -> str:
+    """The running example's source (Figure 2b) in the library's loop DSL.
+
+    Node labels map to loops: A = the ``a`` loop, B = the ``b`` loop, C = the
+    loop containing the ``c`` and ``d`` statements, D = the ``e`` loop.
+    """
+    return dedent(
+        """
+        do i = 0, n
+          doall j = 0, m        ! loop A
+            a[i][j] = e[i-2][j-1]
+          end
+          doall j = 0, m        ! loop B
+            b[i][j] = a[i-1][j-1] + a[i-2][j-1]
+          end
+          doall j = 0, m        ! loop C
+            c[i][j] = b[i][j+2] - a[i][j-1] + b[i][j-1]
+            d[i][j] = c[i-1][j]
+          end
+          doall j = 0, m        ! loop D
+            e[i][j] = c[i][j+1]
+          end
+        end
+        """
+    ).strip()
+
+
+def figure2_expected_llofra_retiming() -> Retiming:
+    """Figure 6's LLOFRA result for the running example."""
+    return Retiming(
+        {
+            "A": IVec(0, 0),
+            "B": IVec(0, 0),
+            "C": IVec(0, -2),
+            "D": IVec(0, -3),
+        },
+        dim=2,
+    )
+
+
+def figure2_expected_alg4_retiming() -> Retiming:
+    """Figure 12's Algorithm-4 result for the running example."""
+    return Retiming(
+        {
+            "A": IVec(0, 0),
+            "B": IVec(0, 0),
+            "C": IVec(-1, 0),
+            "D": IVec(-1, -1),
+        },
+        dim=2,
+    )
+
+
+def figure8_mldg() -> MLDG:
+    """The acyclic example of Section 4.2 (Figure 8)."""
+    return mldg_from_table(
+        {
+            ("A", "B"): [(0, 1)],
+            ("B", "C"): [(0, -2), (0, 3)],  # hard-edge
+            ("C", "D"): [(1, 3)],
+            ("D", "E"): [(2, -2)],
+            ("B", "F"): [(0, -2)],
+            ("F", "G"): [(1, 2)],
+            ("B", "E"): [(1, 2)],
+            ("A", "D"): [(0, -3), (0, -1)],  # hard-edge
+        },
+        nodes=["A", "B", "C", "D", "E", "F", "G"],
+    )
+
+
+def figure8_expected_retiming() -> Retiming:
+    """Figure 10's Algorithm-3 result for the acyclic example."""
+    return Retiming(
+        {
+            "A": IVec(0, 0),
+            "B": IVec(-1, 0),
+            "C": IVec(-2, 0),
+            "D": IVec(-2, 0),
+            "E": IVec(-1, 0),
+            "F": IVec(-2, 0),
+            "G": IVec(-2, 0),
+        },
+        dim=2,
+    )
+
+
+def figure14_mldg() -> MLDG:
+    """The cyclic example of Section 4.4 (Figure 14).
+
+    Derived from Figure 8 by adding edges ``D->C`` and ``E->B`` and
+    redefining ``D_L(C,D)``, ``D_L(D,E)`` and ``D_L(A,D)`` as the paper
+    specifies.
+    """
+    return mldg_from_table(
+        {
+            ("A", "B"): [(0, 1)],
+            ("B", "C"): [(0, -2), (0, 3)],  # hard-edge
+            ("C", "D"): [(0, 3), (0, 5)],  # hard-edge
+            ("D", "C"): [(0, -2)],
+            ("D", "E"): [(0, -2)],
+            ("E", "B"): [(0, 1), (1, 1)],
+            ("B", "F"): [(0, -2)],
+            ("F", "G"): [(1, 2)],
+            ("B", "E"): [(1, 2)],
+            ("A", "D"): [(0, -3), (1, 0)],
+        },
+        nodes=["A", "B", "C", "D", "E", "F", "G"],
+    )
+
+
+def figure14_expected_retiming() -> Retiming:
+    """Figure 15's LLOFRA result for the hyperplane example."""
+    return Retiming(
+        {
+            "A": IVec(0, 0),
+            "B": IVec(0, -4),
+            "C": IVec(0, -6),
+            "D": IVec(0, -3),
+            "E": IVec(0, -5),
+            "F": IVec(0, -6),
+            "G": IVec(0, 0),
+        },
+        dim=2,
+    )
+
+
+def figure14_expected_schedule() -> IVec:
+    """Section 4.4: ``s = (5, 1)``."""
+    return IVec(5, 1)
+
+
+def figure14_expected_hyperplane() -> IVec:
+    """Section 4.4 / Figure 16: ``h = (1, -5)``."""
+    return IVec(1, -5)

@@ -1,0 +1,50 @@
+"""Convenience constructors for MLDGs.
+
+The figures in the paper specify graphs as tables of dependence-vector sets;
+:func:`mldg_from_table` accepts exactly that shape so the gallery modules and
+tests can transcribe a figure in a few lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.graph.mldg import MLDG
+from repro.vectors import IVec
+
+__all__ = ["mldg_from_table", "as_ivec"]
+
+_VecLike = Union[IVec, Sequence[int]]
+
+
+def as_ivec(v: _VecLike) -> IVec:
+    """Coerce a tuple/list of ints (or an IVec) to an IVec."""
+    if isinstance(v, IVec):
+        return v
+    return IVec(tuple(v))
+
+
+def mldg_from_table(
+    table: Mapping[Tuple[str, str], Iterable[_VecLike]],
+    nodes: Sequence[str] | None = None,
+    dim: int = 2,
+) -> MLDG:
+    """Build an MLDG from ``{(src, dst): [vectors...]}``.
+
+    ``nodes`` fixes program order explicitly (recommended); when omitted,
+    nodes appear in first-mention order of the table keys.
+
+    >>> g = mldg_from_table({("A", "B"): [(1, 1), (2, 1)]}, nodes=["A", "B"])
+    >>> g.delta("A", "B")
+    IVec(1, 1)
+    """
+    g = MLDG(dim=dim)
+    if nodes is not None:
+        for n in nodes:
+            g.add_node(n)
+    for (src, dst), vecs in table.items():
+        vlist = [as_ivec(v) for v in vecs]
+        if not vlist:
+            raise ValueError(f"edge {src}->{dst} has an empty vector list")
+        g.add_dependence(src, dst, *vlist)
+    return g

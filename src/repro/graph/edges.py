@@ -1,0 +1,103 @@
+"""Edge representation for MLDGs.
+
+A :class:`DependenceEdge` bundles one ordered node pair with the full set
+``D_L`` of loop dependence vectors between those loops.  The summary weight
+``delta`` is the lexicographic minimum (the paper's :math:`\\delta_L(e)`), and
+the edge knows whether it is a *parallelism hard-edge* (Section 2.2): two or
+more of its vectors share the first coordinate but differ in a later one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.vectors import IVec, lex_min
+
+__all__ = ["DependenceEdge"]
+
+
+def _detect_hard(vectors: FrozenSet[IVec]) -> bool:
+    """Hard-edge test: same first coordinate, different remainder.
+
+    The paper defines hard-edges in two dimensions: dependence vectors that
+    agree on the first coordinate but differ on the second (e.g. ``(0,-2)``
+    and ``(0,1)`` between B and C in Figure 2).  The natural n-dimensional
+    reading -- agreement on the first coordinate with disagreement anywhere
+    later -- coincides with that in 2-D and is what we implement.
+    """
+    by_first: dict = {}
+    for v in vectors:
+        rest = tuple(v)[1:]
+        seen = by_first.setdefault(v[0], rest)
+        if seen != rest:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """One MLDG edge ``src -> dst`` with its dependence-vector set.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names.  ``src == dst`` is allowed (self-dependence, Section 2.1).
+    vectors:
+        The non-empty set ``D_L(src, dst)``; all vectors share one dimension.
+    """
+
+    src: str
+    dst: str
+    vectors: FrozenSet[IVec] = field()
+
+    def __post_init__(self) -> None:
+        if not self.vectors:
+            raise ValueError(f"edge {self.src}->{self.dst} has no dependence vectors")
+        dims = {v.dim for v in self.vectors}
+        if len(dims) != 1:
+            raise ValueError(
+                f"edge {self.src}->{self.dst} mixes vector dimensions {sorted(dims)}"
+            )
+
+    @classmethod
+    def of(cls, src: str, dst: str, vectors: Iterable[IVec]) -> "DependenceEdge":
+        return cls(src=src, dst=dst, vectors=frozenset(vectors))
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    @property
+    def dim(self) -> int:
+        return next(iter(self.vectors)).dim
+
+    @property
+    def delta(self) -> IVec:
+        """The minimal loop dependence vector :math:`\\delta_L(e)` (Def. 2.2)."""
+        return lex_min(self.vectors)
+
+    @property
+    def is_self_loop(self) -> bool:
+        """Self-dependence: produced and consumed by the same innermost loop."""
+        return self.src == self.dst
+
+    @property
+    def is_hard(self) -> bool:
+        """Parallelism hard-edge test (Section 2.2)."""
+        return _detect_hard(self.vectors)
+
+    def shifted(self, r_src: IVec, r_dst: IVec) -> "DependenceEdge":
+        """The edge after retiming: each vector becomes ``d + r(src) - r(dst)``.
+
+        This is the paper's :math:`D_{Lr}(u,v) = \\{d + r(u) - r(v)\\}`
+        (Section 2.3).
+        """
+        return DependenceEdge.of(
+            self.src, self.dst, (d + r_src - r_dst for d in self.vectors)
+        )
+
+    def __str__(self) -> str:
+        vecs = ", ".join(str(v) for v in sorted(self.vectors))
+        star = " *" if self.is_hard else ""
+        return f"{self.src} -> {self.dst}{star} {{{vecs}}}"

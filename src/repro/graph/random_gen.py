@@ -1,0 +1,134 @@
+"""Random legal MLDG generators.
+
+Used by the property-based tests and by the complexity-sweep benchmark
+(experiment E6): the fusion algorithms are polynomial in ``|V|`` and ``|E|``,
+and the sweep needs arbitrarily large *legal* inputs.
+
+Generation respects the structural legality rules of
+:mod:`repro.graph.legality`:
+
+* forward edges (earlier loop to later loop in program order) may carry
+  vectors with first coordinate ``0`` (same outermost iteration) or positive;
+* backward edges and self-loops are only outermost-loop-carried
+  (first coordinate ``>= 1``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.graph.mldg import MLDG
+from repro.vectors import IVec
+
+__all__ = ["random_legal_mldg", "random_acyclic_mldg", "node_names"]
+
+
+def node_names(n: int) -> List[str]:
+    """Deterministic node names ``L00, L01, ...`` in program order."""
+    width = max(2, len(str(n - 1)))
+    return [f"L{idx:0{width}d}" for idx in range(n)]
+
+
+def _random_vector(
+    rng: random.Random,
+    *,
+    min_outer: int,
+    max_outer: int,
+    inner_span: int,
+    dim: int,
+) -> IVec:
+    first = rng.randint(min_outer, max_outer)
+    rest = [rng.randint(-inner_span, inner_span) for _ in range(dim - 1)]
+    return IVec([first] + rest)
+
+
+def random_legal_mldg(
+    num_nodes: int,
+    *,
+    edge_prob: float = 0.35,
+    back_edge_prob: float = 0.15,
+    self_loop_prob: float = 0.1,
+    max_vectors_per_edge: int = 3,
+    max_outer: int = 3,
+    inner_span: int = 4,
+    dim: int = 2,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> MLDG:
+    """A random *legal* MLDG with ``num_nodes`` nodes.
+
+    Every generated graph passes :func:`repro.graph.legality.check_legal`;
+    hard-edges appear whenever two sampled vectors share a first coordinate.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    r = rng if rng is not None else random.Random(seed)
+    names = node_names(num_nodes)
+    g = MLDG(dim=dim)
+    for name in names:
+        g.add_node(name)
+
+    for i in range(num_nodes):
+        for j in range(num_nodes):
+            if i == j:
+                take = r.random() < self_loop_prob
+                min_outer = 1
+            elif i < j:
+                take = r.random() < edge_prob
+                min_outer = 0
+            else:
+                take = r.random() < back_edge_prob
+                min_outer = 1
+            if not take:
+                continue
+            count = r.randint(1, max_vectors_per_edge)
+            vecs = [
+                _random_vector(
+                    r,
+                    min_outer=min_outer,
+                    max_outer=max_outer,
+                    inner_span=inner_span,
+                    dim=dim,
+                )
+                for _ in range(count)
+            ]
+            g.add_dependence(names[i], names[j], *vecs)
+    return g
+
+
+def random_acyclic_mldg(
+    num_nodes: int,
+    *,
+    edge_prob: float = 0.4,
+    max_vectors_per_edge: int = 3,
+    max_outer: int = 3,
+    inner_span: int = 4,
+    dim: int = 2,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> MLDG:
+    """A random legal *acyclic* MLDG (forward edges only).
+
+    These exercise Algorithm 3 (Theorem 4.1), which applies only to DAGs.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    r = rng if rng is not None else random.Random(seed)
+    names = node_names(num_nodes)
+    g = MLDG(dim=dim)
+    for name in names:
+        g.add_node(name)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if r.random() >= edge_prob:
+                continue
+            count = r.randint(1, max_vectors_per_edge)
+            vecs = [
+                _random_vector(
+                    r, min_outer=0, max_outer=max_outer, inner_span=inner_span, dim=dim
+                )
+                for _ in range(count)
+            ]
+            g.add_dependence(names[i], names[j], *vecs)
+    return g

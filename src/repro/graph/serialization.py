@@ -1,0 +1,73 @@
+"""MLDG serialization: JSON round-trip and Graphviz DOT export.
+
+The JSON schema is deliberately trivial so MLDGs can be checked into test
+fixtures and exchanged with other tools::
+
+    {
+      "dim": 2,
+      "nodes": ["A", "B"],
+      "edges": [{"src": "A", "dst": "B", "vectors": [[1, 1], [2, 1]]}]
+    }
+
+DOT export marks hard-edges with a ``*`` suffix and bold styling, mirroring
+the paper's figure notation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.graph.mldg import MLDG
+from repro.vectors import IVec
+
+__all__ = ["mldg_to_json", "mldg_from_json", "mldg_to_dot"]
+
+
+def mldg_to_json(g: MLDG, *, indent: int | None = 2) -> str:
+    """Serialize to the JSON schema above (edges sorted deterministically)."""
+    payload: Dict[str, Any] = {
+        "dim": g.dim,
+        "nodes": list(g.nodes),
+        "edges": [
+            {
+                "src": e.src,
+                "dst": e.dst,
+                "vectors": [list(v) for v in sorted(e.vectors)],
+            }
+            for e in g.edges()
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def mldg_from_json(text: str) -> MLDG:
+    """Parse the JSON schema produced by :func:`mldg_to_json`."""
+    payload = json.loads(text)
+    try:
+        dim = int(payload["dim"])
+        nodes = payload["nodes"]
+        edges = payload["edges"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed MLDG JSON: {exc}") from exc
+    g = MLDG(dim=dim)
+    for n in nodes:
+        g.add_node(str(n))
+    for rec in edges:
+        vecs = [IVec([int(c) for c in v]) for v in rec["vectors"]]
+        g.add_dependence(str(rec["src"]), str(rec["dst"]), *vecs)
+    return g
+
+
+def mldg_to_dot(g: MLDG, *, name: str = "mldg") -> str:
+    """Graphviz DOT text; hard-edges are bold and labelled with a ``*``."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for n in g.nodes:
+        lines.append(f'  "{n}";')
+    for e in g.edges():
+        vecs = ", ".join(str(v) for v in sorted(e.vectors))
+        star = " *" if e.is_hard else ""
+        style = ' style=bold color="#b03030"' if e.is_hard else ""
+        lines.append(f'  "{e.src}" -> "{e.dst}" [label="{vecs}{star}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Summary statistics of an MLDG, for reports and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import is_acyclic, strongly_connected_components
+from repro.graph.legality import (
+    VectorClass,
+    classify_vector,
+    is_fusion_legal,
+    is_legal,
+)
+from repro.graph.mldg import MLDG
+
+__all__ = ["GraphStats", "mldg_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Shape and difficulty indicators of one MLDG."""
+
+    nodes: int
+    edges: int
+    vectors: int
+    hard_edges: int
+    self_loops: int
+    fusion_preventing: int  # vectors, not edges
+    outer_carried: int
+    same_iteration: int
+    acyclic: bool
+    scc_count: int
+    largest_scc: int
+    legal: bool
+    directly_fusable: bool
+
+    def describe(self) -> str:
+        shape = "acyclic" if self.acyclic else (
+            f"cyclic ({self.scc_count} SCCs, largest {self.largest_scc})"
+        )
+        return (
+            f"{self.nodes} loops, {self.edges} edges, {self.vectors} dependence "
+            f"vectors ({self.outer_carried} carried, {self.same_iteration} "
+            f"same-iteration, {self.fusion_preventing} fusion-preventing); "
+            f"{self.hard_edges} hard-edge(s), {self.self_loops} self-loop(s); "
+            f"{shape}; "
+            + ("legal" if self.legal else "ILLEGAL")
+            + ("; directly fusable" if self.directly_fusable else "")
+        )
+
+
+def mldg_stats(g: MLDG) -> GraphStats:
+    """Compute all the summary counters in one pass."""
+    hard = 0
+    self_loops = 0
+    preventing = 0
+    carried = 0
+    same_iter = 0
+    vectors = 0
+    for e in g.edges():
+        if e.is_hard:
+            hard += 1
+        if e.is_self_loop:
+            self_loops += 1
+        for d in e.vectors:
+            vectors += 1
+            kind = classify_vector(d)
+            if kind == VectorClass.OUTER_CARRIED:
+                carried += 1
+            elif kind == VectorClass.FUSION_PREVENTING:
+                preventing += 1
+                same_iter += 1
+            elif kind == VectorClass.FORWARD:
+                same_iter += 1
+    comps = strongly_connected_components(g)
+    return GraphStats(
+        nodes=g.num_nodes,
+        edges=g.num_edges,
+        vectors=vectors,
+        hard_edges=hard,
+        self_loops=self_loops,
+        fusion_preventing=preventing,
+        outer_carried=carried,
+        same_iteration=same_iter,
+        acyclic=is_acyclic(g),
+        scc_count=len(comps),
+        largest_scc=max((len(c) for c in comps), default=0),
+        legal=is_legal(g),
+        directly_fusable=is_fusion_legal(g),
+    )

@@ -1,0 +1,49 @@
+"""Loop-nest intermediate representation (the paper's Figure-1 program model).
+
+A :class:`~repro.loopir.ast_nodes.LoopNest` is one outermost sequential loop
+``do i = 0, n`` whose body is a sequence of innermost DOALL loops
+``doall j = 0, m`` over the same index range, each containing assignments to
+arrays with constant-offset (uniform) affine accesses -- "data dependencies
+with constant distances" in the paper's words.
+
+* :mod:`~repro.loopir.ast_nodes` -- the AST;
+* :mod:`~repro.loopir.parser` -- a small Fortran-flavoured DSL front-end;
+* :mod:`~repro.loopir.printer` -- DSL re-emission;
+* :mod:`~repro.loopir.validate` -- program-model validation (single writer
+  per array, DOALL innermost loops, well-ordered reads);
+* :mod:`~repro.loopir.synthesize` -- generate a loop nest realising a given
+  MLDG (used to execute abstract gallery/random graphs);
+* :mod:`~repro.loopir.builder` -- a programmatic construction API.
+"""
+
+from repro.loopir.ast_nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Const,
+    InnerLoop,
+    LoopNest,
+    UnaryOp,
+)
+from repro.loopir.parser import ParseError, parse_program
+from repro.loopir.printer import format_program
+from repro.loopir.validate import ValidationError, validate_program
+from repro.loopir.synthesize import program_from_mldg
+from repro.loopir.builder import LoopNestBuilder
+
+__all__ = [
+    "ArrayRef",
+    "Assignment",
+    "BinOp",
+    "Const",
+    "UnaryOp",
+    "InnerLoop",
+    "LoopNest",
+    "parse_program",
+    "ParseError",
+    "format_program",
+    "validate_program",
+    "ValidationError",
+    "program_from_mldg",
+    "LoopNestBuilder",
+]

@@ -1,0 +1,294 @@
+"""Parser for the loop DSL.
+
+The concrete syntax mirrors the paper's Fortran-style figures::
+
+    do i = 0, n
+      doall j = 0, m        ! loop A
+        a[i][j] = e[i-2][j-1]
+      end
+      B: doall j = 0, m
+        b[i][j] = a[i-1][j-1] + a[i-2][j-1]
+      end
+    end
+
+* One outermost ``do`` over the first index, DOALL loops over the second.
+* Loop labels come from either a ``LABEL:`` prefix or a ``! loop LABEL``
+  comment on the ``doall`` line; unlabeled loops get ``L1``, ``L2``, ...
+* Statements assign an array element; subscripts are the loop index plus a
+  constant (uniform accesses): ``a[i-2][j+1]``.
+* ``!`` starts a comment.  Expressions use ``+ - * /``, parentheses, unary
+  minus and numeric literals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.loopir.ast_nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Const,
+    Expr,
+    InnerLoop,
+    LoopNest,
+    UnaryOp,
+)
+from repro.vectors import IVec
+
+__all__ = ["parse_program", "ParseError"]
+
+
+class ParseError(Exception):
+    """Syntax or model error in DSL source, with a line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>[+\-*/=(),:\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_LOOP_COMMENT_RE = re.compile(r"!\s*loop\s+(\w+)", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "name" | "op" | "eof"
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> Tuple[List[_Token], Dict[int, str]]:
+    """Tokens plus a map of line number -> label from ``! loop X`` comments."""
+    tokens: List[_Token] = []
+    comment_labels: Dict[int, str] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw
+        bang = line.find("!")
+        if bang >= 0:
+            m = _LOOP_COMMENT_RE.search(line)
+            if m:
+                comment_labels[lineno] = m.group(1)
+            line = line[:bang]
+        pos = 0
+        while pos < len(line):
+            m = _TOKEN_RE.match(line, pos)
+            if m is None:
+                raise ParseError(f"unexpected character {line[pos]!r}", lineno)
+            pos = m.end()
+            if m.lastgroup == "ws":
+                continue
+            tokens.append(_Token(m.lastgroup or "", m.group(), lineno))
+    tokens.append(_Token("eof", "", len(source.splitlines()) + 1))
+    return tokens, comment_labels
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], comment_labels: Dict[int, str]) -> None:
+        self.tokens = tokens
+        self.comment_labels = comment_labels
+        self.pos = 0
+        self.index_names: Tuple[str, str] = ("i", "j")
+        self.outer_bound = "n"
+        self.inner_bound = "m"
+        self._auto_label = 0
+
+    # -------------------------------------------------------------- #
+    # token helpers
+    # -------------------------------------------------------------- #
+
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self.cur
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}", tok.line)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def at_keyword(self, word: str) -> bool:
+        return self.cur.kind == "name" and self.cur.text.lower() == word
+
+    # -------------------------------------------------------------- #
+    # grammar
+    # -------------------------------------------------------------- #
+
+    def parse(self) -> LoopNest:
+        nest = self.parse_outer()
+        if self.cur.kind != "eof":
+            raise ParseError(f"trailing input {self.cur.text!r}", self.cur.line)
+        return nest
+
+    def _parse_range(self) -> Tuple[str, str]:
+        """``IDENT = 0, BOUND`` -> (index name, bound symbol/number text)."""
+        idx = self.expect("name")
+        self.expect("op", "=")
+        lo = self.expect("number")
+        if lo.text != "0":
+            raise ParseError("the program model requires lower bound 0", lo.line)
+        self.expect("op", ",")
+        if self.cur.kind in ("name", "number"):
+            bound = self.advance()
+        else:
+            raise ParseError("expected loop upper bound", self.cur.line)
+        return idx.text, bound.text
+
+    def parse_outer(self) -> LoopNest:
+        if not self.at_keyword("do"):
+            raise ParseError("program must start with 'do'", self.cur.line)
+        self.advance()
+        outer_idx, outer_bound = self._parse_range()
+        loops: List[InnerLoop] = []
+        inner_idx: Optional[str] = None
+        inner_bound: Optional[str] = None
+        while not self.at_keyword("end"):
+            label, loop_inner_idx, loop_bound, loop = self.parse_inner(outer_idx)
+            if inner_idx is None:
+                inner_idx, inner_bound = loop_inner_idx, loop_bound
+            elif (loop_inner_idx, loop_bound) != (inner_idx, inner_bound):
+                raise ParseError(
+                    "all DOALL loops must share the same control index and range "
+                    f"(saw '{loop_inner_idx} = 0, {loop_bound}', expected "
+                    f"'{inner_idx} = 0, {inner_bound}')",
+                    self.cur.line,
+                )
+            loops.append(loop)
+        self.expect("name")  # 'end'
+        if not loops:
+            raise ParseError("outer loop contains no DOALL loops", self.cur.line)
+        assert inner_idx is not None and inner_bound is not None
+        self.index_names = (outer_idx, inner_idx)
+        return LoopNest(
+            loops=tuple(loops),
+            outer_bound=outer_bound,
+            inner_bound=inner_bound,
+            index_names=(outer_idx, inner_idx),
+        )
+
+    def parse_inner(self, outer_idx: str) -> Tuple[str, str, str, InnerLoop]:
+        label: Optional[str] = None
+        # optional 'LABEL :' prefix
+        if (
+            self.cur.kind == "name"
+            and self.cur.text.lower() != "doall"
+            and self.tokens[self.pos + 1].kind == "op"
+            and self.tokens[self.pos + 1].text == ":"
+        ):
+            label = self.advance().text
+            self.advance()  # ':'
+        if not self.at_keyword("doall"):
+            raise ParseError(
+                f"expected 'doall' (or 'end'), found {self.cur.text!r}", self.cur.line
+            )
+        doall_line = self.cur.line
+        self.advance()
+        inner_idx, bound = self._parse_range()
+        if inner_idx == outer_idx:
+            raise ParseError("inner index must differ from the outer index", doall_line)
+        if label is None:
+            label = self.comment_labels.get(doall_line)
+        if label is None:
+            self._auto_label += 1
+            label = f"L{self._auto_label}"
+
+        statements: List[Assignment] = []
+        while not self.at_keyword("end"):
+            statements.append(self.parse_statement(outer_idx, inner_idx))
+        self.expect("name")  # 'end'
+        if not statements:
+            raise ParseError(f"DOALL loop {label} has no statements", doall_line)
+        return label, inner_idx, bound, InnerLoop(label=label, statements=tuple(statements))
+
+    def parse_statement(self, outer_idx: str, inner_idx: str) -> Assignment:
+        target = self.parse_array_ref(outer_idx, inner_idx)
+        self.expect("op", "=")
+        expr = self.parse_expr(outer_idx, inner_idx)
+        return Assignment(target=target, expr=expr)
+
+    def parse_array_ref(self, outer_idx: str, inner_idx: str) -> ArrayRef:
+        name_tok = self.expect("name")
+        offsets: List[int] = []
+        for expected_idx in (outer_idx, inner_idx):
+            self.expect("op", "[")
+            offsets.append(self.parse_index(expected_idx))
+            self.expect("op", "]")
+        return ArrayRef(array=name_tok.text, offset=IVec(offsets))
+
+    def parse_index(self, expected_idx: str) -> int:
+        tok = self.expect("name")
+        if tok.text != expected_idx:
+            raise ParseError(
+                f"subscript must use loop index {expected_idx!r}, found {tok.text!r}",
+                tok.line,
+            )
+        if self.accept("op", "+"):
+            return int(self.expect("number").text)
+        if self.accept("op", "-"):
+            return -int(self.expect("number").text)
+        return 0
+
+    # expression grammar: expr -> term (('+'|'-') term)*
+    def parse_expr(self, outer_idx: str, inner_idx: str) -> Expr:
+        node = self.parse_term(outer_idx, inner_idx)
+        while self.cur.kind == "op" and self.cur.text in ("+", "-"):
+            op = self.advance().text
+            rhs = self.parse_term(outer_idx, inner_idx)
+            node = BinOp(op, node, rhs)
+        return node
+
+    def parse_term(self, outer_idx: str, inner_idx: str) -> Expr:
+        node = self.parse_factor(outer_idx, inner_idx)
+        while self.cur.kind == "op" and self.cur.text in ("*", "/"):
+            op = self.advance().text
+            rhs = self.parse_factor(outer_idx, inner_idx)
+            node = BinOp(op, node, rhs)
+        return node
+
+    def parse_factor(self, outer_idx: str, inner_idx: str) -> Expr:
+        if self.accept("op", "-"):
+            return UnaryOp("-", self.parse_factor(outer_idx, inner_idx))
+        if self.accept("op", "("):
+            node = self.parse_expr(outer_idx, inner_idx)
+            self.expect("op", ")")
+            return node
+        if self.cur.kind == "number":
+            tok = self.advance()
+            return Const(float(tok.text))
+        if self.cur.kind == "name":
+            return self.parse_array_ref(outer_idx, inner_idx)
+        raise ParseError(f"unexpected token {self.cur.text!r}", self.cur.line)
+
+
+def parse_program(source: str) -> LoopNest:
+    """Parse DSL source into a :class:`~repro.loopir.ast_nodes.LoopNest`.
+
+    Raises :class:`ParseError` with a line number on malformed input.  The
+    result is *syntactically* valid; run
+    :func:`repro.loopir.validate.validate_program` for model-level checks.
+    """
+    tokens, comment_labels = _tokenize(source)
+    return _Parser(tokens, comment_labels).parse()

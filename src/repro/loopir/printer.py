@@ -1,0 +1,49 @@
+"""Re-emit a loop nest as DSL source (the inverse of the parser)."""
+
+from __future__ import annotations
+
+from repro.loopir.ast_nodes import ArrayRef, Assignment, Expr, LoopNest
+
+__all__ = ["format_program", "format_statement"]
+
+
+def _format_ref(ref: ArrayRef, nest: LoopNest) -> str:
+    return ref.array + ref.index_text(nest.index_names)
+
+
+def _format_expr(e: Expr, nest: LoopNest) -> str:
+    from repro.loopir.ast_nodes import BinOp, Const, UnaryOp
+
+    if isinstance(e, ArrayRef):
+        return _format_ref(e, nest)
+    if isinstance(e, Const):
+        return str(e)
+    if isinstance(e, UnaryOp):
+        return f"-{_format_expr(e.operand, nest)}"
+    if isinstance(e, BinOp):
+
+        def wrap(sub: Expr) -> str:
+            text = _format_expr(sub, nest)
+            if isinstance(sub, BinOp) and e.op in ("*", "/") and sub.op in ("+", "-"):
+                return f"({text})"
+            return text
+
+        return f"{wrap(e.left)} {e.op} {wrap(e.right)}"
+    raise TypeError(f"unknown expression node {e!r}")
+
+
+def format_statement(stmt: Assignment, nest: LoopNest) -> str:
+    return f"{_format_ref(stmt.target, nest)} = {_format_expr(stmt.expr, nest)}"
+
+
+def format_program(nest: LoopNest) -> str:
+    """DSL text that parses back to an equal loop nest."""
+    i, j = nest.index_names
+    lines = [f"do {i} = 0, {nest.outer_bound}"]
+    for loop in nest.loops:
+        lines.append(f"  {loop.label}: doall {j} = 0, {nest.inner_bound}")
+        for stmt in loop.statements:
+            lines.append(f"    {format_statement(stmt, nest)}")
+        lines.append("  end")
+    lines.append("end")
+    return "\n".join(lines)

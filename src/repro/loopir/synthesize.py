@@ -1,0 +1,87 @@
+"""Synthesise a runnable loop nest realising a given MLDG.
+
+Abstract gallery graphs and randomly generated MLDGs have no source program;
+this module manufactures one whose extracted dependence graph is *exactly*
+the input MLDG, so the executable-equivalence machinery can exercise any
+sequence-executable graph.
+
+Construction: node ``u`` writes array ``v_u`` and reads, for every edge
+``w -> u`` and every vector ``d`` in ``D_L(w, u)``, the value
+``v_w[i - d[0]][j - d[1]]`` (consumer-minus-producer inverts back to ``d``
+under extraction), plus a private input array ``x_u[i][j]`` so each node
+also carries fresh external data.  Reads are scaled by ``1/(k+1)`` (``k`` =
+number of dependence reads) to keep values bounded over long executions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.legality import is_sequence_executable
+from repro.graph.mldg import MLDG
+from repro.loopir.ast_nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Const,
+    Expr,
+    InnerLoop,
+    LoopNest,
+)
+from repro.vectors import IVec
+
+__all__ = ["program_from_mldg"]
+
+
+def program_from_mldg(
+    g: MLDG, *, check: bool = True, rich_bodies: bool = False
+) -> LoopNest:
+    """A loop nest whose dependence extraction reproduces ``g`` exactly.
+
+    Requires a two-dimensional, *sequence-executable* MLDG (the generated
+    source must run correctly as written); pass ``check=False`` to skip that
+    validation when the caller has already established it.
+
+    With ``rich_bodies`` each loop gets a second statement that combines
+    the node's output with its private input through an intra-body
+    same-iteration read (``t_u[i][j] = v_u[i][j] - 0.5 * x_u[i][j]``).
+    Such reads are preserved by statement order under any fusion and do
+    not appear in the MLDG, so extraction still reproduces ``g`` exactly
+    -- but code generation and execution must keep the statements together
+    and ordered, which the equivalence suite then exercises.
+    """
+    if g.dim != 2:
+        raise ValueError("program synthesis targets the 2-D program model")
+    if check:
+        report = is_sequence_executable(g)
+        if not report.legal:
+            raise ValueError(
+                "MLDG is not sequence-executable; cannot synthesise a source "
+                "program: " + "; ".join(report.violations[:3])
+            )
+
+    loops: List[InnerLoop] = []
+    for node in g.nodes:
+        reads: List[ArrayRef] = []
+        for pred in sorted(set(g.predecessors(node)), key=g.program_index):
+            for d in sorted(g.D(pred, node)):
+                reads.append(ArrayRef(f"v_{pred}", IVec(-d[0], -d[1])))
+        scale = 1.0 / (len(reads) + 1)
+        expr: Expr = ArrayRef(f"x_{node}", IVec(0, 0))
+        for ref in reads:
+            expr = BinOp("+", expr, BinOp("*", Const(scale), ref))
+        stmt = Assignment(target=ArrayRef(f"v_{node}", IVec(0, 0)), expr=expr)
+        statements = [stmt]
+        if rich_bodies:
+            statements.append(
+                Assignment(
+                    target=ArrayRef(f"t_{node}", IVec(0, 0)),
+                    expr=BinOp(
+                        "-",
+                        ArrayRef(f"v_{node}", IVec(0, 0)),
+                        BinOp("*", Const(0.5), ArrayRef(f"x_{node}", IVec(0, 0))),
+                    ),
+                )
+            )
+        loops.append(InnerLoop(label=node, statements=tuple(statements)))
+    return LoopNest(loops=tuple(loops))

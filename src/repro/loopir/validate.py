@@ -1,0 +1,96 @@
+"""Model-level validation of loop nests.
+
+The fusion framework's assumptions (Section 1: "the innermost loops are
+DOALL loops that work in the same range of control indices. ... the program
+contains only data dependencies with constant distances"), made checkable:
+
+1. **single assignment per array** -- each array is written by at most one
+   statement, so every read has an unambiguous producer and all dependence
+   distances are constants;
+2. **DOALL innermost loops** -- no loop reads its own output at a different
+   inner-iteration offset within the same outermost iteration;
+3. **well-ordered reads** -- every read of a written array refers to a value
+   produced either in an earlier outermost iteration, or earlier in the
+   same outermost iteration's textual loop/statement order.  (A violation
+   would read a cell before it is written, which the original program's
+   semantics cannot mean.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.loopir.ast_nodes import LoopNest
+
+__all__ = ["ValidationError", "validate_program"]
+
+
+class ValidationError(Exception):
+    """The loop nest violates the program model; ``problems`` lists why."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def validate_program(nest: LoopNest) -> None:
+    """Raise :class:`ValidationError` unless the nest fits the program model."""
+    problems: List[str] = []
+
+    # 1. single writer per array
+    writers = {}
+    for loop in nest.loops:
+        for stmt in loop.statements:
+            arr = stmt.target.array
+            if arr in writers:
+                problems.append(
+                    f"array '{arr}' written in both loop {writers[arr][0]} and "
+                    f"loop {loop.label}: the model is single-assignment per array"
+                )
+            else:
+                writers[arr] = (loop.label, stmt)
+
+    loop_pos = {lp.label: k for k, lp in enumerate(nest.loops)}
+
+    # 2 & 3: examine every read with a known writer
+    for loop in nest.loops:
+        for stmt_idx, stmt in enumerate(loop.statements):
+            for ref in stmt.reads():
+                if ref.array not in writers:
+                    continue  # external input
+                w_label, w_stmt = writers[ref.array]
+                # dependence distance: consumer iteration - producer iteration
+                d = w_stmt.target.offset - ref.offset
+                if d[0] < 0:
+                    problems.append(
+                        f"loop {loop.label} reads {ref} before loop {w_label} "
+                        f"writes it (distance {d}): dependence on a future "
+                        "outermost iteration"
+                    )
+                elif d[0] == 0:
+                    if w_label == loop.label:
+                        if d[1] != 0:
+                            problems.append(
+                                f"loop {loop.label} reads its own output at "
+                                f"inner offset {d[1]} within one outermost "
+                                "iteration: not a DOALL loop"
+                            )
+                        else:
+                            # same loop, same iteration: writer statement must
+                            # come strictly before the reading statement
+                            w_idx = loop.statements.index(w_stmt)
+                            if w_idx >= stmt_idx:
+                                problems.append(
+                                    f"statement '{stmt}' in loop {loop.label} "
+                                    f"reads {ref} before it is written in the "
+                                    "same iteration"
+                                )
+                    elif loop_pos[w_label] > loop_pos[loop.label]:
+                        problems.append(
+                            f"loop {loop.label} reads {ref}, written later in "
+                            f"the same outermost iteration by loop {w_label} "
+                            f"(distance {d}): read of an unwritten value"
+                        )
+
+    if problems:
+        raise ValidationError(problems)

@@ -1,0 +1,43 @@
+"""Abstract parallel machine simulation.
+
+The paper's performance claims are about *synchronization*: an unfused nest
+needs one barrier per innermost loop per outermost iteration (``7n`` for
+Figure 8), a DOALL-fused nest one per outermost iteration (``n - 2``), and
+a wavefront execution one per hyperplane.  This package models a
+barrier-synchronised ``P``-processor machine executing those phase
+sequences and measures synchronization counts, parallel makespan and
+speedup -- a documented substitution for the multiprocessor the paper
+reasons about analytically (see DESIGN.md).
+
+* :class:`~repro.machine.simulator.PhaseProfile` -- the phase/work sequence
+  of one execution with its derived metrics;
+* :func:`~repro.machine.simulator.unfused_profile`,
+  :func:`~repro.machine.simulator.fused_doall_profile`,
+  :func:`~repro.machine.simulator.hyperplane_profile` -- the three execution
+  shapes, derived from an MLDG + retiming (no source program required);
+* :func:`~repro.machine.simulator.profile_fusion` -- dispatch on a
+  :class:`repro.fusion.FusionResult`.
+"""
+
+from repro.machine.locality import ReuseProfile, locality_report, reuse_distances
+from repro.machine.peel_model import shift_and_peel_profile, shift_and_peel_time
+from repro.machine.simulator import (
+    PhaseProfile,
+    fused_doall_profile,
+    hyperplane_profile,
+    profile_fusion,
+    unfused_profile,
+)
+
+__all__ = [
+    "PhaseProfile",
+    "ReuseProfile",
+    "reuse_distances",
+    "locality_report",
+    "shift_and_peel_time",
+    "shift_and_peel_profile",
+    "unfused_profile",
+    "fused_doall_profile",
+    "hyperplane_profile",
+    "profile_fusion",
+]

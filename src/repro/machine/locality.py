@@ -1,0 +1,153 @@
+"""Data-locality model: producer-consumer reuse distance under fusion.
+
+Section 1 motivates fusion with *data locality* as well as synchronization:
+"because of array reuse, it reduces the references to main memory".  The
+paper does not quantify this; following DESIGN.md's substitution policy we
+model it explicitly so the claim becomes measurable.
+
+Model.  Execution is a sequence of statement instances (``cost`` work units
+per node per iteration).  Each execution shape defines a global *instance
+index*; the reuse distance of a dependence is the index gap between the
+producing and consuming instances, evaluated at a representative interior
+instance (boundary effects ignored).  A consumer hits fast memory when its
+distance is at most the capacity ``C`` (idealised fully-associative LRU
+over values).
+
+With ``W = m + 1`` iterations per row, per-node costs ``c``, ``S = sum c``
+and ``before[u]`` the body cost preceding node ``u``:
+
+* **unfused** (loop-by-loop):
+  ``index(u, i, j) = i*W*S + W*before[u] + j*c[u]``
+  -- consecutive loops are a whole row sweep apart, so every
+  same-outer-iteration dependence costs O(W);
+* **fused** (row-major over the fused space, retimed coordinates):
+  ``index(u, i, j) = i*W*S + j*S + before[u]``
+  -- a retimed ``(0,0)`` dependence costs only the couple of statements
+  between producer and consumer inside one iteration.
+
+Fusion's locality win is exactly this collapse of O(W) separations to O(S)
+ones -- the values are consumed immediately instead of making a round trip
+through main memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.graph.mldg import MLDG
+from repro.retiming import Retiming
+
+__all__ = ["ReuseProfile", "reuse_distances", "locality_report"]
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Reuse distances (in work units) for one execution shape."""
+
+    label: str
+    distances: Tuple[Tuple[str, str, int], ...]  # (src, dst, distance) per vector
+
+    def hit_ratio(self, capacity: int) -> float:
+        """Fraction of dependence uses served from fast memory of size ``capacity``."""
+        if not self.distances:
+            return 1.0
+        hits = sum(1 for (_s, _d, dist) in self.distances if dist <= capacity)
+        return hits / len(self.distances)
+
+    def mean_distance(self) -> float:
+        if not self.distances:
+            return 0.0
+        return sum(d for (_s, _d, d) in self.distances) / len(self.distances)
+
+    def max_distance(self) -> int:
+        return max((d for (_s, _d, d) in self.distances), default=0)
+
+
+def _costs(g: MLDG, costs: Optional[Mapping[str, int]]) -> Dict[str, int]:
+    out = {n: 1 for n in g.nodes}
+    if costs:
+        out.update({k: int(v) for k, v in costs.items()})
+    return out
+
+
+def reuse_distances(
+    g: MLDG,
+    m: int,
+    *,
+    retiming: Optional[Retiming] = None,
+    body_order: Optional[List[str]] = None,
+    costs: Optional[Mapping[str, int]] = None,
+) -> ReuseProfile:
+    """Per-dependence-vector reuse distances for one execution shape.
+
+    Without ``retiming``: the unfused loop-by-loop execution (program
+    order).  With ``retiming``: the fused row-major execution, body in
+    ``body_order`` (defaults to program order).  Dependencies that flow
+    backwards in the shape's execution order (possible pre-transformation:
+    that is what "fusion-preventing" means, and what Figure 14's backward
+    couplings do to the unfused sequence) cannot be served by a producing
+    instance at all and are charged one full outer sweep ``W * S``.
+    """
+    c = _costs(g, costs)
+    width = m + 1
+    order = list(body_order) if body_order is not None else list(g.nodes)
+    total = sum(c[n] for n in g.nodes)
+    before: Dict[str, int] = {}
+    acc = 0
+    for n in order:
+        before[n] = acc
+        acc += c[n]
+
+    # representative interior consumer instance: far enough from every edge
+    i0 = 1 + max((abs(d[0]) for d in g.all_vectors()), default=0)
+    j0 = width // 2
+
+    def unfused_index(node: str, i: int, j: int) -> int:
+        return i * width * total + width * before[node] + j * c[node]
+
+    def fused_index(node: str, i: int, j: int) -> int:
+        return i * width * total + j * total + before[node]
+
+    out: List[Tuple[str, str, int]] = []
+    for e in g.edges():
+        for d in e.vectors:
+            if retiming is None:
+                consumer = unfused_index(e.dst, i0, j0)
+                producer = unfused_index(e.src, i0 - d[0], j0 - d[1])
+            else:
+                dr = d + retiming[e.src] - retiming[e.dst]
+                consumer = fused_index(e.dst, i0, j0)
+                producer = fused_index(e.src, i0 - dr[0], j0 - dr[1])
+            dist = consumer - producer
+            if dist <= 0:
+                dist = width * total  # backward flow: full-sweep round trip
+            out.append((e.src, e.dst, int(dist)))
+    label = "fused" if retiming is not None else "unfused"
+    return ReuseProfile(label=label, distances=tuple(sorted(out)))
+
+
+def locality_report(
+    g: MLDG,
+    m: int,
+    retiming: Retiming,
+    *,
+    body_order: Optional[List[str]] = None,
+    capacities: Tuple[int, ...] = (8, 64, 512),
+    costs: Optional[Mapping[str, int]] = None,
+) -> List[Tuple]:
+    """Rows ``(shape, mean dist, max dist, hit@cap...)`` for both shapes."""
+    rows: List[Tuple] = []
+    for profile in (
+        reuse_distances(g, m, costs=costs),
+        reuse_distances(g, m, retiming=retiming, body_order=body_order, costs=costs),
+    ):
+        rows.append(
+            (
+                profile.label,
+                profile.mean_distance(),
+                profile.max_distance(),
+                *(profile.hit_ratio(cap) for cap in capacities),
+            )
+        )
+    return rows

@@ -1,0 +1,89 @@
+"""Execution-cost model for shift-and-peel fusion.
+
+Section 1 dismisses shift-and-peel with a precise claim: "when the number
+of peeled iterations exceeds the number of iterations per processor, this
+method is not efficient".  To reproduce that claim as a measurement we
+model the blocked execution Manjikian & Abdelrahman describe:
+
+* each fused row of ``W = m + 1`` iterations is split into ``P`` blocks;
+* the ``peel`` iterations straddling every block boundary depend on the
+  neighbouring block and execute *after* the bulk phase, serially per
+  boundary pair -- adding ``peel`` extra steps to each row whenever
+  ``peel > 0`` and ``P > 1``;
+* one barrier per row, as for any fused loop.
+
+Per-row time on ``P`` processors with per-iteration cost ``S`` (the body
+cost):
+
+.. math::
+   T_{row} = \\lceil (W - peel\\,(P-1)) / P \\rceil \\cdot S + peel \\cdot S
+   \\quad (P > 1)
+
+which degrades towards serial once ``peel`` approaches ``W / P`` -- the
+paper's inefficiency threshold.  The retiming-fused DOALL row costs
+``ceil(W / P) * S`` with no peel term, so the crossover is directly
+visible (``benchmarks/bench_peel_crossover.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.baselines.shift_and_peel import ShiftAndPeelOutcome
+from repro.graph.mldg import MLDG
+from repro.machine.simulator import PhaseProfile, _costs
+
+__all__ = ["shift_and_peel_time", "shift_and_peel_profile"]
+
+
+def shift_and_peel_time(
+    g: MLDG,
+    outcome: ShiftAndPeelOutcome,
+    n: int,
+    m: int,
+    processors: int,
+    *,
+    costs: Optional[Mapping[str, int]] = None,
+    sync_cost: int = 0,
+) -> int:
+    """Makespan of the shift-and-peel fused loop on ``P`` processors.
+
+    Raises ``ValueError`` when the outcome reports fusion impossible.
+    """
+    if not outcome.legal:
+        raise ValueError("shift-and-peel failed on this graph; no schedule exists")
+    c = _costs(g, costs)
+    body = sum(c.values())
+    width = m + 1
+    peel = outcome.peel_count
+    rows = n + 1
+    if processors <= 1:
+        per_row = width * body
+    else:
+        bulk = max(width - peel * (processors - 1), 0)
+        per_row = ((bulk + processors - 1) // processors) * body + peel * body
+    return rows * per_row + sync_cost * max(rows - 1, 0)
+
+
+def shift_and_peel_profile(
+    g: MLDG,
+    outcome: ShiftAndPeelOutcome,
+    n: int,
+    m: int,
+    *,
+    costs: Optional[Mapping[str, int]] = None,
+) -> PhaseProfile:
+    """A :class:`PhaseProfile` view (phase = one fused row's bulk work).
+
+    The peel overhead is inherently per-processor, so prefer
+    :func:`shift_and_peel_time` for makespans; this profile exists for
+    synchronization accounting (one barrier per row, like any fusion).
+    """
+    if not outcome.legal:
+        raise ValueError("shift-and-peel failed on this graph; no schedule exists")
+    c = _costs(g, costs)
+    body = sum(c.values())
+    width = m + 1
+    return PhaseProfile(
+        label="shift-and-peel", work=tuple([width * body] * (n + 1))
+    )

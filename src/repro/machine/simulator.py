@@ -1,0 +1,216 @@
+"""Barrier-synchronised machine model.
+
+An execution is a sequence of *phases*; all iterations inside a phase are
+independent and run concurrently on ``P`` processors, and a barrier
+(synchronization) separates consecutive phases.  Work is measured in
+statement-instance units (``costs`` maps node -> units per iteration,
+default 1).
+
+Phase shapes:
+
+* **unfused** (the original Figure-1 nest): one phase per (outer iteration,
+  innermost loop) pair -- ``|V| * (n+1)`` phases;
+* **fused DOALL** (Algorithms 3/4): one phase per fused outer iteration,
+  including the prologue/epilogue rows;
+* **hyperplane** (Algorithm 5): one phase per non-empty wavefront
+  ``t = s . (i, j)``.
+
+Synchronization counts are ``phases - 1`` (no barrier after the last
+phase), which reproduces the paper's ``7n`` -> ``n - 2`` accounting for
+Figure 8 when restricted to the core loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.fusion.driver import FusionResult, Parallelism
+from repro.graph.mldg import MLDG
+from repro.retiming import Retiming
+from repro.vectors import IVec
+
+__all__ = [
+    "PhaseProfile",
+    "unfused_profile",
+    "fused_doall_profile",
+    "hyperplane_profile",
+    "profile_fusion",
+]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Work per phase plus derived machine metrics."""
+
+    label: str
+    work: tuple  # units of work per phase, in execution order
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.work)
+
+    @property
+    def sync_count(self) -> int:
+        """Barriers between phases."""
+        return max(len(self.work) - 1, 0)
+
+    @property
+    def total_work(self) -> int:
+        return int(sum(self.work))
+
+    def parallel_time(self, processors: int, *, sync_cost: int = 0) -> int:
+        """Makespan on ``P`` processors.
+
+        Sum of per-phase ``ceil(work / P)`` plus ``sync_cost`` work-units per
+        barrier -- the synchronization overhead whose reduction is the whole
+        point of fusion (Section 1).
+        """
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        compute = int(sum((w + processors - 1) // processors for w in self.work))
+        return compute + sync_cost * self.sync_count
+
+    def speedup(self, processors: int, *, sync_cost: int = 0) -> float:
+        """T(1, no barriers) / T(P) for this phase sequence."""
+        t_p = self.parallel_time(processors, sync_cost=sync_cost)
+        return self.total_work / t_p if t_p else 1.0
+
+    def efficiency(self, processors: int, *, sync_cost: int = 0) -> float:
+        return self.speedup(processors, sync_cost=sync_cost) / processors
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseProfile({self.label!r}, phases={self.num_phases}, "
+            f"syncs={self.sync_count}, work={self.total_work})"
+        )
+
+
+def _costs(g: MLDG, costs: Optional[Mapping[str, int]]) -> Dict[str, int]:
+    out = {node: 1 for node in g.nodes}
+    if costs:
+        for node, c in costs.items():
+            if node not in out:
+                raise KeyError(f"cost given for unknown node {node!r}")
+            if c < 1:
+                raise ValueError(f"cost of {node!r} must be >= 1")
+            out[node] = int(c)
+    return out
+
+
+def unfused_profile(
+    g: MLDG, n: int, m: int, *, costs: Optional[Mapping[str, int]] = None
+) -> PhaseProfile:
+    """The original loop sequence: ``|V|`` barriers per outer iteration."""
+    c = _costs(g, costs)
+    row = [(m + 1) * c[node] for node in g.nodes]
+    return PhaseProfile(label="unfused", work=tuple(row * (n + 1)))
+
+
+def fused_doall_profile(
+    g: MLDG,
+    retiming: Retiming,
+    n: int,
+    m: int,
+    *,
+    costs: Optional[Mapping[str, int]] = None,
+    include_boundary: bool = True,
+) -> PhaseProfile:
+    """DOALL-fused execution: one phase per fused outer iteration.
+
+    With ``include_boundary`` (default) the prologue/epilogue rows count as
+    phases; without it only the core fused loop is profiled (the paper's
+    ``n - 2`` accounting).
+    """
+    c = _costs(g, costs)
+    shifts = {node: retiming[node] for node in g.nodes}
+    if include_boundary:
+        lo = min(-s[0] for s in shifts.values())
+        hi = n - min(s[0] for s in shifts.values())
+    else:
+        lo = max(-s[0] for s in shifts.values())
+        hi = n - max(s[0] for s in shifts.values())
+    work: List[int] = []
+    for i in range(lo, hi + 1):
+        units = 0
+        for node in g.nodes:
+            oi = i + shifts[node][0]
+            if 0 <= oi <= n:
+                units += (m + 1) * c[node]
+        if units:
+            work.append(units)
+    return PhaseProfile(label="fused-doall", work=tuple(work))
+
+
+def hyperplane_profile(
+    g: MLDG,
+    retiming: Retiming,
+    schedule: IVec,
+    n: int,
+    m: int,
+    *,
+    costs: Optional[Mapping[str, int]] = None,
+) -> PhaseProfile:
+    """Wavefront execution: one phase per non-empty hyperplane level.
+
+    Aggregated with numpy per node rectangle, so large iteration spaces stay
+    cheap.
+    """
+    if schedule.dim != 2:
+        raise ValueError("hyperplane profiling is two-dimensional")
+    c = _costs(g, costs)
+    buckets: Dict[int, int] = {}
+    s0, s1 = schedule[0], schedule[1]
+    for node in g.nodes:
+        r = retiming[node]
+        # fused cells where this node is in bounds form a rectangle
+        i_vals = np.arange(-r[0], n - r[0] + 1, dtype=np.int64)
+        j_vals = np.arange(-r[1], m - r[1] + 1, dtype=np.int64)
+        t = (s0 * i_vals)[:, None] + (s1 * j_vals)[None, :]
+        levels, counts = np.unique(t, return_counts=True)
+        for level, count in zip(levels.tolist(), counts.tolist()):
+            buckets[level] = buckets.get(level, 0) + int(count) * c[node]
+    return PhaseProfile(
+        label="fused-hyperplane",
+        work=tuple(buckets[t] for t in sorted(buckets)),
+    )
+
+
+def profile_fusion(
+    result: FusionResult,
+    n: int,
+    m: int,
+    *,
+    costs: Optional[Mapping[str, int]] = None,
+    include_boundary: bool = True,
+) -> PhaseProfile:
+    """Profile a fusion result in its claimed execution mode."""
+    if result.parallelism is Parallelism.DOALL:
+        return fused_doall_profile(
+            result.original,
+            result.retiming,
+            n,
+            m,
+            costs=costs,
+            include_boundary=include_boundary,
+        )
+    if result.parallelism is Parallelism.HYPERPLANE:
+        assert result.hyperplane is not None
+        return hyperplane_profile(
+            result.original, result.retiming, result.schedule, n, m, costs=costs
+        )
+    # serial fused loop: every iteration is its own phase within a row --
+    # model as one phase per statement row with width-1 parallelism
+    c = _costs(result.original, costs)
+    shifts = {node: result.retiming[node] for node in result.original.nodes}
+    lo = min(-s[0] for s in shifts.values())
+    hi = n - min(s[0] for s in shifts.values())
+    work: List[int] = []
+    for i in range(lo, hi + 1):
+        for node in result.original.nodes:
+            oi = i + shifts[node][0]
+            if 0 <= oi <= n:
+                work.extend([c[node]] * (m + 1))
+    return PhaseProfile(label="fused-serial", work=tuple(work))

@@ -1,0 +1,39 @@
+"""Multi-dimensional retiming (Section 2.3) and schedule vectors.
+
+A retiming ``r : V -> Z^n`` shifts each loop's iteration space; dependence
+vectors transform as ``d -> d + r(u) - r(v)`` on edge ``u -> v`` while cycle
+weights stay invariant.  This package provides:
+
+* :class:`~repro.retiming.retiming.Retiming` -- the function object, with
+  application to MLDGs and composition;
+* :mod:`~repro.retiming.verify` -- invariant checks (cycle-weight
+  preservation, Theorem 3.1 fusion legality, Property 4.1 DOALL-ness);
+* :mod:`~repro.retiming.schedule` -- strict schedule vectors and the DOALL
+  hyperplane construction of Lemma 4.3.
+"""
+
+from repro.retiming.retiming import Retiming
+from repro.retiming.schedule import (
+    ROW_SCHEDULE,
+    doall_hyperplane,
+    hyperplane_for_schedule,
+    schedule_vector_for,
+)
+from repro.retiming.verify import (
+    cycle_weights_preserved,
+    edges_all_nonnegative,
+    is_doall_after_fusion,
+    verify_retiming,
+)
+
+__all__ = [
+    "Retiming",
+    "ROW_SCHEDULE",
+    "schedule_vector_for",
+    "hyperplane_for_schedule",
+    "doall_hyperplane",
+    "cycle_weights_preserved",
+    "edges_all_nonnegative",
+    "is_doall_after_fusion",
+    "verify_retiming",
+]

@@ -1,0 +1,137 @@
+"""The retiming function object.
+
+Section 2.3: a two-dimensional retiming ``r`` of a 2LDG is a function from
+``V`` to ``Z^2``; ``r(u)`` is the offset between loop ``u``'s original
+iteration space and its retimed one.  In the generated code, node ``u``'s
+statement instance executed at fused iteration ``(i, j)`` performs original
+iteration ``(i, j) + r(u)`` (so Figure 3's ``r(C) = (-1, 0)`` produces
+``c[i-1][j] = ...`` in the fused body).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.graph.mldg import MLDG
+from repro.vectors import IVec
+
+__all__ = ["Retiming"]
+
+
+class Retiming:
+    """An immutable retiming function ``r : V -> Z^n``.
+
+    Missing nodes default to the zero vector, so partial maps are fine.
+
+    >>> r = Retiming({"C": IVec(-1, 0)}, dim=2)
+    >>> r["C"]
+    IVec(-1, 0)
+    >>> r["A"]
+    IVec(0, 0)
+    """
+
+    def __init__(self, mapping: Mapping[str, IVec], *, dim: int) -> None:
+        if dim < 1:
+            raise ValueError("retiming dimension must be >= 1")
+        self._dim = dim
+        items: Dict[str, IVec] = {}
+        for node, vec in mapping.items():
+            if not isinstance(vec, IVec):
+                vec = IVec(tuple(vec))
+            if vec.dim != dim:
+                raise ValueError(
+                    f"retiming of {node!r} has dimension {vec.dim}, expected {dim}"
+                )
+            items[node] = vec
+        self._map = items
+        self._zero = IVec.zero(dim)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def zero(cls, *, dim: int) -> "Retiming":
+        """The identity retiming."""
+        return cls({}, dim=dim)
+
+    @classmethod
+    def from_components(
+        cls, first: Mapping[str, int], second: Mapping[str, int], *, dim: int = 2
+    ) -> "Retiming":
+        """Combine per-coordinate scalar solutions (Algorithm 4's phase three)."""
+        if dim != 2:
+            raise ValueError("from_components builds 2-D retimings")
+        nodes = set(first) | set(second)
+        return cls(
+            {n: IVec(first.get(n, 0), second.get(n, 0)) for n in nodes}, dim=dim
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def __getitem__(self, node: str) -> IVec:
+        return self._map.get(node, self._zero)
+
+    def get(self, node: str, default: IVec | None = None) -> IVec:
+        return self._map.get(node, default if default is not None else self._zero)
+
+    def items(self) -> Iterator[Tuple[str, IVec]]:
+        return iter(sorted(self._map.items()))
+
+    def nodes(self) -> Iterable[str]:
+        return self._map.keys()
+
+    def as_dict(self) -> Dict[str, IVec]:
+        return dict(self._map)
+
+    def is_identity(self) -> bool:
+        return all(v.is_zero() for v in self._map.values())
+
+    # ------------------------------------------------------------------ #
+
+    def apply(self, g: MLDG) -> MLDG:
+        """The retimed graph ``G_r`` (Section 2.3)."""
+        if g.dim != self._dim:
+            raise ValueError(f"graph dim {g.dim} != retiming dim {self._dim}")
+        return g.retimed(self._map)
+
+    def compose(self, other: "Retiming") -> "Retiming":
+        """Pointwise sum: applying ``self`` then ``other`` equals applying
+        the composition (dependence shifts are additive in ``r``)."""
+        if other.dim != self._dim:
+            raise ValueError("cannot compose retimings of different dimensions")
+        nodes = set(self._map) | set(other._map)
+        return Retiming(
+            {n: self[n] + other[n] for n in nodes}, dim=self._dim
+        )
+
+    def normalized(self, g: MLDG) -> "Retiming":
+        """Explicit zero entries for every node of ``g`` (for display)."""
+        return Retiming({n: self[n] for n in g.nodes}, dim=self._dim)
+
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Retiming):
+            return NotImplemented
+        if self._dim != other._dim:
+            return False
+        nodes = set(self._map) | set(other._map)
+        return all(self[n] == other[n] for n in nodes)
+
+    def __hash__(self) -> int:
+        frozen = frozenset(
+            (n, v) for n, v in self._map.items() if not v.is_zero()
+        )
+        return hash((self._dim, frozen))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {v}" for n, v in sorted(self._map.items()))
+        return f"Retiming({{{inner}}}, dim={self._dim})"
+
+    def describe(self) -> str:
+        """Paper-style dump: ``r(A)=(0,0)  r(B)=(0,-4) ...``"""
+        parts = [f"r({n})={v}" for n, v in sorted(self._map.items())]
+        return "  ".join(parts) if parts else "r = 0"

@@ -1,0 +1,33 @@
+"""Unimodular loop transformations (interchange, reversal, skewing).
+
+Section 1 situates the paper against single-loop transformations -- "loop
+interchange, loop permutation, loop skewing, loop reversal" -- that
+optimise one nest but do not fuse.  This package implements them over
+MLDGs so they can be
+
+* **compared** against retiming-based fusion (can interchange or skewing
+  alone parallelise the innermost loop? usually not when multiple loops
+  are involved), and
+* **composed** with it: the wavefront result of Algorithm 5 becomes an
+  ordinary row-parallel nest under the skew that maps hyperplanes to rows
+  (:func:`~repro.transforms.unimodular.wavefront_transform`), which is how
+  a real compiler would emit Algorithm 5's schedule as loop code.
+"""
+
+from repro.transforms.unimodular import (
+    Unimodular,
+    interchange,
+    reversal,
+    skew,
+    transform_mldg,
+    wavefront_transform,
+)
+
+__all__ = [
+    "Unimodular",
+    "interchange",
+    "reversal",
+    "skew",
+    "wavefront_transform",
+    "transform_mldg",
+]

@@ -1,0 +1,157 @@
+"""2-D unimodular transformations of iteration spaces.
+
+A unimodular matrix ``T`` (integer entries, determinant +/-1) maps
+iteration ``x`` to ``T x`` and therefore dependence vector ``d`` to
+``T d``.  The transformed loop nest is *sequentially valid* when every
+transformed vector is lexicographically positive (dependencies still flow
+forward), and its innermost loop is parallel when no transformed vector
+has the form ``(0, k != 0)``.
+
+The named constructors cover the classic catalogue:
+
+* :func:`interchange` -- swap the two loops (``[[0,1],[1,0]]``);
+* :func:`reversal` -- run one loop backwards;
+* :func:`skew` -- add a multiple of one index to the other;
+* :func:`wavefront_transform` -- complete a schedule vector ``s`` (with
+  coprime entries, e.g. Lemma 4.3's ``(s0, 1)``) to a unimodular basis
+  whose first row is ``s``: transformed first coordinates are exactly the
+  wavefront levels ``s . x``, so Algorithm 5's hyperplane execution is the
+  plain row-by-row execution of the transformed nest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.graph.mldg import MLDG
+from repro.vectors import IVec
+
+__all__ = [
+    "Unimodular",
+    "interchange",
+    "reversal",
+    "skew",
+    "wavefront_transform",
+    "transform_mldg",
+]
+
+
+@dataclass(frozen=True)
+class Unimodular:
+    """A 2x2 integer matrix with determinant +/-1, applied as ``x -> T x``."""
+
+    rows: Tuple[Tuple[int, int], Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        (a, b), (c, d) = self.rows
+        det = a * d - b * c
+        if det not in (1, -1):
+            raise ValueError(f"matrix {self.rows} has determinant {det}, not +/-1")
+
+    @property
+    def det(self) -> int:
+        (a, b), (c, d) = self.rows
+        return a * d - b * c
+
+    def apply(self, v: IVec) -> IVec:
+        if v.dim != 2:
+            raise ValueError("2-D transformation applied to non-2-D vector")
+        (a, b), (c, d) = self.rows
+        return IVec(a * v[0] + b * v[1], c * v[0] + d * v[1])
+
+    def compose(self, other: "Unimodular") -> "Unimodular":
+        """``self.compose(other)`` applies ``other`` first: ``x -> self (other x)``."""
+        (a, b), (c, d) = self.rows
+        (e, f), (g, h) = other.rows
+        return Unimodular(
+            rows=(
+                (a * e + b * g, a * f + b * h),
+                (c * e + d * g, c * f + d * h),
+            )
+        )
+
+    def inverse(self) -> "Unimodular":
+        (a, b), (c, d) = self.rows
+        det = self.det
+        return Unimodular(rows=((d * det, -b * det), (-c * det, a * det)))
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.rows)
+
+    def __str__(self) -> str:
+        (a, b), (c, d) = self.rows
+        return f"[[{a}, {b}], [{c}, {d}]]"
+
+
+def interchange() -> Unimodular:
+    """Swap the outer and inner loops."""
+    return Unimodular(rows=((0, 1), (1, 0)))
+
+
+def reversal(axis: int) -> Unimodular:
+    """Run loop ``axis`` (0 = outer, 1 = inner) backwards."""
+    if axis == 0:
+        return Unimodular(rows=((-1, 0), (0, 1)))
+    if axis == 1:
+        return Unimodular(rows=((1, 0), (0, -1)))
+    raise ValueError("axis must be 0 or 1")
+
+
+def skew(factor: int, *, of: int = 1, by: int | None = None) -> Unimodular:
+    """Skew index ``of`` by ``factor`` times index ``by`` (defaults: inner by outer).
+
+    ``skew(f)`` maps ``(i, j) -> (i, j + f*i)`` -- the classic wavefront
+    enabler for a single nest.  ``by`` defaults to the other index.
+    """
+    if by is None:
+        by = 1 - of
+    if {of, by} != {0, 1}:
+        raise ValueError("skew needs one source and one target index (0 and 1)")
+    if of == 1:
+        return Unimodular(rows=((1, 0), (factor, 1)))
+    return Unimodular(rows=((1, factor), (0, 1)))
+
+
+def wavefront_transform(schedule: IVec) -> Unimodular:
+    """A unimodular ``T`` whose first row is the schedule vector ``s``.
+
+    Requires ``gcd(s0, s1) = 1`` (Lemma 4.3's schedules end in 1, so this
+    always holds for Algorithm 5 results).  The second row is a Bezout
+    completion, making ``det T = +/-1``; transformed iterations are
+    ``(s . x, p . x)`` and the transformed nest's rows are exactly the
+    wavefronts.
+    """
+    if schedule.dim != 2:
+        raise ValueError("wavefront transformation is two-dimensional")
+    s0, s1 = schedule[0], schedule[1]
+    g = math.gcd(s0, s1)
+    if g != 1:
+        raise ValueError(f"schedule {schedule} entries are not coprime (gcd {g})")
+    # Bezout: find (p, q) with s0*q - s1*p = 1
+    # math.gcd's extended form via the classic algorithm:
+    old_r, r = s0, s1
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    # old_x*s0 + old_y*s1 == old_r == +/-1
+    sign = old_r  # +1 or -1
+    p, q = -old_y * sign, old_x * sign  # so that s0*q - s1*p == 1
+    return Unimodular(rows=((s0, s1), (p, q)))
+
+
+def transform_mldg(g: MLDG, t: Unimodular) -> MLDG:
+    """The MLDG with every dependence vector mapped through ``t``."""
+    if g.dim != 2:
+        raise ValueError("2-D transformation applied to non-2-D MLDG")
+    out = MLDG(dim=2)
+    for node in g.nodes:
+        out.add_node(node)
+    for e in g.edges():
+        out.add_dependence(e.src, e.dst, *(t.apply(d) for d in e.vectors))
+    return out

@@ -1,0 +1,47 @@
+"""Lexicographically-ordered integer vector algebra.
+
+This package is the arithmetic substrate for the whole library.  Loop
+dependence vectors, retiming vectors, schedule vectors and constraint-graph
+weights are all elements of :math:`\\mathbb{Z}^n` compared *lexicographically*
+(Sha/O'Neil/Passos, Section 2.1): ``(a, b) < (x, y)`` iff ``a < x`` or
+``a == x and b < y``.
+
+Public classes and helpers:
+
+* :class:`~repro.vectors.vector.IVec` -- immutable integer vector with
+  componentwise arithmetic and lexicographic comparison.
+* :class:`~repro.vectors.extended.ExtVec` -- vector whose components may be
+  ``+inf``/``-inf``; used for constraint-graph weights that constrain only a
+  prefix of the coordinates (the paper's Figure 9 writes such weights as
+  ``(-1, inf)``).
+* :mod:`~repro.vectors.order` -- lexicographic ``lex_min``/``lex_max``/
+  ``lex_sum`` and schedule-vector predicates.
+"""
+
+from repro.vectors.vector import IVec
+from repro.vectors.extended import ExtVec, NEG_INF, POS_INF
+from repro.vectors.order import (
+    is_strict_schedule_vector,
+    lex_cmp,
+    lex_max,
+    lex_min,
+    lex_nonnegative,
+    lex_positive,
+    lex_sorted,
+    lex_sum,
+)
+
+__all__ = [
+    "IVec",
+    "ExtVec",
+    "POS_INF",
+    "NEG_INF",
+    "lex_cmp",
+    "lex_min",
+    "lex_max",
+    "lex_sum",
+    "lex_sorted",
+    "lex_positive",
+    "lex_nonnegative",
+    "is_strict_schedule_vector",
+]

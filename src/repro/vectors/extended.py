@@ -1,0 +1,130 @@
+"""Vectors over :math:`\\mathbb{Z} \\cup \\{\\pm\\infty\\}`.
+
+Algorithm 3's constraint graph (the paper's Figure 9) labels edges with
+weights such as ``(-1, inf)``: the inequality ``r(v_j) - r(v_i) <= (-1, inf)``
+constrains only the first coordinate, because *any* second coordinate
+satisfies it.  Likewise the lexicographic Bellman-Ford initialises every
+tentative distance to ``(+inf, +inf)`` (Algorithm 1).
+
+:class:`ExtVec` supports exactly the operations those algorithms need:
+
+* lexicographic comparison where ``-inf < any int < +inf``;
+* addition with finite :class:`~repro.vectors.vector.IVec` values and other
+  ``ExtVec`` values (infinities absorb: ``inf + k = inf``);
+* conversion back to ``IVec`` when all components are finite.
+
+``+inf + (-inf)`` is rejected as undefined.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple, Union
+
+from repro.vectors.vector import IVec
+
+__all__ = ["ExtVec", "POS_INF", "NEG_INF"]
+
+POS_INF = math.inf
+NEG_INF = -math.inf
+
+_Component = Union[int, float]
+
+
+def _check_component(c: _Component) -> _Component:
+    if isinstance(c, bool):
+        raise TypeError("ExtVec components must be ints or +/-inf, not bool")
+    if isinstance(c, int):
+        return c
+    if isinstance(c, float):
+        if math.isinf(c):
+            return c
+        raise TypeError(f"ExtVec float components must be +/-inf, got {c!r}")
+    raise TypeError(f"ExtVec components must be ints or +/-inf, got {c!r}")
+
+
+class ExtVec(tuple):
+    """An extended-integer vector, ordered lexicographically.
+
+    >>> ExtVec(-1, POS_INF) + IVec(3, 4)
+    ExtVec(2, inf)
+    >>> ExtVec(0, 0) < ExtVec(0, POS_INF)
+    True
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, *components: Union[_Component, Iterable[_Component]]) -> "ExtVec":
+        if len(components) == 1 and not isinstance(components[0], (int, float)):
+            items: Tuple[_Component, ...] = tuple(components[0])
+        else:
+            items = components  # type: ignore[assignment]
+        checked = tuple(_check_component(c) for c in items)
+        if not checked:
+            raise ValueError("ExtVec must have dimension >= 1")
+        return tuple.__new__(cls, checked)
+
+    @classmethod
+    def top(cls, dim: int) -> "ExtVec":
+        """The all ``+inf`` vector -- Algorithm 1's initial tentative distance."""
+        return cls([POS_INF] * dim)
+
+    @classmethod
+    def from_ivec(cls, v: IVec) -> "ExtVec":
+        return cls(tuple(v))
+
+    @property
+    def dim(self) -> int:
+        return len(self)
+
+    def is_finite(self) -> bool:
+        """True iff every component is a plain integer."""
+        return all(isinstance(c, int) for c in self)
+
+    def to_ivec(self) -> IVec:
+        """Convert to a finite :class:`IVec`; raises if any component is infinite."""
+        if not self.is_finite():
+            raise ValueError(f"cannot convert non-finite {self!r} to IVec")
+        return IVec(tuple(self))
+
+    def _add_components(self, other: Tuple[_Component, ...]) -> "ExtVec":
+        if len(other) != len(self):
+            raise ValueError("dimension mismatch in ExtVec addition")
+        out = []
+        for a, b in zip(self, other):
+            if (a == POS_INF and b == NEG_INF) or (a == NEG_INF and b == POS_INF):
+                raise ValueError("undefined sum +inf + -inf in ExtVec addition")
+            s = a + b
+            # keep finite sums as ints (float creep would break IVec round-trips)
+            out.append(int(s) if not math.isinf(s) else s)
+        return ExtVec(out)
+
+    def __add__(self, other: object) -> "ExtVec":  # type: ignore[override]
+        if isinstance(other, (ExtVec, IVec)):
+            return self._add_components(tuple(other))
+        if isinstance(other, tuple):
+            return self._add_components(tuple(other))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ExtVec":
+        return ExtVec(tuple(-c for c in self))
+
+    def __sub__(self, other: object) -> "ExtVec":
+        if isinstance(other, tuple):
+            return self._add_components(tuple(-c for c in other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ExtVec({', '.join(map(str, self))})"
+
+    def __str__(self) -> str:
+        def fmt(c: _Component) -> str:
+            if c == POS_INF:
+                return "inf"
+            if c == NEG_INF:
+                return "-inf"
+            return str(c)
+
+        return "(" + ", ".join(fmt(c) for c in self) + ")"

@@ -1,0 +1,103 @@
+"""Lexicographic-order helpers over :class:`~repro.vectors.vector.IVec`.
+
+The paper's Section 2.1 defines the *minimal loop dependence vector* of an
+edge as the lexicographic minimum of its dependence-vector set, and Section
+2.3 defines a *strict schedule vector* ``s`` as one with ``s . d > 0`` for
+every non-zero dependence vector ``d``.  This module collects those order
+operations so every caller spells them the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.vectors.vector import IVec
+
+__all__ = [
+    "lex_cmp",
+    "lex_min",
+    "lex_max",
+    "lex_sum",
+    "lex_sorted",
+    "lex_positive",
+    "lex_nonnegative",
+    "is_strict_schedule_vector",
+]
+
+
+def lex_cmp(a: Sequence[int], b: Sequence[int]) -> int:
+    """Three-way lexicographic comparison: -1 if ``a < b``, 0, or +1.
+
+    Both vectors must have the same dimension.
+    """
+    if len(a) != len(b):
+        raise ValueError("lex_cmp requires equal dimensions")
+    ta, tb = tuple(a), tuple(b)
+    if ta < tb:
+        return -1
+    if ta > tb:
+        return 1
+    return 0
+
+
+def lex_min(vectors: Iterable[IVec]) -> IVec:
+    """Lexicographic minimum of a non-empty collection.
+
+    This is the paper's :math:`\\delta_L(e) = \\min\\{v : v \\in D_L(a,b)\\}`.
+    """
+    vecs = list(vectors)
+    if not vecs:
+        raise ValueError("lex_min of an empty collection")
+    return min(vecs)
+
+
+def lex_max(vectors: Iterable[IVec]) -> IVec:
+    """Lexicographic maximum of a non-empty collection (used by Algorithm 5)."""
+    vecs = list(vectors)
+    if not vecs:
+        raise ValueError("lex_max of an empty collection")
+    return max(vecs)
+
+
+def lex_sum(vectors: Iterable[IVec]) -> Optional[IVec]:
+    """Componentwise sum, or ``None`` for the empty collection.
+
+    Cycle weights :math:`\\delta_L(c) = \\sum_{e \\in c} \\delta_L(e)` use this.
+    """
+    total: Optional[IVec] = None
+    for v in vectors:
+        total = v if total is None else total + v
+    return total
+
+
+def lex_sorted(vectors: Iterable[IVec]) -> List[IVec]:
+    """The vectors in ascending lexicographic order."""
+    return sorted(vectors)
+
+
+def lex_positive(v: Sequence[int]) -> bool:
+    """True iff ``v`` is lexicographically greater than the zero vector."""
+    return tuple(v) > tuple([0] * len(v))
+
+
+def lex_nonnegative(v: Sequence[int]) -> bool:
+    """True iff ``v`` is lexicographically >= the zero vector.
+
+    Theorem 3.1: fusion is legal when every edge weight satisfies this.
+    """
+    return tuple(v) >= tuple([0] * len(v))
+
+
+def is_strict_schedule_vector(s: IVec, dependence_vectors: Iterable[IVec]) -> bool:
+    """Check the strict-schedule condition of Section 2.3.
+
+    ``s`` is a strict schedule vector for a dependence-vector collection when
+    ``s . d > 0`` for every *non-zero* vector ``d`` in the collection.  Zero
+    vectors (loop-independent dependencies) are exempt by definition.
+    """
+    for d in dependence_vectors:
+        if d.is_zero():
+            continue
+        if s.dot(d) <= 0:
+            return False
+    return True

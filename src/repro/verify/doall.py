@@ -1,0 +1,60 @@
+"""Instance-level DOALL verification.
+
+Independent of the MLDG-level argument (Property 4.1), this scans the
+actual statement instances of a fused program: the fused innermost loop is
+DOALL iff no array cell written at fused iteration ``(i, j1)`` is read (or
+written) at ``(i, j2)`` with ``j2 != j1``.  Used by the test suite to
+cross-check the graph-level DOALL claims against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.codegen.fused import FusedProgram
+
+__all__ = ["runtime_doall_violations"]
+
+_Cell = Tuple[str, int, int]
+
+
+def runtime_doall_violations(
+    fp: FusedProgram, n: int, m: int, *, limit: int = 20
+) -> List[str]:
+    """Same-row cross-iteration conflicts of the fused loop (empty = DOALL).
+
+    Scans every fused row: collects which fused ``j`` writes each cell, then
+    reports reads of cells written elsewhere in the same row.  ``limit``
+    caps the number of reported violations.
+    """
+    violations: List[str] = []
+    lo_i, hi_i = fp.full_outer_range(n)
+    lo_j, hi_j = fp.full_inner_range(m)
+
+    for i in range(lo_i, hi_i + 1):
+        writers: Dict[_Cell, int] = {}
+        for j in range(lo_j, hi_j + 1):
+            for node in fp.body:
+                oi, oj = i + node.shift[0], j + node.shift[1]
+                if not (0 <= oi <= n and 0 <= oj <= m):
+                    continue
+                for stmt in node.statements:
+                    t = stmt.target
+                    writers[(t.array, oi + t.offset[0], oj + t.offset[1])] = j
+        for j in range(lo_j, hi_j + 1):
+            for node in fp.body:
+                oi, oj = i + node.shift[0], j + node.shift[1]
+                if not (0 <= oi <= n and 0 <= oj <= m):
+                    continue
+                for stmt in node.statements:
+                    for ref in stmt.reads():
+                        cell = (ref.array, oi + ref.offset[0], oj + ref.offset[1])
+                        w = writers.get(cell)
+                        if w is not None and w != j:
+                            violations.append(
+                                f"row {i}: iteration j={j} ({node.label}) reads "
+                                f"{cell[0]}[{cell[1]}][{cell[2]}] written at j={w}"
+                            )
+                            if len(violations) >= limit:
+                                return violations
+    return violations

@@ -1,0 +1,21 @@
+"""Text renderings of iteration spaces, dependencies and wavefronts.
+
+The paper's Figures 7, 13 and 16 are drawings of small iteration spaces:
+which iterations depend on which (Figs. 7/13) and where the equitemporal
+hyperplanes fall (Fig. 16).  This package renders the same artifacts as
+text, for the benchmark reports, the CLI and the examples.
+"""
+
+from repro.viz.iterspace import (
+    dependence_arrows,
+    format_hyperplane_grid,
+    format_iteration_space,
+    intra_row_arrows,
+)
+
+__all__ = [
+    "dependence_arrows",
+    "intra_row_arrows",
+    "format_iteration_space",
+    "format_hyperplane_grid",
+]

@@ -1,0 +1,196 @@
+"""Unit tests for the baseline fusion techniques."""
+
+import pytest
+
+from repro.baselines import (
+    direct_fusion,
+    loop_distribution,
+    shift_and_peel,
+    typed_fusion,
+)
+from repro.gallery import (
+    figure2_mldg,
+    figure8_mldg,
+    figure14_mldg,
+    iir2d_mldg,
+)
+from repro.graph import mldg_from_table
+
+
+class TestDirectFusion:
+    def test_figure2_blocked(self):
+        out = direct_fusion(figure2_mldg())
+        assert not out.legal
+        assert "B->C" in out.blockers and "C->D" in out.blockers
+
+    def test_figure8_blocked(self):
+        assert not direct_fusion(figure8_mldg()).legal
+
+    def test_clean_graph_fuses_doall(self):
+        g = mldg_from_table(
+            {("A", "B"): [(0, 0)], ("B", "C"): [(1, -3)]}, nodes=["A", "B", "C"]
+        )
+        out = direct_fusion(g)
+        assert out.legal and out.doall
+        assert out.syncs_per_outer_iteration == 1
+
+    def test_serialising_graph_fuses_non_doall(self):
+        g = mldg_from_table({("A", "B"): [(0, 2)]}, nodes=["A", "B"])
+        out = direct_fusion(g)
+        assert out.legal and not out.doall
+        assert "serialised" in out.describe()
+
+
+class TestTypedFusion:
+    def test_figure8_splits_at_preventing_edges(self):
+        out = typed_fusion(figure8_mldg())
+        # (0,-2) on B->C / B->F and (0,-3) on A->D force group breaks
+        assert not out.fully_fused
+        assert 1 < out.syncs_per_outer_iteration <= 7
+        # every node appears exactly once
+        flat = [n for grp in out.groups for n in grp]
+        assert sorted(flat) == list("ABCDEFG")
+
+    def test_figure8_group_semantics(self):
+        """Within any group, no fusion-preventing edge may be internal."""
+        from repro.graph.legality import VectorClass, classify_vector
+
+        g = figure8_mldg()
+        out = typed_fusion(g)
+        for grp in out.groups:
+            s = set(grp)
+            for e in g.edges():
+                if e.src in s and e.dst in s:
+                    assert all(
+                        classify_vector(d) != VectorClass.FUSION_PREVENTING
+                        for d in e.vectors
+                    )
+
+    def test_preserve_parallelism_splits_more(self):
+        g = figure8_mldg()
+        assert (
+            typed_fusion(g, preserve_parallelism=True).syncs_per_outer_iteration
+            >= typed_fusion(g).syncs_per_outer_iteration
+        )
+
+    def test_preserve_parallelism_groups_all_parallel(self):
+        out = typed_fusion(figure8_mldg(), preserve_parallelism=True)
+        assert out.all_parallel
+
+    def test_trivially_fusable_sequence(self):
+        g = mldg_from_table(
+            {("A", "B"): [(0, 0)], ("B", "C"): [(0, 0)]}, nodes=["A", "B", "C"]
+        )
+        out = typed_fusion(g)
+        assert out.fully_fused
+        assert out.all_parallel
+
+    def test_figure14_rejected(self):
+        """Cyclic same-iteration dependencies are beyond this baseline."""
+        with pytest.raises(ValueError, match="cyclic"):
+            typed_fusion(figure14_mldg())
+
+    def test_iir2d_partial(self):
+        out = typed_fusion(iir2d_mldg())
+        assert out.fully_fused  # (0,0) and (0,1) edges are not preventing
+        assert not out.all_parallel  # but the (0,1) edge serialises the group
+
+    def test_describe(self):
+        text = typed_fusion(figure8_mldg()).describe()
+        assert "{" in text and "}" in text
+
+
+class TestShiftAndPeel:
+    def test_figure8_shifts(self):
+        out = shift_and_peel(figure8_mldg())
+        assert out.legal
+        # alignment must neutralise every fusion-preventing dependence
+        g = figure8_mldg()
+        for e in g.edges():
+            for d in e.vectors:
+                if d[0] == 0:
+                    assert d[1] + out.shifts[e.dst] - out.shifts[e.src] >= 0
+
+    def test_figure8_peel_count(self):
+        out = shift_and_peel(figure8_mldg())
+        assert out.peel_count == 3  # A->D needs 3; the B->C/B->F chain also 3
+
+    def test_shifts_minimal_and_nonnegative(self):
+        out = shift_and_peel(figure8_mldg())
+        assert min(out.shifts.values()) == 0
+        assert all(v >= 0 for v in out.shifts.values())
+
+    def test_efficiency_condition(self):
+        """M&A degrade when peel >= iterations per processor (Section 1)."""
+        out = shift_and_peel(figure8_mldg())
+        assert out.efficient_for(m=63, processors=8)  # 8 iters/proc > peel 3
+        assert not out.efficient_for(m=63, processors=32)  # 2 iters/proc
+
+    def test_figure14_rejected(self):
+        out = shift_and_peel(figure14_mldg())
+        assert not out.legal
+        assert "cyclic" in out.reason
+
+    def test_unconstrained_graph_zero_shifts(self):
+        g = mldg_from_table({("A", "B"): [(1, 5)]}, nodes=["A", "B"])
+        out = shift_and_peel(g)
+        assert out.legal and out.peel_count == 0
+
+    def test_figure2_legal_with_peel(self):
+        out = shift_and_peel(figure2_mldg())
+        assert out.legal
+        assert out.peel_count >= 2
+
+
+class TestDistribution:
+    def test_one_group_per_loop(self):
+        out = loop_distribution(figure8_mldg())
+        assert out.syncs_per_outer_iteration == 7
+        assert out.all_parallel
+
+    def test_describe(self):
+        assert "DOALL" in loop_distribution(figure2_mldg()).describe()
+
+
+class TestTransformSearch:
+    def test_fusion_preventing_cases_fail(self):
+        from repro.baselines import transform_search
+
+        for build in (figure2_mldg, figure8_mldg, figure14_mldg):
+            out = transform_search(build())
+            assert not out.fusable
+            assert not out.parallel
+            assert "fusion-preventing" in out.describe()
+
+    def test_iir2d_found_by_skew(self):
+        from repro.baselines import transform_search
+        from repro.retiming import is_doall_after_fusion
+        from repro.transforms import transform_mldg
+
+        g = iir2d_mldg()
+        out = transform_search(g)
+        assert out.fusable and out.parallel
+        gt = transform_mldg(g, out.transform)
+        assert is_doall_after_fusion(gt)
+        assert all(tuple(d) >= (0, 0) for d in gt.all_vectors())
+
+    def test_already_parallel_returns_identity(self):
+        from repro.baselines import transform_search
+
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        out = transform_search(g)
+        assert out.parallel
+        assert out.transform.rows == ((1, 0), (0, 1))
+
+    def test_unfixable_serial_fusion(self):
+        from repro.baselines import transform_search
+
+        # an inner-carried dependence plus a steep negative back-vector,
+        # wide enough to defeat the bounded skew family
+        g = mldg_from_table(
+            {("A", "B"): [(0, 1)], ("B", "A"): [(1, -9)]}, nodes=["A", "B"]
+        )
+        out = transform_search(g, max_skew=2)
+        assert out.fusable
+        assert not out.parallel
+        assert "no unimodular" in out.describe()

@@ -1,0 +1,154 @@
+"""Case study: a ten-loop pipeline, larger than anything in the paper.
+
+One integration test exercising every subsystem together at a size the
+paper never shows: parse, validate, extract, fuse, verify invariants,
+generate and execute code in randomised parallel order, compile, simulate,
+and report -- asserting cross-subsystem consistency along the way.
+"""
+
+import pytest
+
+from repro.baselines import direct_fusion, shift_and_peel, typed_fusion
+from repro.codegen import (
+    ArrayStore,
+    apply_fusion,
+    compile_fused,
+    emit_fused_program,
+    run_fused,
+    run_original,
+)
+from repro.depend import dependence_table, extract_mldg
+from repro.fusion import Parallelism, fuse
+from repro.graph import is_sequence_executable, mldg_stats
+from repro.loopir import parse_program, validate_program
+from repro.machine import profile_fusion, unfused_profile
+from repro.verify import runtime_doall_violations
+
+TEN_STAGE = """
+do i = 0, n
+  doall j = 0, m        ! loop Load
+    v0[i][j] = src[i][j] + 0.1 * src[i-1][j+1]
+  end
+  doall j = 0, m        ! loop Blur
+    v1[i][j] = 0.25 * (v0[i][j] + v0[i][j-1] + v0[i][j+1] + v0[i-1][j])
+  end
+  doall j = 0, m        ! loop GradX
+    v2[i][j] = v1[i][j+1] - v1[i][j-1]
+  end
+  doall j = 0, m        ! loop GradY
+    v3[i][j] = v1[i][j] - v1[i-1][j]
+  end
+  doall j = 0, m        ! loop Mag
+    v4[i][j] = v2[i][j] * v2[i][j] + v3[i][j+2] * v3[i][j+2]
+  end
+  doall j = 0, m        ! loop Thin
+    v5[i][j] = v4[i][j+1] - 0.5 * v4[i][j-1]
+  end
+  doall j = 0, m        ! loop Hist
+    v6[i][j] = v5[i][j] + v6[i-1][j]
+  end
+  doall j = 0, m        ! loop Norm
+    v7[i][j] = v5[i][j+3] - 0.125 * v6[i][j]
+  end
+  doall j = 0, m        ! loop Sharp
+    v8[i][j] = v0[i][j] + v7[i][j+1] - v7[i][j-1]
+  end
+  doall j = 0, m        ! loop Store
+    dst[i][j] = v8[i][j] + 0.0625 * dst[i-1][j]
+  end
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def study():
+    nest = parse_program(TEN_STAGE)
+    validate_program(nest)
+    g = extract_mldg(nest)
+    res = fuse(g)
+    fp = apply_fusion(nest, res.retiming, mldg=g)
+    return nest, g, res, fp
+
+
+class TestAnalysis:
+    def test_shape(self, study):
+        _nest, g, _res, _fp = study
+        stats = mldg_stats(g)
+        assert stats.nodes == 10
+        assert stats.fusion_preventing >= 4  # GradX, Mag, Thin, Norm, Sharp reads
+        assert stats.legal
+        assert not stats.directly_fusable
+        assert is_sequence_executable(g).legal
+
+    def test_dependence_count(self, study):
+        """One record per producer-backed read; the MLDG's vector sets
+        dedupe, so records >= vectors >= edges."""
+        nest, g, _res, _fp = study
+        records = dependence_table(nest)
+        vectors = sum(len(g.D(e.src, e.dst)) for e in g.edges())
+        assert len(records) >= vectors >= g.num_edges
+
+    def test_baselines_struggle(self, study):
+        _nest, g, _res, _fp = study
+        assert not direct_fusion(g).legal
+        km = typed_fusion(g)
+        assert km.syncs_per_outer_iteration > 1
+        sp = shift_and_peel(g)
+        assert sp.legal and sp.peel_count >= 3
+
+
+class TestFusion:
+    def test_one_fully_parallel_loop(self, study):
+        _nest, _g, res, _fp = study
+        assert res.parallelism in (Parallelism.DOALL, Parallelism.HYPERPLANE)
+        assert res.verification.ok_for_legal_fusion
+
+    def test_sync_reduction(self, study):
+        _nest, g, res, _fp = study
+        n, m = 64, 64
+        before = unfused_profile(g, n, m)
+        after = profile_fusion(res, n, m)
+        assert after.total_work == before.total_work
+        if res.parallelism is Parallelism.DOALL:
+            assert after.sync_count * 5 < before.sync_count
+
+    def test_doall_scan_consistent(self, study):
+        _nest, _g, res, fp = study
+        if res.parallelism is Parallelism.DOALL:
+            assert runtime_doall_violations(fp, 10, 10) == []
+
+
+class TestExecution:
+    def test_interpreter_equivalence_all_modes(self, study):
+        nest, _g, res, fp = study
+        n, m = 12, 11
+        base = ArrayStore.for_program(nest, n, m, seed=21)
+        ref = run_original(nest, n, m, store=base.copy())
+        assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="serial"))
+        if res.parallelism is Parallelism.DOALL:
+            for k in (1, 2):
+                assert ref.equal(
+                    run_fused(fp, n, m, store=base.copy(), mode="doall", order_seed=k)
+                )
+        elif res.parallelism is Parallelism.HYPERPLANE:
+            assert ref.equal(
+                run_fused(
+                    fp, n, m, store=base.copy(), mode="hyperplane",
+                    schedule=res.schedule,
+                )
+            )
+
+    def test_compiled_equivalence(self, study):
+        nest, _g, _res, fp = study
+        n, m = 12, 11
+        base = ArrayStore.for_program(nest, n, m, seed=21)
+        ref = run_original(nest, n, m, store=base.copy())
+        out = base.copy()
+        compile_fused(fp)(out, n, m)
+        assert ref.equal(out)
+
+    def test_emission_contains_all_stages(self, study):
+        _nest, _g, _res, fp = study
+        text = emit_fused_program(fp)
+        for arr in ("v0", "v4", "v8", "dst"):
+            assert f"{arr}[" in text

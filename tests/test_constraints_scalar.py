@@ -1,0 +1,109 @@
+"""Unit tests for scalar Bellman-Ford and Problem ILP (Section 2.4)."""
+
+import math
+
+import pytest
+
+from repro.constraints import (
+    InfeasibleSystemError,
+    NegativeCycleError,
+    ScalarConstraintSystem,
+    scalar_bellman_ford,
+)
+
+
+class TestScalarBellmanFord:
+    def test_simple_shortest_paths(self):
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", 2), ("a", "b", -1), ("s", "b", 5)]
+        res = scalar_bellman_ford(nodes, edges, "s")
+        assert res.feasible
+        assert res.dist == {"s": 0, "a": 2, "b": 1}
+
+    def test_predecessors_form_tree(self):
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", 2), ("a", "b", -1)]
+        res = scalar_bellman_ford(nodes, edges, "s")
+        assert res.pred["b"] == "a"
+        assert res.pred["a"] == "s"
+        assert res.pred["s"] is None
+
+    def test_unreachable_stays_inf(self):
+        res = scalar_bellman_ford(["s", "x"], [], "s")
+        assert res.dist["x"] == math.inf
+
+    def test_negative_cycle_detected(self):
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", 0), ("a", "b", -2), ("b", "a", 1)]
+        res = scalar_bellman_ford(nodes, edges, "s")
+        assert not res.feasible
+        assert set(res.negative_cycle) == {"a", "b"}
+
+    def test_zero_cycle_is_feasible(self):
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", 0), ("a", "b", -2), ("b", "a", 2)]
+        assert scalar_bellman_ford(nodes, edges, "s").feasible
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(ValueError):
+            scalar_bellman_ford(["a"], [], "zzz")
+
+    def test_negative_cycle_through_longer_path(self):
+        nodes = ["s", "a", "b", "c"]
+        edges = [("s", "a", 0), ("a", "b", 1), ("b", "c", -3), ("c", "a", 1)]
+        res = scalar_bellman_ford(nodes, edges, "s")
+        assert not res.feasible
+        assert set(res.negative_cycle) == {"a", "b", "c"}
+
+
+class TestScalarSystem:
+    def test_feasible_solution_satisfies_constraints(self):
+        s = ScalarConstraintSystem(["x", "y", "z"])
+        s.add_leq("x", "y", 3)
+        s.add_leq("y", "z", -2)
+        s.add_leq("x", "z", 0)
+        sol = s.solve()
+        assert sol["y"] - sol["x"] <= 3
+        assert sol["z"] - sol["y"] <= -2
+        assert sol["z"] - sol["x"] <= 0
+
+    def test_equalities(self):
+        s = ScalarConstraintSystem(["x", "y"])
+        s.add_eq("x", "y", 4)
+        sol = s.solve()
+        assert sol["y"] - sol["x"] == 4
+
+    def test_infeasible_equality_chain(self):
+        s = ScalarConstraintSystem(["x", "y"])
+        s.add_eq("x", "y", 1)
+        s.add_eq("y", "x", 1)  # x->y->x sums to 2 != 0
+        with pytest.raises(InfeasibleSystemError) as err:
+            s.solve()
+        assert set(err.value.cycle) <= {"x", "y"}
+
+    def test_unconstrained_unknown_zero(self):
+        s = ScalarConstraintSystem(["x", "lonely"])
+        s.add_leq("x", "x", 0)
+        sol = s.solve()
+        assert sol["lonely"] == 0
+
+    def test_is_feasible(self):
+        good = ScalarConstraintSystem(["a", "b"])
+        good.add_leq("a", "b", 1)
+        assert good.is_feasible()
+        bad = ScalarConstraintSystem(["a", "b"])
+        bad.add_leq("a", "b", -1)
+        bad.add_leq("b", "a", 0)
+        assert not bad.is_feasible()
+
+    def test_negative_cycle_error_is_exception(self):
+        assert issubclass(NegativeCycleError, Exception)
+
+    def test_theorem_2_2_solution_is_shortest_paths(self):
+        """The Bellman-Ford distances are themselves a feasible solution."""
+        s = ScalarConstraintSystem(["a", "b", "c"])
+        s.add_leq("a", "b", 5)
+        s.add_leq("b", "c", -7)
+        sol = s.solve()
+        # shortest-path solutions are the componentwise maximum solution <= 0
+        assert sol["a"] == 0 and sol["b"] == 0 and sol["c"] == -7

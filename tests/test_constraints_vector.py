@@ -1,0 +1,177 @@
+"""Unit tests for the lexicographic Bellman-Ford (Algorithm 1) and 2-ILP."""
+
+import pytest
+
+from repro.constraints import (
+    InfeasibleSystemError,
+    VectorConstraintSystem,
+    vector_bellman_ford,
+)
+from repro.constraints.constraint_graph import SUPER_SOURCE, ConstraintGraph
+from repro.vectors import ExtVec, IVec, POS_INF
+
+
+class TestVectorBellmanFord:
+    def test_figure5_running_example(self):
+        """The constraint graph of Figure 5 must yield Figure 6's retiming."""
+        nodes = ["v0", "A", "B", "C", "D"]
+        edges = [
+            ("v0", "A", IVec(0, 0)),
+            ("v0", "B", IVec(0, 0)),
+            ("v0", "C", IVec(0, 0)),
+            ("v0", "D", IVec(0, 0)),
+            ("A", "B", IVec(1, 1)),
+            ("B", "C", IVec(0, -2)),
+            ("C", "D", IVec(0, -1)),
+            ("A", "C", IVec(0, 1)),
+            ("D", "A", IVec(2, 1)),
+            ("C", "C", IVec(1, 0)),
+        ]
+        res = vector_bellman_ford(nodes, edges, "v0", dim=2)
+        assert res.feasible
+        assert res.dist["A"].to_ivec() == IVec(0, 0)
+        assert res.dist["B"].to_ivec() == IVec(0, 0)
+        assert res.dist["C"].to_ivec() == IVec(0, -2)
+        assert res.dist["D"].to_ivec() == IVec(0, -3)
+
+    def test_lexicographic_not_componentwise(self):
+        """(0,100) beats (1,-100) as a path weight under lex order."""
+        nodes = ["s", "t"]
+        edges = [("s", "t", IVec(0, 100)), ("s", "t", IVec(1, -100))]
+        res = vector_bellman_ford(nodes, edges, "s", dim=2)
+        assert res.dist["t"].to_ivec() == IVec(0, 100)
+
+    def test_negative_lex_cycle(self):
+        nodes = ["s", "a", "b"]
+        edges = [
+            ("s", "a", IVec(0, 0)),
+            ("a", "b", IVec(0, -1)),
+            ("b", "a", IVec(0, 0)),
+        ]
+        res = vector_bellman_ford(nodes, edges, "s", dim=2)
+        assert not res.feasible
+        assert set(res.negative_cycle) == {"a", "b"}
+
+    def test_zero_cycle_feasible(self):
+        nodes = ["s", "a", "b"]
+        edges = [
+            ("s", "a", IVec(0, 0)),
+            ("a", "b", IVec(0, -3)),
+            ("b", "a", IVec(0, 3)),
+        ]
+        assert vector_bellman_ford(nodes, edges, "s", dim=2).feasible
+
+    def test_infinite_weights(self):
+        nodes = ["s", "a"]
+        edges = [("s", "a", ExtVec(-1, POS_INF))]
+        res = vector_bellman_ford(nodes, edges, "s", dim=2)
+        d = res.dist["a"]
+        assert d[0] == -1 and d[1] == POS_INF
+
+    def test_wrong_dim_weight_raises(self):
+        with pytest.raises(ValueError):
+            vector_bellman_ford(["s", "a"], [("s", "a", IVec(1, 2, 3))], "s", dim=2)
+
+    def test_three_dimensional(self):
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", IVec(0, 0, 0)), ("a", "b", IVec(0, 0, -5))]
+        res = vector_bellman_ford(nodes, edges, "s", dim=3)
+        assert res.dist["b"].to_ivec() == IVec(0, 0, -5)
+
+
+class TestVectorSystem:
+    def test_solution_satisfies_constraints(self):
+        s = VectorConstraintSystem(["x", "y"], dim=2)
+        s.add_leq("x", "y", IVec(0, -2))
+        sol = s.solve()
+        assert sol["y"] - sol["x"] <= IVec(0, -2)
+
+    def test_vector_equality(self):
+        s = VectorConstraintSystem(["x", "y"], dim=2)
+        s.add_eq("x", "y", IVec(1, -1))
+        sol = s.solve()
+        assert sol["y"] - sol["x"] == IVec(1, -1)
+
+    def test_infinite_equality_rejected(self):
+        s = VectorConstraintSystem(["x", "y"], dim=2)
+        with pytest.raises(ValueError):
+            s.add_eq("x", "y", ExtVec(1, POS_INF))
+
+    def test_infeasible_raises_with_cycle(self):
+        s = VectorConstraintSystem(["x", "y"], dim=2)
+        s.add_leq("x", "y", IVec(0, -1))
+        s.add_leq("y", "x", IVec(0, 0))
+        with pytest.raises(InfeasibleSystemError) as err:
+            s.solve()
+        assert set(err.value.cycle) == {"x", "y"}
+
+    def test_infinite_coordinates_resolve_to_zero(self):
+        """Algorithm-3 style: only first coordinates constrained."""
+        s = VectorConstraintSystem(["x", "y"], dim=2)
+        s.add_leq("x", "y", ExtVec(-1, POS_INF))
+        sol = s.solve()
+        assert sol["y"] - sol["x"] == IVec(-1, 0)
+        assert sol["y"][1] == 0
+
+    def test_is_feasible(self):
+        s = VectorConstraintSystem(["x"], dim=2)
+        s.add_leq("x", "x", IVec(0, 0))
+        assert s.is_feasible()
+
+    def test_duplicate_unknowns_rejected(self):
+        with pytest.raises(ValueError):
+            VectorConstraintSystem(["x", "x"], dim=2).constraint_graph()
+
+
+class TestConstraintGraph:
+    def test_build_adds_source_edges(self):
+        g = ConstraintGraph.build(["a", "b"], [("a", "b", 1)], zero=0)
+        assert (SUPER_SOURCE, "a", 0) in g.edges
+        assert (SUPER_SOURCE, "b", 0) in g.edges
+        assert ("a", "b", 1) in g.edges
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintGraph.build(["a"], [("a", "zzz", 1)], zero=0)
+
+    def test_without_source(self):
+        g = ConstraintGraph.build(["a", "b"], [("a", "b", 1)], zero=0)
+        stripped = g.without_source()
+        assert SUPER_SOURCE not in stripped.nodes
+        assert stripped.edges == [("a", "b", 1)]
+
+    def test_describe(self):
+        g = ConstraintGraph.build(["a"], [], zero=0)
+        assert "v0 -> a" in g.describe()
+
+
+class TestDistanceExtraction:
+    def test_solve_distances_as_ivecs(self):
+        from repro.constraints.vector_bellman_ford import (
+            solve_distances_as_ivecs,
+            vector_bellman_ford,
+        )
+
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", IVec(0, -2))]
+        res = vector_bellman_ford(nodes, edges, "s", dim=2)
+        out = solve_distances_as_ivecs(res, unreachable=IVec(0, 0))
+        assert out["s"] == IVec(0, 0)
+        assert out["a"] == IVec(0, -2)
+        assert out["b"] == IVec(0, 0)  # unreachable -> sentinel
+
+    def test_infeasible_result_rejected(self):
+        from repro.constraints.vector_bellman_ford import (
+            solve_distances_as_ivecs,
+            vector_bellman_ford,
+        )
+
+        nodes = ["s", "a", "b"]
+        edges = [
+            ("s", "a", IVec(0, 0)),
+            ("a", "b", IVec(0, -1)),
+            ("b", "a", IVec(0, 0)),
+        ]
+        res = vector_bellman_ford(nodes, edges, "s", dim=2)
+        with pytest.raises(ValueError):
+            solve_distances_as_ivecs(res, unreachable=IVec(0, 0))

@@ -1,0 +1,109 @@
+"""Unit tests for dependence extraction (Definition 2.1)."""
+
+import pytest
+
+from repro.depend import (
+    DependenceKind,
+    classify_dependence,
+    dependence_table,
+    describe_dependencies,
+    extract_mldg,
+)
+from repro.gallery import figure2_mldg, iir2d_mldg
+from repro.gallery.common import iir2d_code
+from repro.gallery.paper import figure2_code
+from repro.loopir import parse_program
+from repro.vectors import IVec
+
+
+@pytest.fixture
+def fig2():
+    return parse_program(figure2_code())
+
+
+class TestExtraction:
+    def test_figure2_exact(self, fig2):
+        assert extract_mldg(fig2) == figure2_mldg()
+
+    def test_iir2d_exact(self):
+        assert extract_mldg(parse_program(iir2d_code())) == iir2d_mldg()
+
+    def test_definition_2_1_direction(self):
+        """c[i][j] = b[i][j+2] yields d = (0,-2) (Section 2.1's own example)."""
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  B: doall j = 0, m\n    b[i][j] = 1\n  end\n"
+            "  C: doall j = 0, m\n    c[i][j] = b[i][j+2]\n  end\n"
+            "end"
+        )
+        g = extract_mldg(nest)
+        assert g.D("B", "C") == frozenset({IVec(0, -2)})
+
+    def test_multiple_vectors_one_edge(self, fig2):
+        """a[i-1][j-1] and a[i-2][j-1] give D_L(A,B) = {(1,1),(2,1)}."""
+        g = extract_mldg(fig2)
+        assert g.D("A", "B") == frozenset({IVec(1, 1), IVec(2, 1)})
+
+    def test_intra_body_zero_dep_not_an_edge(self):
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  A: doall j = 0, m\n    t[i][j] = 1\n    u[i][j] = t[i][j]\n  end\n"
+            "end"
+        )
+        g = extract_mldg(nest)
+        assert g.num_edges == 0
+
+    def test_input_arrays_carry_no_dependence(self):
+        nest = parse_program(
+            "do i = 0, n\n  A: doall j = 0, m\n    a[i][j] = x[i-3][j-9]\n  end\nend"
+        )
+        assert extract_mldg(nest).num_edges == 0
+
+    def test_nodes_without_edges_still_present(self):
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  A: doall j = 0, m\n    a[i][j] = 1\n  end\n"
+            "  B: doall j = 0, m\n    b[i][j] = 2\n  end\n"
+            "end"
+        )
+        g = extract_mldg(nest)
+        assert g.nodes == ("A", "B")
+        assert g.num_edges == 0
+
+    def test_check_flag_validates(self):
+        bad = parse_program(
+            "do i = 0, n\n"
+            "  A: doall j = 0, m\n    a[i][j] = 1\n  end\n"
+            "  B: doall j = 0, m\n    a[i][j] = 2\n  end\n"
+            "end"
+        )
+        from repro.loopir import ValidationError
+
+        with pytest.raises(ValidationError):
+            extract_mldg(bad)
+
+
+class TestRecordsAndClassification:
+    def test_table_has_one_record_per_dependent_read(self, fig2):
+        records = dependence_table(fig2)
+        # figure 2 reads with producers: e(1) + a(2) + b(2)+a(1)+c(1) + c(1) = 8
+        assert len(records) == 8
+
+    def test_self_dependence_classified(self, fig2):
+        records = dependence_table(fig2)
+        self_deps = [r for r in records if classify_dependence(r) == DependenceKind.SELF]
+        assert len(self_deps) == 1
+        assert self_deps[0].src == "C" and self_deps[0].vector == IVec(1, 0)
+
+    def test_outer_carried_classified(self, fig2):
+        records = dependence_table(fig2)
+        kinds = {
+            (r.src, r.dst, r.vector): classify_dependence(r) for r in records
+        }
+        assert kinds[("D", "A", IVec(2, 1))] == DependenceKind.OUTER_CARRIED
+        assert kinds[("B", "C", IVec(0, -2))] == DependenceKind.SAME_ITERATION
+
+    def test_describe_marks_fusion_preventing(self, fig2):
+        text = describe_dependencies(dependence_table(fig2))
+        assert "fusion-preventing" in text
+        assert "B -> C (0, -2)" in text

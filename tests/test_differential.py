@@ -1,0 +1,109 @@
+"""Differential property tests: independent implementations must agree.
+
+Three executable semantics exist for every program --
+
+1. the scalar tree-walking interpreter (`run_original` / `run_fused`),
+2. the compiled Python/numpy backend (`compile_original` / `compile_fused`),
+3. (for parallel results) randomised-order execution --
+
+and three graph-level engines that must corroborate them (Property 4.1,
+the instance-level DOALL scan, and the wavefront enumeration).  Hypothesis
+drives random programs through all of them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import (
+    ArrayStore,
+    apply_fusion,
+    compile_fused,
+    compile_original,
+    run_fused,
+    run_original,
+)
+from repro.depend import extract_mldg
+from repro.fusion import Strategy, fuse
+from repro.graph import random_legal_mldg
+from repro.loopir import parse_program, format_program, program_from_mldg
+from repro.retiming import is_doall_after_fusion
+from repro.verify import runtime_doall_violations
+
+seeds = st.integers(min_value=0, max_value=10**6)
+sizes = st.integers(min_value=2, max_value=7)
+
+
+@given(seeds, sizes)
+@settings(max_examples=25, deadline=None)
+def test_interpreter_vs_compiled_original(seed, nodes):
+    g = random_legal_mldg(nodes, seed=seed)
+    nest = program_from_mldg(g)
+    n, m = 6, 7
+    base = ArrayStore.for_program(nest, n, m, seed=seed)
+    interp = run_original(nest, n, m, store=base.copy())
+    compiled_store = base.copy()
+    compile_original(nest)(compiled_store, n, m)
+    assert interp.equal(compiled_store)
+
+
+@given(seeds, sizes)
+@settings(max_examples=25, deadline=None)
+def test_interpreter_vs_compiled_fused(seed, nodes):
+    g = random_legal_mldg(nodes, seed=seed)
+    nest = program_from_mldg(g)
+    gx = extract_mldg(nest)
+    res = fuse(gx)
+    fp = apply_fusion(nest, res.retiming, mldg=gx)
+    n, m = 6, 7
+    base = ArrayStore.for_program(nest, n, m, seed=seed)
+    interp = run_fused(fp, n, m, store=base.copy(), mode="serial")
+    compiled_store = base.copy()
+    compile_fused(fp)(compiled_store, n, m)
+    assert interp.equal(compiled_store)
+    # and both equal the original program
+    assert run_original(nest, n, m, store=base.copy()).equal(compiled_store)
+
+
+@given(seeds, sizes)
+@settings(max_examples=25, deadline=None)
+def test_graph_doall_agrees_with_instance_scan(seed, nodes):
+    """Property 4.1 (graph) is sound against the instance-level scan for
+    every driver result on random programs."""
+    g = random_legal_mldg(nodes, seed=seed)
+    nest = program_from_mldg(g)
+    gx = extract_mldg(nest)
+    res = fuse(gx)
+    fp = apply_fusion(nest, res.retiming, mldg=gx)
+    if is_doall_after_fusion(res.retimed):
+        assert runtime_doall_violations(fp, 10, 10) == []
+
+
+@given(seeds, sizes)
+@settings(max_examples=25, deadline=None)
+def test_parser_printer_roundtrip_on_synthesised_programs(seed, nodes):
+    g = random_legal_mldg(nodes, seed=seed)
+    nest = program_from_mldg(g)
+    assert parse_program(format_program(nest)) == nest
+
+
+@given(seeds, sizes)
+@settings(max_examples=25, deadline=None)
+def test_serialization_roundtrip_random(seed, nodes):
+    from repro.graph import mldg_from_json, mldg_to_json
+
+    g = random_legal_mldg(nodes, seed=seed)
+    assert mldg_from_json(mldg_to_json(g)) == g
+
+
+@given(seeds, sizes)
+@settings(max_examples=15, deadline=None)
+def test_legal_only_fusion_serial_execution_matches(seed, nodes):
+    """LLOFRA-only fusions (possibly serial) still execute exactly."""
+    g = random_legal_mldg(nodes, seed=seed)
+    nest = program_from_mldg(g)
+    gx = extract_mldg(nest)
+    res = fuse(gx, strategy=Strategy.LEGAL_ONLY)
+    fp = apply_fusion(nest, res.retiming, mldg=gx)
+    n, m = 6, 6
+    base = ArrayStore.for_program(nest, n, m, seed=seed)
+    ref = run_original(nest, n, m, store=base.copy())
+    assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="serial"))

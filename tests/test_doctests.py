@@ -1,0 +1,32 @@
+"""Run the doctests embedded in the public API docstrings.
+
+Documentation that executes: the usage examples shown in module and class
+docstrings must keep working.
+"""
+
+import doctest
+
+import pytest
+
+import repro.constraints.system
+import repro.graph.builders
+import repro.graph.mldg
+import repro.retiming.retiming
+import repro.vectors.extended
+import repro.vectors.vector
+
+MODULES = [
+    repro.vectors.vector,
+    repro.vectors.extended,
+    repro.graph.mldg,
+    repro.graph.builders,
+    repro.retiming.retiming,
+    repro.constraints.system,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0

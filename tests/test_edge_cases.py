@@ -1,0 +1,160 @@
+"""Edge-case tests across subsystem boundaries.
+
+Degenerate iteration spaces, retimings larger than the grid, dependencies
+off every cycle with negative first coordinates, and other corners that
+unit tests organised per module do not naturally reach.
+"""
+
+import pytest
+
+from repro.codegen import (
+    ArrayStore,
+    apply_fusion,
+    compile_fused,
+    run_fused,
+    run_original,
+)
+from repro.depend import extract_mldg
+from repro.fusion import Strategy, fuse, legal_fusion_retiming
+from repro.gallery.paper import figure2_code
+from repro.graph import is_legal, is_sequence_executable, mldg_from_table
+from repro.loopir import parse_program
+from repro.machine import hyperplane_profile, unfused_profile
+from repro.retiming import Retiming
+from repro.vectors import IVec
+
+
+class TestDegenerateGrids:
+    """n = 0 / m = 0: the fused core can be empty; guards must still cover
+    every original instance exactly once."""
+
+    @pytest.mark.parametrize("n,m", [(0, 0), (0, 5), (5, 0), (1, 1), (2, 9)])
+    def test_equivalence_on_tiny_grids(self, n, m):
+        nest = parse_program(figure2_code())
+        g = extract_mldg(nest)
+        res = fuse(g)
+        fp = apply_fusion(nest, res.retiming, mldg=g)
+        base = ArrayStore.for_program(nest, n, m, seed=9)
+        ref = run_original(nest, n, m, store=base.copy())
+        assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="serial"))
+        assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="doall"))
+
+    @pytest.mark.parametrize("n,m", [(0, 0), (0, 4), (3, 0)])
+    def test_compiled_backend_on_tiny_grids(self, n, m):
+        nest = parse_program(figure2_code())
+        g = extract_mldg(nest)
+        fp = apply_fusion(nest, fuse(g).retiming, mldg=g)
+        base = ArrayStore.for_program(nest, n, m, seed=9)
+        ref = run_original(nest, n, m, store=base.copy())
+        out = base.copy()
+        compile_fused(fp)(out, n, m)
+        assert ref.equal(out)
+
+    def test_empty_core_range(self):
+        """Retiming shifts larger than n leave an empty core; the full
+        range still covers everything."""
+        nest = parse_program(figure2_code())
+        g = extract_mldg(nest)
+        fp = apply_fusion(nest, fuse(g).retiming, mldg=g)
+        lo, hi = fp.core_outer_range(0)  # n = 0 with shifts down to -1
+        assert lo > hi  # empty core
+        flo, fhi = fp.full_outer_range(0)
+        assert flo <= fhi  # but the full range is not
+
+
+class TestNegativeFirstCoordinates:
+    """Vectors with d[0] < 0 off every cycle: legal (retimable) but not
+    sequence-executable; LLOFRA must fix them."""
+
+    def test_legal_but_not_executable(self):
+        g = mldg_from_table({("A", "B"): [(-2, 3)]}, nodes=["A", "B"])
+        assert is_legal(g)
+        assert not is_sequence_executable(g).legal
+
+    def test_llofra_repairs(self):
+        g = mldg_from_table({("A", "B"): [(-2, 3)]}, nodes=["A", "B"])
+        r = legal_fusion_retiming(g)
+        gr = r.apply(g)
+        assert gr.delta("A", "B") >= IVec(0, 0)
+
+    def test_driver_gives_parallel_result(self):
+        g = mldg_from_table(
+            {("A", "B"): [(-1, 0)], ("B", "C"): [(0, -2)]}, nodes=["A", "B", "C"]
+        )
+        res = fuse(g)
+        assert res.parallelism.value in ("doall", "hyperplane")
+
+
+class TestExtremeRetimings:
+    def test_large_shifts_still_equivalent(self):
+        """A legal but absurdly large retiming must still execute exactly
+        (everything lands in prologue/epilogue)."""
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  A: doall j = 0, m\n    a[i][j] = x[i][j]\n  end\n"
+            "  B: doall j = 0, m\n    b[i][j] = a[i-3][j-5]\n  end\n"
+            "end"
+        )
+        g = extract_mldg(nest)
+        big = Retiming({"B": IVec(-3, -5)}, dim=2)
+        fp = apply_fusion(nest, big, mldg=g)
+        n, m = 4, 4  # smaller than the shifts
+        base = ArrayStore.for_program(nest, n, m, seed=1)
+        ref = run_original(nest, n, m, store=base.copy())
+        assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="serial"))
+
+    def test_positive_retiming_components(self):
+        """Nothing requires shortest-path (non-positive) retimings; positive
+        shifts must transform and execute correctly too."""
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  A: doall j = 0, m\n    a[i][j] = x[i][j]\n  end\n"
+            "  B: doall j = 0, m\n    b[i][j] = a[i-1][j]\n  end\n"
+            "end"
+        )
+        g = extract_mldg(nest)
+        r = Retiming({"A": IVec(1, 0), "B": IVec(0, 1)}, dim=2)
+        gr = r.apply(g)
+        assert gr.delta("A", "B") == IVec(2, -1)
+        fp = apply_fusion(nest, r, mldg=g)
+        n, m = 6, 6
+        base = ArrayStore.for_program(nest, n, m, seed=2)
+        ref = run_original(nest, n, m, store=base.copy())
+        assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="serial"))
+
+
+class TestSingleLoopPrograms:
+    def test_single_loop_fuses_trivially(self):
+        nest = parse_program(
+            "do i = 0, n\n  A: doall j = 0, m\n    a[i][j] = a[i-1][j+4]\n  end\nend"
+        )
+        g = extract_mldg(nest)
+        res = fuse(g)
+        assert res.is_doall
+        assert res.retiming.is_identity() or res.retiming[("A")] is not None
+        fp = apply_fusion(nest, res.retiming, mldg=g)
+        base = ArrayStore.for_program(nest, 5, 5, seed=3)
+        ref = run_original(nest, 5, 5, store=base.copy())
+        assert ref.equal(run_fused(fp, 5, 5, store=base.copy(), mode="doall"))
+
+
+class TestScheduleCorners:
+    def test_negative_skew_schedule_profile(self):
+        """Lemma 4.3 can yield s with negative first component; the machine
+        profile must handle negative wavefront levels."""
+        from repro.retiming import schedule_vector_for
+
+        s = schedule_vector_for([IVec(1, 3)])
+        assert s.dot(IVec(1, 3)) > 0
+        g = mldg_from_table({("A", "B"): [(1, 3)]}, nodes=["A", "B"])
+        r = Retiming.zero(dim=2)
+        prof = hyperplane_profile(g, r, s, 6, 6)
+        assert prof.total_work == unfused_profile(g, 6, 6).total_work
+
+    def test_forced_hyperplane_on_acyclic(self):
+        g = mldg_from_table({("A", "B"): [(0, -7)]}, nodes=["A", "B"])
+        res = fuse(g, strategy=Strategy.HYPERPLANE)
+        assert res.schedule is not None
+        # LLOFRA turned (0,-7) into (0,0); no non-zero vectors remain,
+        # so the row schedule appears and the result is DOALL
+        assert res.is_doall

@@ -1,0 +1,90 @@
+"""Unit tests for the programmatic experiment-table API."""
+
+import pytest
+
+from repro.experiments import (
+    baseline_table,
+    extended_table,
+    format_table,
+    full_report,
+    peel_crossover_table,
+    section5_table,
+    speedup_table,
+    sync_sweep_table,
+)
+
+
+class TestSection5:
+    def test_five_rows(self):
+        headers, rows = section5_table(n=50, m=31)
+        assert len(rows) == 5
+        assert headers[0] == "example"
+
+    def test_reconstructed_marked(self):
+        _h, rows = section5_table(n=20, m=10)
+        starred = [r for r in rows if "*" in r[0]]
+        assert len(starred) == 2
+
+    def test_doall_rows_reduce_syncs(self):
+        _h, rows = section5_table(n=50, m=31)
+        for row in rows:
+            if "DOALL" in row[6]:
+                assert row[5] < row[4]
+
+
+class TestSyncSweep:
+    def test_paper_core_counts(self):
+        _h, rows = sync_sweep_table(ns=(10, 100), m=63)
+        for (n, _p7n, _before, paper, measured) in rows:
+            assert measured == paper == n - 2
+
+
+class TestSpeedup:
+    def test_shape(self):
+        headers, rows = speedup_table(n=30, m=15, processors=(1, 4))
+        assert len(rows) == 5 * 2
+        assert headers[-1] == "improvement"
+
+    def test_doall_examples_improve_at_scale(self):
+        _h, rows = speedup_table(n=50, m=31, processors=(8,))
+        by_key = {r[0]: r for r in rows}
+        assert float(by_key["example1-fig8"][4].rstrip("x")) > 1.0
+
+
+class TestBaselines:
+    def test_six_techniques_per_example(self):
+        _h, rows = baseline_table()
+        assert len(rows) == 5 * 6
+        techniques = {r[1] for r in rows}
+        assert "this paper (retiming)" in techniques
+        assert "naive + unimodular" in techniques
+
+    def test_retiming_always_one_loop(self):
+        _h, rows = baseline_table()
+        ours = [r for r in rows if r[1] == "this paper (retiming)"]
+        assert all(r[2] == "1 loop" for r in ours)
+
+
+class TestExtendedAndPeel:
+    def test_extended_six_kernels(self):
+        _h, rows = extended_table(n=20, m=10)
+        assert len(rows) == 6
+
+    def test_peel_crossover_monotone(self):
+        _h, rows = peel_crossover_table(n=50, m=63, processors=(1, 16, 64))
+        slowdowns = [float(r[4].rstrip("x")) for r in rows]
+        assert slowdowns[0] == pytest.approx(1.0)
+        assert slowdowns[-1] >= slowdowns[1]
+
+
+class TestRendering:
+    def test_format_table(self):
+        text = format_table("T", (["a", "bb"], [(1, 22), (333, 4)]))
+        assert "== T ==" in text
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned columns
+
+    def test_full_report_contains_all_sections(self):
+        text = full_report(n=20, m=10)
+        for marker in ("E5", "E3", "E7", "E8", "E11", "crossover"):
+            assert marker in text

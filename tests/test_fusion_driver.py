@@ -1,0 +1,113 @@
+"""Unit tests for the unified fuse() driver."""
+
+import pytest
+
+from repro import FusionError, Parallelism, Strategy, fuse
+from repro.fusion import IllegalMLDGError
+from repro.gallery import figure2_mldg, figure8_mldg, figure14_mldg
+from repro.graph import mldg_from_table
+from repro.vectors import IVec
+
+
+class TestAutoStrategy:
+    def test_acyclic_picks_algorithm3(self):
+        res = fuse(figure8_mldg())
+        assert res.strategy is Strategy.ACYCLIC
+        assert res.parallelism is Parallelism.DOALL
+
+    def test_cyclic_picks_algorithm4(self):
+        res = fuse(figure2_mldg())
+        assert res.strategy is Strategy.CYCLIC
+        assert res.parallelism is Parallelism.DOALL
+        assert res.schedule == IVec(1, 0)
+
+    def test_fallback_to_hyperplane(self):
+        res = fuse(figure14_mldg())
+        assert res.strategy is Strategy.HYPERPLANE
+        assert res.parallelism is Parallelism.HYPERPLANE
+        assert res.schedule == IVec(5, 1)
+        assert res.hyperplane == IVec(1, -5)
+        assert any("Theorem 4.2" in n for n in res.notes)
+
+    def test_string_strategy_accepted(self):
+        res = fuse(figure8_mldg(), strategy="auto")
+        assert res.strategy is Strategy.ACYCLIC
+
+    def test_verification_attached(self):
+        res = fuse(figure2_mldg())
+        assert res.verification.ok_for_parallel_fusion
+
+
+class TestForcedStrategies:
+    def test_direct_on_fusable_graph(self):
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        res = fuse(g, strategy=Strategy.DIRECT)
+        assert res.retiming.is_identity()
+        assert res.parallelism is Parallelism.DOALL
+
+    def test_direct_refuses_fusion_preventing(self):
+        with pytest.raises(FusionError):
+            fuse(figure2_mldg(), strategy=Strategy.DIRECT)
+
+    def test_direct_serial_when_inner_dependence(self):
+        g = mldg_from_table({("A", "B"): [(0, 2)]}, nodes=["A", "B"])
+        res = fuse(g, strategy=Strategy.DIRECT)
+        assert res.parallelism is Parallelism.SERIAL
+
+    def test_legal_only_matches_figure6(self):
+        from repro.gallery.paper import figure2_expected_llofra_retiming
+
+        res = fuse(figure2_mldg(), strategy=Strategy.LEGAL_ONLY)
+        assert res.strategy is Strategy.LEGAL_ONLY
+        assert res.retiming == figure2_expected_llofra_retiming()
+        # LLOFRA alone leaves the fused loop serial (Figure 7)
+        assert res.parallelism is Parallelism.SERIAL
+
+    def test_forced_hyperplane_on_doallable_graph(self):
+        res = fuse(figure2_mldg(), strategy=Strategy.HYPERPLANE)
+        assert res.strategy is Strategy.HYPERPLANE
+        # LLOFRA on figure 2 keeps a (0,k) vector, so a genuine wavefront
+        assert res.hyperplane is not None
+
+    def test_forced_acyclic_on_cyclic_raises(self):
+        from repro.fusion import NotAcyclicError
+
+        with pytest.raises(NotAcyclicError):
+            fuse(figure2_mldg(), strategy=Strategy.ACYCLIC)
+
+
+class TestIllegalInputs:
+    def test_illegal_graph_rejected_up_front(self):
+        g = mldg_from_table(
+            {("A", "B"): [(0, -1)], ("B", "A"): [(0, 0)]}, nodes=["A", "B"]
+        )
+        for strat in Strategy:
+            if strat is Strategy.AUTO:
+                with pytest.raises(IllegalMLDGError):
+                    fuse(g)
+            else:
+                with pytest.raises(IllegalMLDGError):
+                    fuse(g, strategy=strat)
+
+
+class TestResultSurface:
+    def test_summary_readable(self):
+        res = fuse(figure2_mldg())
+        text = res.summary()
+        assert "cyclic" in text
+        assert "r(C)=(-1, 0)" in text
+        assert "schedule" in text
+
+    def test_is_doall_helper(self):
+        assert fuse(figure2_mldg()).is_doall
+        assert not fuse(figure14_mldg()).is_doall
+
+    def test_original_untouched(self):
+        g = figure2_mldg()
+        snapshot = g.copy()
+        fuse(g)
+        assert g == snapshot
+
+    def test_retimed_graph_consistent(self):
+        res = fuse(figure2_mldg())
+        assert res.retimed == res.retiming.apply(res.original)

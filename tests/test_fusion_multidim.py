@@ -1,0 +1,167 @@
+"""Unit and property tests for the n-dimensional generalisations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fusion import (
+    NoParallelRetimingError,
+    cyclic_parallel_retiming,
+    multidim_hyperplane_fusion,
+    multidim_parallel_retiming,
+    multidim_schedule_vector,
+)
+from repro.gallery import figure2_mldg, figure8_mldg, figure14_mldg, iir2d_mldg
+from repro.graph import MLDG, is_fusion_legal, mldg_from_table
+from repro.vectors import IVec
+
+
+class TestTwoDimensionalAgreement:
+    """In 2-D the generalisation must coincide with Algorithm 4."""
+
+    @pytest.mark.parametrize(
+        "build", [figure2_mldg, figure8_mldg, iir2d_mldg], ids=lambda b: b.__name__
+    )
+    def test_same_retiming_as_algorithm4(self, build):
+        g = build()
+        assert multidim_parallel_retiming(g) == cyclic_parallel_retiming(g)
+
+    def test_same_failure_as_algorithm4(self):
+        with pytest.raises(NoParallelRetimingError):
+            multidim_parallel_retiming(figure14_mldg())
+
+
+def _random_legal_3d(seed: int, n: int = 6) -> MLDG:
+    rng = random.Random(seed)
+    g = MLDG(dim=3)
+    names = [f"L{k}" for k in range(n)]
+    for name in names:
+        g.add_node(name)
+    for a in range(n):
+        for b in range(n):
+            if a == b or rng.random() > 0.4:
+                continue
+            lo = 0 if a < b else 1
+            count = rng.randint(1, 2)
+            vecs = [
+                IVec(
+                    rng.randint(lo, 2),
+                    rng.randint(-3, 3),
+                    rng.randint(-3, 3),
+                )
+                for _ in range(count)
+            ]
+            g.add_dependence(names[a], names[b], *vecs)
+    return g
+
+
+class TestThreeDimensional:
+    def test_known_example(self):
+        g = mldg_from_table(
+            {
+                ("A", "B"): [(0, -2, 1)],
+                ("B", "C"): [(0, 1, -4), (0, 1, 2)],  # hard
+                ("C", "A"): [(1, 0, 0)],
+            },
+            nodes=["A", "B", "C"],
+            dim=3,
+        )
+        r = multidim_parallel_retiming(g)
+        gr = r.apply(g)
+        for d in gr.all_vectors():
+            assert d[0] >= 1 or d.is_zero()
+        assert is_fusion_legal(gr)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_invariant_on_random_graphs(self, seed):
+        g = _random_legal_3d(seed)
+        try:
+            r = multidim_parallel_retiming(g)
+        except NoParallelRetimingError:
+            return  # legitimately impossible for this graph
+        gr = r.apply(g)
+        for d in gr.all_vectors():
+            assert d[0] >= 1 or d.is_zero(), (seed, d)
+
+    def test_failure_carries_phase(self):
+        g = mldg_from_table(
+            {
+                ("A", "B"): [(0, 0, -1)],
+                ("B", "A"): [(0, 0, 3)],
+            },
+            nodes=["A", "B"],
+            dim=3,
+        )
+        with pytest.raises(NoParallelRetimingError) as err:
+            multidim_parallel_retiming(g)
+        assert err.value.phase.startswith("tail[")
+
+
+class TestMultidimSchedule:
+    def test_matches_lemma_4_3_in_2d(self):
+        """The n-D construction agrees with Lemma 4.3 on Figure 14's set."""
+        deps = [
+            IVec(0, 5), IVec(0, 0), IVec(0, 2), IVec(0, 1),
+            IVec(1, 0), IVec(1, -4), IVec(1, 3),
+        ]
+        assert multidim_schedule_vector(deps) == IVec(5, 1)
+
+    def test_strict_on_3d_sets(self):
+        deps = [IVec(0, 0, 3), IVec(0, 2, -5), IVec(1, -4, -4)]
+        s = multidim_schedule_vector(deps)
+        assert all(s.dot(d) > 0 for d in deps)
+
+    def test_rejects_negative_vector(self):
+        with pytest.raises(ValueError):
+            multidim_schedule_vector([IVec(0, -1, 0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            multidim_schedule_vector([IVec(0, 0)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=-6, max_value=6),
+                st.integers(min_value=-6, max_value=6),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=150)
+    def test_property_strict_for_lex_nonneg(self, triples):
+        vecs = []
+        for t in triples:
+            v = IVec(t)
+            if tuple(v) >= (0, 0, 0) and not v.is_zero():
+                vecs.append(v)
+        if not vecs:
+            return
+        s = multidim_schedule_vector(vecs)
+        assert all(s.dot(d) > 0 for d in vecs)
+
+
+class TestMultidimHyperplane:
+    def test_3d_pipeline(self):
+        g = mldg_from_table(
+            {
+                ("A", "B"): [(0, 0, -2)],
+                ("B", "A"): [(0, 0, 5), (1, 0, 0)],
+            },
+            nodes=["A", "B"],
+            dim=3,
+        )
+        r, s = multidim_hyperplane_fusion(g)
+        gr = r.apply(g)
+        assert is_fusion_legal(gr)
+        assert all(s.dot(d) > 0 for d in gr.all_vectors() if not d.is_zero())
+
+    def test_no_dependencies(self):
+        g = MLDG(dim=3)
+        g.add_node("A")
+        g.add_node("B")
+        r, s = multidim_hyperplane_fusion(g)
+        assert s == IVec(1, 0, 0)

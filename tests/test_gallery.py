@@ -1,0 +1,160 @@
+"""Unit tests for the example gallery (paper figures + Section-5 set)."""
+
+import pytest
+
+from repro.fusion import Strategy, fuse
+from repro.gallery import (
+    all_section5_examples,
+    figure2_mldg,
+    figure8_mldg,
+    figure14_mldg,
+    floyd_steinberg_mldg,
+    iir2d_mldg,
+)
+from repro.graph import is_legal
+from repro.vectors import IVec
+
+
+class TestFigure2Transcription:
+    def test_vector_sets_match_section_2_2(self):
+        g = figure2_mldg()
+        assert g.D("A", "B") == frozenset({IVec(1, 1), IVec(2, 1)})
+        assert g.D("B", "C") == frozenset({IVec(0, -2), IVec(0, 1)})
+        assert g.D("C", "D") == frozenset({IVec(0, -1)})
+        assert g.D("A", "C") == frozenset({IVec(0, 1)})
+        assert g.D("D", "A") == frozenset({IVec(2, 1)})
+        assert g.D("C", "C") == frozenset({IVec(1, 0)})
+
+    def test_deltas_match_section_2_2(self):
+        g = figure2_mldg()
+        assert g.delta("A", "B") == IVec(1, 1)
+        assert g.delta("B", "C") == IVec(0, -2)
+        assert g.delta("C", "D") == IVec(0, -1)
+        assert g.delta("A", "C") == IVec(0, 1)
+        assert g.delta("D", "A") == IVec(2, 1)
+        assert g.delta("C", "C") == IVec(1, 0)
+
+    def test_hard_edges(self):
+        g = figure2_mldg()
+        assert g.is_hard_edge("B", "C")
+        assert not g.is_hard_edge("A", "B")
+
+    def test_six_edges_four_nodes(self):
+        g = figure2_mldg()
+        assert g.num_nodes == 4 and g.num_edges == 6
+
+
+class TestFigure8Transcription:
+    def test_counts(self):
+        g = figure8_mldg()
+        assert g.num_nodes == 7 and g.num_edges == 8
+
+    def test_hard_edges(self):
+        g = figure8_mldg()
+        assert g.is_hard_edge("B", "C")
+        assert g.is_hard_edge("A", "D")
+        assert not g.is_hard_edge("C", "D")
+
+
+class TestFigure14Transcription:
+    def test_counts(self):
+        g = figure14_mldg()
+        assert g.num_nodes == 7 and g.num_edges == 10
+
+    def test_modified_sets(self):
+        g = figure14_mldg()
+        assert g.D("D", "C") == frozenset({IVec(0, -2)})
+        assert g.D("E", "B") == frozenset({IVec(0, 1), IVec(1, 1)})
+        assert g.D("C", "D") == frozenset({IVec(0, 3), IVec(0, 5)})
+        assert g.D("A", "D") == frozenset({IVec(0, -3), IVec(1, 0)})
+
+    def test_hard_edges_match_figure(self):
+        g = figure14_mldg()
+        assert g.is_hard_edge("B", "C")
+        assert g.is_hard_edge("C", "D")
+        assert not g.is_hard_edge("E", "B")
+        assert not g.is_hard_edge("A", "D")
+
+
+class TestSection5Set:
+    def test_five_examples(self):
+        assert len(all_section5_examples()) == 5
+
+    def test_first_three_are_paper_figures(self):
+        ex = all_section5_examples()
+        assert ex[0].mldg() == figure8_mldg()
+        assert ex[1].mldg() == figure2_mldg()
+        assert ex[2].mldg() == figure14_mldg()
+        assert not any(e.reconstructed for e in ex[:3])
+        assert all(e.reconstructed for e in ex[3:])
+
+    def test_all_legal(self):
+        for ex in all_section5_examples():
+            assert is_legal(ex.mldg()), ex.key
+
+    @pytest.mark.parametrize("ex", all_section5_examples(), ids=lambda e: e.key)
+    def test_expected_strategy(self, ex):
+        res = fuse(ex.mldg())
+        assert res.strategy is Strategy(ex.expected_strategy)
+
+
+class TestReconstructedExamples:
+    def test_iir2d_is_cyclic_doall(self):
+        res = fuse(iir2d_mldg())
+        assert res.strategy is Strategy.CYCLIC
+        assert res.is_doall
+
+    def test_sor_needs_hyperplane(self):
+        res = fuse(floyd_steinberg_mldg())
+        assert res.strategy is Strategy.HYPERPLANE
+        assert res.schedule == IVec(5, 1)
+        assert res.hyperplane == IVec(1, -5)
+
+    def test_iir2d_code_matches_graph(self):
+        """The DSL source must extract to exactly the published MLDG."""
+        pytest.importorskip("repro.depend")
+        from repro.depend import extract_mldg
+        from repro.gallery.common import iir2d_code
+        from repro.loopir import parse_program
+
+        prog = parse_program(iir2d_code())
+        assert extract_mldg(prog) == iir2d_mldg()
+
+
+class TestExtendedKernels:
+    def test_six_kernels(self):
+        from repro.gallery import extended_kernels
+
+        kernels = extended_kernels()
+        assert len(kernels) == 6
+        assert len({k.key for k in kernels}) == 6
+
+    def test_all_parse_validate_and_extract(self):
+        from repro.gallery import extended_kernels
+        from repro.loopir import validate_program
+
+        for k in extended_kernels():
+            nest = k.nest()
+            validate_program(nest)
+            g = k.mldg()
+            assert g.num_nodes == len(nest.loops)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        __import__("repro.gallery.extended", fromlist=["extended_kernels"]).extended_kernels(),
+        ids=lambda k: k.key,
+    )
+    def test_expected_strategies(self, kernel):
+        res = fuse(kernel.mldg())
+        assert res.strategy is Strategy(kernel.expected_strategy)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        __import__("repro.gallery.extended", fromlist=["extended_kernels"]).extended_kernels(),
+        ids=lambda k: k.key,
+    )
+    def test_end_to_end_verified(self, kernel):
+        from repro.pipeline import fuse_and_verify
+
+        out = fuse_and_verify(kernel.code, sizes=[(8, 7)], seeds=[0])
+        assert out.fused is not None

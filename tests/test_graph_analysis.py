@@ -1,0 +1,93 @@
+"""Unit tests for MLDG structural analyses."""
+
+import pytest
+
+from repro.graph import (
+    cycle_weight,
+    enumerate_cycles,
+    is_acyclic,
+    mldg_from_table,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.gallery import figure2_mldg, figure8_mldg
+from repro.vectors import IVec
+
+
+class TestAcyclicity:
+    def test_figure8_acyclic(self):
+        assert is_acyclic(figure8_mldg())
+
+    def test_figure2_cyclic(self):
+        assert not is_acyclic(figure2_mldg())
+
+    def test_self_loop_is_cycle(self):
+        g = mldg_from_table({("A", "A"): [(1, 0)]}, nodes=["A"])
+        assert not is_acyclic(g)
+
+
+class TestCycles:
+    def test_figure2_cycle_count(self):
+        # simple cycles of Figure 2: the self-loop C, A->B->C->D->A, A->C->D->A
+        cycles = list(enumerate_cycles(figure2_mldg()))
+        assert len(cycles) == 3
+
+    def test_limit(self):
+        cycles = list(enumerate_cycles(figure2_mldg(), limit=1))
+        assert len(cycles) == 1
+
+    def test_cycle_weight_self_loop(self):
+        g = figure2_mldg()
+        assert cycle_weight(g, ["C"]) == IVec(1, 0)
+
+    def test_cycle_weight_rotation_invariant(self):
+        g = figure2_mldg()
+        w1 = cycle_weight(g, ["A", "B", "C", "D"])
+        w2 = cycle_weight(g, ["C", "D", "A", "B"])
+        assert w1 == w2
+
+    def test_cycle_weight_empty_raises(self):
+        with pytest.raises(ValueError):
+            cycle_weight(figure2_mldg(), [])
+
+    def test_cycle_weight_missing_edge_raises(self):
+        with pytest.raises(KeyError):
+            cycle_weight(figure2_mldg(), ["A", "D"])  # no D->A? (exists) A->D missing
+
+
+class TestTopology:
+    def test_topological_order_figure8(self):
+        order = topological_order(figure8_mldg())
+        pos = {n: i for i, n in enumerate(order)}
+        for (u, v) in [("A", "B"), ("B", "C"), ("C", "D"), ("D", "E"),
+                       ("B", "F"), ("F", "G"), ("B", "E"), ("A", "D")]:
+            assert pos[u] < pos[v]
+
+    def test_topological_prefers_program_order(self):
+        g = mldg_from_table(
+            {("A", "B"): [(0, 1)], ("A", "C"): [(0, 1)]}, nodes=["A", "B", "C"]
+        )
+        assert topological_order(g) == ["A", "B", "C"]
+
+    def test_sccs_figure2(self):
+        comps = strongly_connected_components(figure2_mldg())
+        # A,B,C,D form one SCC (the D->A back edge closes it)
+        assert (max(comps, key=len)) == ("A", "B", "C", "D")
+
+    def test_sccs_figure8_all_singletons(self):
+        comps = strongly_connected_components(figure8_mldg())
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 7
+
+    def test_scc_condensation_in_topological_order(self):
+        g = mldg_from_table(
+            {
+                ("A", "B"): [(0, 1)],
+                ("B", "C"): [(0, 1)],
+                ("C", "B"): [(1, 0)],
+                ("C", "D"): [(0, 1)],
+            },
+            nodes=["A", "B", "C", "D"],
+        )
+        comps = strongly_connected_components(g)
+        assert comps == [("A",), ("B", "C"), ("D",)]

@@ -1,0 +1,72 @@
+"""Unit tests for DependenceEdge."""
+
+import pytest
+
+from repro.graph import DependenceEdge
+from repro.vectors import IVec
+
+
+class TestBasics:
+    def test_delta_is_min(self):
+        e = DependenceEdge.of("A", "B", [IVec(2, 1), IVec(1, 1)])
+        assert e.delta == IVec(1, 1)
+
+    def test_empty_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge.of("A", "B", [])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge.of("A", "B", [IVec(1, 1), IVec(1, 1, 1)])
+
+    def test_self_loop(self):
+        e = DependenceEdge.of("C", "C", [IVec(1, 0)])
+        assert e.is_self_loop
+
+    def test_key_and_dim(self):
+        e = DependenceEdge.of("A", "B", [IVec(1, 2, 3)])
+        assert e.key == ("A", "B")
+        assert e.dim == 3
+
+
+class TestHardEdges:
+    def test_paper_hard_edge(self):
+        """B->C in Figure 2: (0,-2) and (0,1) share first coordinate."""
+        e = DependenceEdge.of("B", "C", [IVec(0, -2), IVec(0, 1)])
+        assert e.is_hard
+
+    def test_paper_non_hard_edge(self):
+        """A->B in Figure 2: (1,1) and (2,1) differ in first coordinate."""
+        e = DependenceEdge.of("A", "B", [IVec(1, 1), IVec(2, 1)])
+        assert not e.is_hard
+
+    def test_single_vector_never_hard(self):
+        assert not DependenceEdge.of("A", "B", [IVec(0, -9)]).is_hard
+
+    def test_duplicate_first_same_rest_not_hard(self):
+        e = DependenceEdge.of("A", "B", [IVec(0, 2), IVec(1, 2)])
+        assert not e.is_hard
+
+    def test_three_dimensional_hard(self):
+        e = DependenceEdge.of("A", "B", [IVec(0, 1, 1), IVec(0, 1, 2)])
+        assert e.is_hard
+
+    def test_three_vectors_mixed(self):
+        e = DependenceEdge.of("A", "B", [IVec(0, 1), IVec(1, 5), IVec(0, 2)])
+        assert e.is_hard
+
+
+class TestShift:
+    def test_shifted_matches_retiming_rule(self):
+        e = DependenceEdge.of("D", "A", [IVec(2, 1)])
+        out = e.shifted(IVec(-1, -1), IVec(0, 0))
+        assert out.vectors == frozenset({IVec(1, 0)})
+
+    def test_shift_preserves_set_size_unless_collision(self):
+        e = DependenceEdge.of("A", "B", [IVec(1, 1), IVec(2, 1)])
+        out = e.shifted(IVec(0, 0), IVec(1, 0))
+        assert out.vectors == frozenset({IVec(0, 1), IVec(1, 1)})
+
+    def test_str_marks_hard(self):
+        e = DependenceEdge.of("B", "C", [IVec(0, -2), IVec(0, 1)])
+        assert "*" in str(e)

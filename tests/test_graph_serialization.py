@@ -1,0 +1,88 @@
+"""Unit tests for MLDG JSON/DOT serialization and random generation."""
+
+import json
+
+import pytest
+
+from repro.graph import (
+    is_legal,
+    is_sequence_executable,
+    mldg_from_json,
+    mldg_from_table,
+    mldg_to_dot,
+    mldg_to_json,
+    random_acyclic_mldg,
+    random_legal_mldg,
+    is_acyclic,
+)
+from repro.gallery import figure2_mldg, figure8_mldg, figure14_mldg
+
+
+class TestJson:
+    @pytest.mark.parametrize("build", [figure2_mldg, figure8_mldg, figure14_mldg])
+    def test_roundtrip_paper_graphs(self, build):
+        g = build()
+        assert mldg_from_json(mldg_to_json(g)) == g
+
+    def test_schema_shape(self):
+        g = mldg_from_table({("A", "B"): [(1, 1)]}, nodes=["A", "B"])
+        payload = json.loads(mldg_to_json(g))
+        assert payload["dim"] == 2
+        assert payload["nodes"] == ["A", "B"]
+        assert payload["edges"] == [{"src": "A", "dst": "B", "vectors": [[1, 1]]}]
+
+    def test_node_order_preserved(self):
+        g = mldg_from_table({("B", "A"): [(1, 0)]}, nodes=["A", "B"])
+        assert mldg_from_json(mldg_to_json(g)).nodes == ("A", "B")
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            mldg_from_json("{}")
+
+
+class TestDot:
+    def test_dot_contains_edges_and_hard_marker(self):
+        dot = mldg_to_dot(figure2_mldg())
+        assert '"B" -> "C"' in dot
+        assert "*" in dot
+        assert dot.startswith("digraph")
+
+    def test_dot_all_nodes_present(self):
+        dot = mldg_to_dot(figure8_mldg())
+        for n in "ABCDEFG":
+            assert f'"{n}"' in dot
+
+
+class TestRandomGeneration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_legal_graphs_are_legal(self, seed):
+        g = random_legal_mldg(8, seed=seed)
+        assert is_legal(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_legal_graphs_sequence_executable(self, seed):
+        g = random_legal_mldg(8, seed=seed)
+        assert is_sequence_executable(g).legal
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_acyclic_graphs(self, seed):
+        g = random_acyclic_mldg(8, seed=seed)
+        assert is_acyclic(g)
+        assert is_legal(g)
+
+    def test_deterministic_by_seed(self):
+        assert random_legal_mldg(10, seed=42) == random_legal_mldg(10, seed=42)
+
+    def test_different_seeds_differ(self):
+        assert random_legal_mldg(10, seed=1) != random_legal_mldg(10, seed=2)
+
+    def test_node_count(self):
+        assert random_legal_mldg(17, seed=0).num_nodes == 17
+
+    def test_roundtrip_random(self):
+        g = random_legal_mldg(12, seed=7)
+        assert mldg_from_json(mldg_to_json(g)) == g
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            random_legal_mldg(0)

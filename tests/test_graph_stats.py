@@ -1,0 +1,45 @@
+"""Unit tests for MLDG summary statistics."""
+
+from repro.graph import mldg_from_table, mldg_stats
+from repro.gallery import figure2_mldg, figure8_mldg, figure14_mldg
+
+
+class TestStats:
+    def test_figure2(self):
+        s = mldg_stats(figure2_mldg())
+        assert s.nodes == 4 and s.edges == 6
+        assert s.vectors == 8
+        assert s.hard_edges == 1  # B->C
+        assert s.self_loops == 1  # C->C
+        assert s.fusion_preventing == 2  # (0,-2), (0,-1)
+        assert not s.acyclic
+        assert s.largest_scc == 4
+        assert s.legal and not s.directly_fusable
+
+    def test_figure8(self):
+        s = mldg_stats(figure8_mldg())
+        assert s.acyclic
+        assert s.scc_count == 7 and s.largest_scc == 1
+        assert s.hard_edges == 2  # B->C and A->D
+        # (0,-2) on B->C, (0,-2) on B->F, (0,-3) and (0,-1) on A->D
+        assert s.fusion_preventing == 4
+
+    def test_figure14_counts(self):
+        s = mldg_stats(figure14_mldg())
+        assert s.nodes == 7 and s.edges == 10
+        assert s.hard_edges == 2  # B->C, C->D
+        assert not s.acyclic
+
+    def test_vector_kind_partition(self):
+        for build in (figure2_mldg, figure8_mldg, figure14_mldg):
+            s = mldg_stats(build())
+            assert s.outer_carried + s.same_iteration == s.vectors
+
+    def test_describe(self):
+        text = mldg_stats(figure2_mldg()).describe()
+        assert "4 loops" in text and "hard-edge" in text and "legal" in text
+
+    def test_directly_fusable_graph(self):
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        s = mldg_stats(g)
+        assert s.directly_fusable and s.acyclic and s.fusion_preventing == 0

@@ -1,0 +1,217 @@
+"""Unit tests for the loop-IR AST, builder, validator and synthesiser."""
+
+import pytest
+
+from repro.graph import is_sequence_executable, random_legal_mldg
+from repro.loopir import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Const,
+    InnerLoop,
+    LoopNest,
+    LoopNestBuilder,
+    UnaryOp,
+    ValidationError,
+    parse_program,
+    program_from_mldg,
+    validate_program,
+)
+from repro.depend import extract_mldg
+from repro.vectors import IVec
+
+
+class TestAstNodes:
+    def test_arrayref_shift(self):
+        ref = ArrayRef("a", IVec(1, -1))
+        assert ref.shifted(IVec(-1, 0)) == ArrayRef("a", IVec(0, -1))
+
+    def test_assignment_shift_covers_expression(self):
+        stmt = Assignment(
+            target=ArrayRef("c", IVec(0, 0)),
+            expr=BinOp("-", ArrayRef("b", IVec(0, 2)), ArrayRef("a", IVec(0, -1))),
+        )
+        shifted = stmt.shifted(IVec(-1, 0))
+        assert shifted.target.offset == IVec(-1, 0)
+        reads = list(shifted.reads())
+        assert reads[0].offset == IVec(-1, 2)
+        assert reads[1].offset == IVec(-1, -1)
+
+    def test_unary_op_validation(self):
+        with pytest.raises(ValueError):
+            UnaryOp("+", Const(1.0))
+
+    def test_binop_validation(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1.0), Const(2.0))
+
+    def test_inner_loop_requires_statements(self):
+        with pytest.raises(ValueError):
+            InnerLoop(label="A", statements=())
+
+    def test_nest_rejects_duplicate_labels(self):
+        loop = InnerLoop(
+            "A", (Assignment(ArrayRef("a", IVec(0, 0)), Const(1.0)),)
+        )
+        loop2 = InnerLoop(
+            "A", (Assignment(ArrayRef("b", IVec(0, 0)), Const(1.0)),)
+        )
+        with pytest.raises(ValueError):
+            LoopNest(loops=(loop, loop2))
+
+    def test_nest_queries(self):
+        nest = parse_program(
+            "do i = 0, n\n  A: doall j = 0, m\n    a[i][j] = x[i][j]\n  end\nend"
+        )
+        assert nest.input_arrays() == {"x"}
+        assert nest.all_arrays() == {"a", "x"}
+        assert nest.statement_count() == 1
+        assert nest.loop("A").written_arrays() == {"a"}
+        with pytest.raises(KeyError):
+            nest.loop("Z")
+
+
+class TestBuilder:
+    def test_builds_figure2_equivalent(self):
+        from repro.gallery.paper import figure2_code
+
+        built = (
+            LoopNestBuilder()
+            .loop("A").assign("a", (0, 0), "e[i-2][j-1]")
+            .loop("B").assign("b", (0, 0), "a[i-1][j-1] + a[i-2][j-1]")
+            .loop("C")
+            .assign("c", (0, 0), "b[i][j+2] - a[i][j-1] + b[i][j-1]")
+            .assign("d", (0, 0), "c[i-1][j]")
+            .loop("D").assign("e", (0, 0), "c[i][j+1]")
+            .build()
+        )
+        assert built == parse_program(figure2_code())
+
+    def test_assign_before_loop_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNestBuilder().assign("a", (0, 0), "1")
+
+    def test_duplicate_label_rejected(self):
+        b = LoopNestBuilder().loop("A").assign("a", (0, 0), "1")
+        with pytest.raises(ValueError):
+            b.loop("A")
+
+    def test_validation_on_build(self):
+        b = (
+            LoopNestBuilder()
+            .loop("A").assign("a", (0, 0), "1")
+            .loop("B").assign("a", (0, 0), "2")
+        )
+        with pytest.raises(ValidationError):
+            b.build()
+        assert b.build(validate=False).labels == ("A", "B")
+
+
+class TestValidator:
+    def _nest(self, body: str):
+        return parse_program(f"do i = 0, n\n{body}\nend")
+
+    def test_accepts_paper_programs(self):
+        from repro.gallery.common import iir2d_code
+        from repro.gallery.paper import figure2_code
+
+        validate_program(parse_program(figure2_code()))
+        validate_program(parse_program(iir2d_code()))
+
+    def test_multiple_writers_rejected(self):
+        nest = self._nest(
+            "  doall j = 0, m\n    a[i][j] = 1\n  end\n"
+            "  doall j = 0, m\n    a[i][j] = 2\n  end"
+        )
+        with pytest.raises(ValidationError, match="single-assignment"):
+            validate_program(nest)
+
+    def test_non_doall_self_read_rejected(self):
+        nest = self._nest("  doall j = 0, m\n    a[i][j] = a[i][j-1]\n  end")
+        with pytest.raises(ValidationError, match="not a DOALL"):
+            validate_program(nest)
+
+    def test_future_outer_read_rejected(self):
+        nest = self._nest(
+            "  doall j = 0, m\n    a[i][j] = b[i+1][j]\n  end\n"
+            "  doall j = 0, m\n    b[i][j] = 1\n  end"
+        )
+        with pytest.raises(ValidationError, match="future"):
+            validate_program(nest)
+
+    def test_backward_same_iteration_read_rejected(self):
+        nest = self._nest(
+            "  doall j = 0, m\n    a[i][j] = b[i][j]\n  end\n"
+            "  doall j = 0, m\n    b[i][j] = 1\n  end"
+        )
+        with pytest.raises(ValidationError, match="written later"):
+            validate_program(nest)
+
+    def test_read_before_write_same_body_rejected(self):
+        nest = self._nest(
+            "  doall j = 0, m\n    a[i][j] = c[i][j]\n    c[i][j] = 1\n  end"
+        )
+        with pytest.raises(ValidationError, match="before it is written"):
+            validate_program(nest)
+
+    def test_same_body_forward_read_allowed(self):
+        nest = self._nest(
+            "  doall j = 0, m\n    c[i][j] = 1\n    a[i][j] = c[i][j]\n  end"
+        )
+        validate_program(nest)
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_random_graphs(self, seed):
+        g = random_legal_mldg(7, seed=seed)
+        nest = program_from_mldg(g)
+        validate_program(nest)
+        assert extract_mldg(nest) == g
+
+    def test_rejects_non_sequence_executable(self):
+        from repro.gallery import figure14_mldg
+
+        with pytest.raises(ValueError, match="sequence-executable"):
+            program_from_mldg(figure14_mldg())
+
+    def test_rejects_non_2d(self):
+        from repro.graph import mldg_from_table
+
+        g = mldg_from_table({("A", "B"): [(1, 0, 0)]}, nodes=["A", "B"], dim=3)
+        with pytest.raises(ValueError):
+            program_from_mldg(g)
+
+    def test_figure8_synthesis_runs(self):
+        from repro.gallery import figure8_mldg
+
+        nest = program_from_mldg(figure8_mldg())
+        assert extract_mldg(nest) == figure8_mldg()
+        assert is_sequence_executable(extract_mldg(nest)).legal
+
+
+class TestRichBodies:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rich_bodies_preserve_extraction(self, seed):
+        g = random_legal_mldg(6, seed=seed)
+        nest = program_from_mldg(g, rich_bodies=True)
+        validate_program(nest)
+        assert extract_mldg(nest) == g
+        assert all(len(lp.statements) == 2 for lp in nest.loops)
+
+    def test_rich_bodies_execute_equivalently(self):
+        from repro.codegen import ArrayStore, apply_fusion, run_fused, run_original
+        from repro.fusion import fuse
+
+        g = random_legal_mldg(5, seed=77)
+        nest = program_from_mldg(g, rich_bodies=True)
+        gx = extract_mldg(nest)
+        res = fuse(gx)
+        fp = apply_fusion(nest, res.retiming, mldg=gx)
+        n, m = 7, 6
+        base = ArrayStore.for_program(nest, n, m, seed=5)
+        ref = run_original(nest, n, m, store=base.copy())
+        out = run_fused(fp, n, m, store=base.copy(), mode="doall")
+        if res.is_doall:
+            assert ref.equal(out)
+        assert ref.equal(run_fused(fp, n, m, store=base.copy(), mode="serial"))

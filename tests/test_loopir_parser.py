@@ -1,0 +1,149 @@
+"""Unit tests for the loop DSL parser and printer."""
+
+import pytest
+
+from repro.loopir import (
+    ArrayRef,
+    ParseError,
+    format_program,
+    parse_program,
+)
+from repro.vectors import IVec
+
+SIMPLE = """
+do i = 0, n
+  doall j = 0, m
+    a[i][j] = b[i-1][j+2] + 1
+  end
+end
+"""
+
+
+class TestBasicParsing:
+    def test_structure(self):
+        nest = parse_program(SIMPLE)
+        assert nest.labels == ("L1",)
+        assert nest.outer_bound == "n"
+        assert nest.inner_bound == "m"
+        assert nest.index_names == ("i", "j")
+
+    def test_statement_offsets(self):
+        nest = parse_program(SIMPLE)
+        stmt = nest.loops[0].statements[0]
+        assert stmt.target == ArrayRef("a", IVec(0, 0))
+        reads = list(stmt.reads())
+        assert reads == [ArrayRef("b", IVec(-1, 2))]
+
+    def test_label_prefix_syntax(self):
+        src = "do i = 0, n\n  A: doall j = 0, m\n    a[i][j] = 1\n  end\nend"
+        nest = parse_program(src)
+        assert nest.labels == ("A",)
+
+    def test_label_comment_syntax(self):
+        src = "do i = 0, n\n  doall j = 0, m   ! loop Zed\n    a[i][j] = 1\n  end\nend"
+        nest = parse_program(src)
+        assert nest.labels == ("Zed",)
+
+    def test_auto_labels(self):
+        src = (
+            "do i = 0, n\n"
+            "  doall j = 0, m\n    a[i][j] = 1\n  end\n"
+            "  doall j = 0, m\n    b[i][j] = 2\n  end\n"
+            "end"
+        )
+        assert parse_program(src).labels == ("L1", "L2")
+
+    def test_comments_stripped(self):
+        src = "do i = 0, n  ! outer\n  doall j = 0, m\n    a[i][j] = 1 ! one\n  end\nend"
+        nest = parse_program(src)
+        assert nest.loops[0].statements[0].target.array == "a"
+
+    def test_custom_index_names(self):
+        src = "do t = 0, T\n  doall x = 0, X\n    a[t][x] = a[t-1][x+1]\n  end\nend"
+        nest = parse_program(src)
+        assert nest.index_names == ("t", "x")
+        assert nest.outer_bound == "T"
+
+    def test_expression_precedence(self):
+        src = "do i = 0, n\n  doall j = 0, m\n    a[i][j] = 1 + 2 * 3\n  end\nend"
+        nest = parse_program(src)
+        expr = nest.loops[0].statements[0].expr
+        assert expr.op == "+"
+
+    def test_parentheses_and_unary(self):
+        src = "do i = 0, n\n  doall j = 0, m\n    a[i][j] = -(1 + 2) * 3\n  end\nend"
+        nest = parse_program(src)
+        assert nest.loops[0].statements[0].expr.op == "*"
+
+
+class TestParseErrors:
+    def test_nonzero_lower_bound(self):
+        with pytest.raises(ParseError, match="lower bound 0"):
+            parse_program("do i = 1, n\n  doall j = 0, m\n    a[i][j] = 1\n  end\nend")
+
+    def test_wrong_subscript_variable(self):
+        with pytest.raises(ParseError, match="subscript"):
+            parse_program("do i = 0, n\n  doall j = 0, m\n    a[j][i] = 1\n  end\nend")
+
+    def test_mismatched_inner_ranges(self):
+        src = (
+            "do i = 0, n\n"
+            "  doall j = 0, m\n    a[i][j] = 1\n  end\n"
+            "  doall j = 0, k\n    b[i][j] = 2\n  end\n"
+            "end"
+        )
+        with pytest.raises(ParseError, match="same control index and range"):
+            parse_program(src)
+
+    def test_missing_do(self):
+        with pytest.raises(ParseError):
+            parse_program("doall j = 0, m\n  a[i][j] = 1\nend")
+
+    def test_empty_loop(self):
+        with pytest.raises(ParseError):
+            parse_program("do i = 0, n\n  doall j = 0, m\n  end\nend")
+
+    def test_no_inner_loops(self):
+        with pytest.raises(ParseError):
+            parse_program("do i = 0, n\nend")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_program(SIMPLE + "\nextra")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse_program("do i = 0, n @")
+
+    def test_inner_equals_outer_index(self):
+        with pytest.raises(ParseError, match="differ"):
+            parse_program("do i = 0, n\n  doall i = 0, m\n    a[i][i] = 1\n  end\nend")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("do i = 0, n\n  doall j = 0, m\n    a[q][j] = 1\n  end\nend")
+        assert err.value.line == 3
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source_fn",
+        ["figure2_code"],
+    )
+    def test_paper_code_roundtrip(self, source_fn):
+        from repro.gallery import paper
+
+        src = getattr(paper, source_fn)()
+        nest = parse_program(src)
+        assert parse_program(format_program(nest)) == nest
+
+    def test_gallery_iir_roundtrip(self):
+        from repro.gallery.common import iir2d_code
+
+        nest = parse_program(iir2d_code())
+        assert parse_program(format_program(nest)) == nest
+
+    def test_float_constants_roundtrip(self):
+        src = "do i = 0, n\n  doall j = 0, m\n    a[i][j] = 0.25 * b[i-1][j]\n  end\nend"
+        nest = parse_program(src)
+        assert parse_program(format_program(nest)) == nest

@@ -1,0 +1,146 @@
+"""Unit tests for the parallel machine simulator."""
+
+import pytest
+
+from repro.fusion import Strategy, fuse
+from repro.gallery import figure2_mldg, figure8_mldg, figure14_mldg
+from repro.machine import (
+    fused_doall_profile,
+    hyperplane_profile,
+    profile_fusion,
+    unfused_profile,
+)
+from repro.vectors import IVec
+
+
+class TestUnfused:
+    def test_figure8_sync_accounting(self):
+        """Section 4.2: '7 synchronizations for each outmost loop iteration'."""
+        g = figure8_mldg()
+        n, m = 100, 50
+        p = unfused_profile(g, n, m)
+        assert p.num_phases == 7 * (n + 1)
+        assert p.sync_count == 7 * (n + 1) - 1
+
+    def test_work_conservation(self):
+        g = figure2_mldg()
+        p = unfused_profile(g, 10, 10)
+        assert p.total_work == 4 * 11 * 11
+
+    def test_costs(self):
+        g = figure2_mldg()
+        p = unfused_profile(g, 0, 0, costs={"C": 3})
+        assert p.total_work == 1 + 1 + 3 + 1
+
+    def test_bad_cost_node(self):
+        with pytest.raises(KeyError):
+            unfused_profile(figure2_mldg(), 1, 1, costs={"Z": 1})
+
+    def test_bad_cost_value(self):
+        with pytest.raises(ValueError):
+            unfused_profile(figure2_mldg(), 1, 1, costs={"A": 0})
+
+
+class TestFusedDoall:
+    def test_figure8_paper_count(self):
+        """Section 4.2: fused loop needs (n - 2) synchronizations."""
+        g = figure8_mldg()
+        res = fuse(g)
+        n = 100
+        core = fused_doall_profile(g, res.retiming, n, 50, include_boundary=False)
+        assert core.sync_count == n - 2
+
+    def test_work_conserved_with_boundary(self):
+        g = figure8_mldg()
+        res = fuse(g)
+        full = fused_doall_profile(g, res.retiming, 20, 10, include_boundary=True)
+        assert full.total_work == unfused_profile(g, 20, 10).total_work
+
+    def test_far_fewer_syncs_than_unfused(self):
+        g = figure8_mldg()
+        res = fuse(g)
+        n, m = 200, 100
+        assert (
+            fused_doall_profile(g, res.retiming, n, m).sync_count
+            < unfused_profile(g, n, m).sync_count / 5
+        )
+
+
+class TestHyperplane:
+    def test_figure14_phase_count(self):
+        """s = (5,1): roughly 5n + m wavefronts."""
+        g = figure14_mldg()
+        res = fuse(g)
+        n, m = 30, 40
+        p = hyperplane_profile(g, res.retiming, res.schedule, n, m)
+        # all retimings here have zero first component, so fused i spans
+        # [0, n]; levels run between min and max of 5i + j over the space
+        assert p.num_phases == pytest.approx(5 * n + m + 1, abs=15)
+        assert p.total_work == unfused_profile(g, n, m).total_work
+
+    def test_row_schedule_degenerates_to_rows(self):
+        g = figure2_mldg()
+        res = fuse(g)
+        p_rows = fused_doall_profile(g, res.retiming, 10, 10)
+        p_wave = hyperplane_profile(g, res.retiming, IVec(1, 0), 10, 10)
+        assert p_wave.num_phases == p_rows.num_phases
+        assert p_wave.total_work == p_rows.total_work
+
+
+class TestMetrics:
+    def test_parallel_time_monotone_in_processors(self):
+        g = figure8_mldg()
+        p = unfused_profile(g, 20, 20)
+        times = [p.parallel_time(k) for k in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_sync_cost_penalises_many_phases(self):
+        g = figure8_mldg()
+        res = fuse(g)
+        n, m = 50, 50
+        before = unfused_profile(g, n, m)
+        after = profile_fusion(res, n, m)
+        # fused phases are larger, so rounding waste can only shrink ...
+        assert before.parallel_time(8) >= after.parallel_time(8)
+        # ... and barrier cost then separates them decisively
+        assert before.parallel_time(8, sync_cost=20) > after.parallel_time(
+            8, sync_cost=20
+        ) + 20 * (before.sync_count - after.sync_count) / 2
+
+    def test_speedup_bounds(self):
+        g = figure2_mldg()
+        p = unfused_profile(g, 20, 20)
+        s = p.speedup(4)
+        assert 1.0 <= s <= 4.0
+
+    def test_efficiency(self):
+        g = figure2_mldg()
+        p = unfused_profile(g, 20, 20)
+        assert 0.0 < p.efficiency(4) <= 1.0
+
+    def test_single_processor_time_is_work(self):
+        g = figure2_mldg()
+        p = unfused_profile(g, 5, 5)
+        assert p.parallel_time(1) == p.total_work
+
+    def test_invalid_processors(self):
+        p = unfused_profile(figure2_mldg(), 2, 2)
+        with pytest.raises(ValueError):
+            p.parallel_time(0)
+
+
+class TestProfileFusion:
+    def test_dispatch_doall(self):
+        res = fuse(figure2_mldg())
+        assert profile_fusion(res, 10, 10).label == "fused-doall"
+
+    def test_dispatch_hyperplane(self):
+        res = fuse(figure14_mldg())
+        assert profile_fusion(res, 10, 10).label == "fused-hyperplane"
+
+    def test_dispatch_serial(self):
+        res = fuse(figure2_mldg(), strategy=Strategy.LEGAL_ONLY)
+        prof = profile_fusion(res, 5, 5)
+        assert prof.label == "fused-serial"
+        # serial rows: no useful parallelism
+        assert prof.parallel_time(8) == prof.total_work

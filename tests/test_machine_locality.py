@@ -1,0 +1,117 @@
+"""Unit tests for the data-locality (reuse distance) model."""
+
+import pytest
+
+from repro.codegen.fused import _zero_dependence_order
+from repro.fusion import fuse, legal_fusion_retiming
+from repro.gallery import figure2_mldg, figure8_mldg, iir2d_mldg
+from repro.graph import mldg_from_table
+from repro.machine import locality_report, reuse_distances
+from repro.retiming import Retiming
+from repro.vectors import IVec
+
+
+def _body_order(g, retiming):
+    return _zero_dependence_order(retiming.apply(g), list(g.nodes))
+
+
+class TestUnfusedDistances:
+    def test_adjacent_loops_one_row_apart(self):
+        """u then v, dependence (0,0): distance = remaining u row + nothing
+        = one full row sweep of u."""
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        profile = reuse_distances(g, 9)  # W = 10
+        (_s, _d, dist), = profile.distances
+        assert dist == 10  # W * before[B] gap with c=1
+
+    def test_outer_carried_costs_full_sweeps(self):
+        g = mldg_from_table({("A", "B"): [(2, 0)]}, nodes=["A", "B"])
+        (_s, _d, dist), = reuse_distances(g, 9).distances
+        assert dist == 2 * 10 * 2 + 10  # two outer sweeps + loop gap
+
+    def test_backward_flow_charged_full_sweep(self):
+        g = mldg_from_table({("B", "A"): [(0, 3)]}, nodes=["A", "B"])
+        (_s, _d, dist), = reuse_distances(g, 9).distances
+        assert dist == 10 * 2
+
+    def test_costs_scale_distances(self):
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        d1 = reuse_distances(g, 9).mean_distance()
+        d2 = reuse_distances(g, 9, costs={"A": 5, "B": 5}).mean_distance()
+        assert d2 == 5 * d1
+
+
+class TestFusedDistances:
+    def test_zero_vector_is_immediate(self):
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        profile = reuse_distances(g, 9, retiming=Retiming.zero(dim=2))
+        (_s, _d, dist), = profile.distances
+        assert dist == 1  # just the body position gap
+
+    def test_same_row_offset_costs_body_multiples(self):
+        g = mldg_from_table({("A", "B"): [(0, 2)]}, nodes=["A", "B"])
+        profile = reuse_distances(g, 9, retiming=Retiming.zero(dim=2))
+        (_s, _d, dist), = profile.distances
+        assert dist == 2 * 2 + 1  # two fused iterations + body gap
+
+    def test_retiming_applied(self):
+        g = mldg_from_table({("A", "B"): [(0, 2)]}, nodes=["A", "B"])
+        r = Retiming({"B": IVec(0, 2)}, dim=2)  # retimed vector (0,0)
+        profile = reuse_distances(g, 9, retiming=r)
+        (_s, _d, dist), = profile.distances
+        assert dist == 1
+
+
+class TestTradeoffs:
+    """The model exposes the paper's locality claim -- and its price."""
+
+    @pytest.mark.parametrize(
+        "build", [figure2_mldg, figure8_mldg, iir2d_mldg], ids=lambda b: b.__name__
+    )
+    def test_llofra_fusion_improves_small_capacity_hits(self, build):
+        """Legal fusion turns same-iteration dependencies into immediate
+        reuse: hit ratio at small capacity never degrades and usually
+        improves (the Section-1 locality claim)."""
+        g = build()
+        r = legal_fusion_retiming(g)
+        before = reuse_distances(g, 63)
+        after = reuse_distances(g, 63, retiming=r, body_order=_body_order(g, r))
+        assert after.hit_ratio(16) >= before.hit_ratio(16)
+
+    def test_figure2_llofra_hits_concretely(self):
+        g = figure2_mldg()
+        r = legal_fusion_retiming(g)
+        after = reuse_distances(g, 63, retiming=r, body_order=_body_order(g, r))
+        assert after.hit_ratio(16) == 0.5
+        assert reuse_distances(g, 63).hit_ratio(16) == 0.0
+
+    def test_parallel_retiming_trades_locality(self):
+        """Algorithm 3 carries every Figure-8 dependence outermost, so the
+        fully-parallel fusion has *larger* mean reuse distance than the
+        locality-optimal legal fusion -- a real tradeoff the model makes
+        visible."""
+        g = figure8_mldg()
+        r_legal = legal_fusion_retiming(g)
+        r_par = fuse(g).retiming
+        legal = reuse_distances(g, 63, retiming=r_legal, body_order=_body_order(g, r_legal))
+        par = reuse_distances(g, 63, retiming=r_par, body_order=_body_order(g, r_par))
+        assert legal.mean_distance() < par.mean_distance()
+
+
+class TestReport:
+    def test_report_shape(self):
+        g = figure2_mldg()
+        res = fuse(g)
+        rows = locality_report(g, 63, res.retiming, capacities=(8, 64))
+        assert [r[0] for r in rows] == ["unfused", "fused"]
+        assert all(len(r) == 5 for r in rows)
+
+    def test_empty_graph_profile(self):
+        from repro.graph import MLDG
+
+        g = MLDG(dim=2)
+        g.add_node("A")
+        profile = reuse_distances(g, 9)
+        assert profile.hit_ratio(1) == 1.0
+        assert profile.mean_distance() == 0.0
+        assert profile.max_distance() == 0

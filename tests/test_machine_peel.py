@@ -1,0 +1,68 @@
+"""Unit tests for the shift-and-peel execution-cost model."""
+
+import pytest
+
+from repro.baselines import shift_and_peel
+from repro.gallery import figure8_mldg, figure14_mldg
+from repro.graph import mldg_from_table
+from repro.machine import shift_and_peel_profile, shift_and_peel_time
+
+
+@pytest.fixture
+def fig8_outcome():
+    return shift_and_peel(figure8_mldg())
+
+
+class TestTimeModel:
+    def test_serial_time_is_total_work(self, fig8_outcome):
+        g = figure8_mldg()
+        n, m = 10, 9
+        assert shift_and_peel_time(g, fig8_outcome, n, m, 1) == (n + 1) * (m + 1) * 7
+
+    def test_monotone_until_threshold(self, fig8_outcome):
+        g = figure8_mldg()
+        times = [shift_and_peel_time(g, fig8_outcome, 50, 63, p) for p in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_peel_floor(self, fig8_outcome):
+        """Past the threshold, per-row time cannot drop below the peel cost."""
+        g = figure8_mldg()
+        n, m = 50, 63
+        t_big = shift_and_peel_time(g, fig8_outcome, n, m, 1000)
+        assert t_big >= (n + 1) * fig8_outcome.peel_count * 7
+
+    def test_zero_peel_matches_doall(self):
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        out = shift_and_peel(g)
+        assert out.peel_count == 0
+        n, m, p = 10, 15, 4
+        expected = (n + 1) * (((m + 1) + p - 1) // p) * 2
+        assert shift_and_peel_time(g, out, n, m, p) == expected
+
+    def test_sync_cost_added(self, fig8_outcome):
+        g = figure8_mldg()
+        base = shift_and_peel_time(g, fig8_outcome, 10, 9, 4)
+        with_sync = shift_and_peel_time(g, fig8_outcome, 10, 9, 4, sync_cost=5)
+        assert with_sync == base + 5 * 10
+
+    def test_illegal_outcome_rejected(self):
+        g = figure14_mldg()
+        out = shift_and_peel(g)
+        assert not out.legal
+        with pytest.raises(ValueError):
+            shift_and_peel_time(g, out, 5, 5, 2)
+
+
+class TestProfile:
+    def test_one_phase_per_row(self, fig8_outcome):
+        g = figure8_mldg()
+        prof = shift_and_peel_profile(g, fig8_outcome, 20, 9)
+        assert prof.num_phases == 21
+        assert prof.sync_count == 20
+        assert prof.total_work == 21 * 10 * 7
+
+    def test_illegal_rejected(self):
+        g = figure14_mldg()
+        out = shift_and_peel(g)
+        with pytest.raises(ValueError):
+            shift_and_peel_profile(g, out, 5, 5)

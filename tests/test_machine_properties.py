@@ -1,0 +1,71 @@
+"""Property-based tests for the machine model's conservation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fusion import Parallelism, fuse
+from repro.graph import random_legal_mldg
+from repro.machine import (
+    fused_doall_profile,
+    hyperplane_profile,
+    profile_fusion,
+    unfused_profile,
+)
+
+seeds = st.integers(min_value=0, max_value=10**6)
+sizes = st.integers(min_value=1, max_value=8)
+ns = st.integers(min_value=1, max_value=40)
+ms = st.integers(min_value=1, max_value=40)
+
+
+@given(seeds, sizes, ns, ms)
+@settings(max_examples=50, deadline=None)
+def test_work_is_conserved_by_fusion(seed, nodes, n, m):
+    """No execution shape creates or destroys statement instances."""
+    g = random_legal_mldg(nodes, seed=seed)
+    res = fuse(g)
+    before = unfused_profile(g, n, m)
+    after = profile_fusion(res, n, m)
+    assert after.total_work == before.total_work == g.num_nodes * (n + 1) * (m + 1)
+
+
+@given(seeds, sizes, ns, ms)
+@settings(max_examples=50, deadline=None)
+def test_fused_never_more_phases_of_row_type(seed, nodes, n, m):
+    """A DOALL fusion has at most as many phases as the unfused nest
+    (rows subsume per-loop sweeps)."""
+    g = random_legal_mldg(nodes, seed=seed)
+    res = fuse(g)
+    if res.parallelism is Parallelism.DOALL:
+        before = unfused_profile(g, n, m)
+        after = fused_doall_profile(g, res.retiming, n, m, include_boundary=True)
+        assert after.num_phases <= before.num_phases
+
+
+@given(seeds, sizes, ns, ms)
+@settings(max_examples=40, deadline=None)
+def test_parallel_time_bounds(seed, nodes, n, m):
+    """T(P) is sandwiched between work/P and work, and T(1) == work."""
+    g = random_legal_mldg(nodes, seed=seed)
+    prof = unfused_profile(g, n, m)
+    assert prof.parallel_time(1) == prof.total_work
+    for p in (2, 8):
+        t = prof.parallel_time(p)
+        assert prof.total_work / p <= t <= prof.total_work
+
+
+@given(seeds, sizes)
+@settings(max_examples=40, deadline=None)
+def test_hyperplane_profile_work_conserved(seed, nodes):
+    g = random_legal_mldg(nodes, seed=seed)
+    res = fuse(g, strategy="hyperplane")
+    prof = hyperplane_profile(g, res.retiming, res.schedule, 12, 9)
+    assert prof.total_work == unfused_profile(g, 12, 9).total_work
+
+
+@given(seeds, sizes, st.integers(min_value=0, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_sync_cost_is_linear_in_barriers(seed, nodes, cost):
+    g = random_legal_mldg(nodes, seed=seed)
+    prof = unfused_profile(g, 10, 10)
+    base = prof.parallel_time(4)
+    assert prof.parallel_time(4, sync_cost=cost) == base + cost * prof.sync_count

@@ -1,0 +1,55 @@
+"""Unit tests for the one-call pipeline API."""
+
+import pytest
+
+from repro import Parallelism, Strategy, fuse_and_verify, fuse_program
+from repro.gallery.common import iir2d_code
+from repro.gallery.paper import figure2_code
+from repro.loopir import ParseError, parse_program
+
+
+class TestFuseProgram:
+    def test_from_source_text(self):
+        out = fuse_program(figure2_code())
+        assert out.fusion.strategy is Strategy.CYCLIC
+        assert out.parallelism is Parallelism.DOALL
+        assert out.fused is not None
+        assert out.mldg.num_nodes == 4
+
+    def test_from_nest(self):
+        nest = parse_program(iir2d_code())
+        out = fuse_program(nest)
+        assert out.nest is nest
+        assert out.fusion.is_doall
+
+    def test_forced_strategy(self):
+        out = fuse_program(figure2_code(), strategy="legal-only")
+        assert out.fusion.strategy is Strategy.LEGAL_ONLY
+        assert out.parallelism is Parallelism.SERIAL
+
+    def test_emitted_code(self):
+        out = fuse_program(figure2_code())
+        assert "doall j = 1, m" in out.emitted_code()
+
+    def test_parse_errors_propagate(self):
+        with pytest.raises(ParseError):
+            fuse_program("do i = 1, n\nend")
+
+    def test_retiming_shortcut(self):
+        out = fuse_program(figure2_code())
+        assert out.retiming == out.fusion.retiming
+
+
+class TestFuseAndVerify:
+    def test_verified_note_appended(self):
+        out = fuse_and_verify(figure2_code(), sizes=[(7, 6)], seeds=[0])
+        assert any("verified" in n for n in out.notes)
+
+    def test_iir2d(self):
+        out = fuse_and_verify(iir2d_code(), sizes=[(6, 9)], seeds=[1])
+        assert out.fusion.is_doall
+
+    def test_custom_sizes_respected(self):
+        # two sizes x two seeds x two modes = 8 executions; smoke-level check
+        out = fuse_and_verify(figure2_code(), sizes=[(5, 5), (6, 4)], seeds=[0, 1])
+        assert "8 randomised executions" in out.notes[-1]

@@ -1,0 +1,79 @@
+"""Unit tests for schedule vectors and hyperplanes (Lemma 4.3)."""
+
+import pytest
+
+from repro.retiming import (
+    ROW_SCHEDULE,
+    doall_hyperplane,
+    hyperplane_for_schedule,
+    schedule_vector_for,
+)
+from repro.vectors import IVec, is_strict_schedule_vector
+
+
+class TestScheduleVector:
+    def test_row_schedule_constant(self):
+        assert ROW_SCHEDULE == IVec(1, 0)
+
+    def test_figure14_schedule(self):
+        """The retimed Figure-14 vector set must give s=(5,1)."""
+        deps = [
+            IVec(0, 5), IVec(0, 0), IVec(0, 2), IVec(0, 1),
+            IVec(1, 0), IVec(1, -4), IVec(1, 3),
+        ]
+        assert schedule_vector_for(deps) == IVec(5, 1)
+
+    def test_all_zero_first_coordinates(self):
+        """Lemma 4.3 case 1: all (0,k) with k>0 gives s=(0,1)."""
+        assert schedule_vector_for([IVec(0, 1), IVec(0, 7)]) == IVec(0, 1)
+
+    def test_zero_vectors_ignored(self):
+        assert schedule_vector_for([IVec(0, 0), IVec(0, 3)]) == IVec(0, 1)
+
+    def test_empty_set_row_schedule(self):
+        assert schedule_vector_for([]) == ROW_SCHEDULE
+        assert schedule_vector_for([IVec(0, 0)]) == ROW_SCHEDULE
+
+    def test_result_is_always_strict(self):
+        deps = [IVec(2, -7), IVec(1, 3), IVec(0, 2)]
+        s = schedule_vector_for(deps)
+        assert is_strict_schedule_vector(s, deps)
+
+    def test_floor_division_semantics(self):
+        """(2,-5) needs s0 >= ceil(5/2) = 3: floor(5/2)+1."""
+        s = schedule_vector_for([IVec(2, -5)])
+        assert s == IVec(3, 1)
+        assert s.dot(IVec(2, -5)) == 1
+
+    def test_negative_s0_allowed(self):
+        """All-positive second coordinates can give a negative skew."""
+        s = schedule_vector_for([IVec(1, 3)])
+        assert s.dot(IVec(1, 3)) > 0
+
+    def test_negative_vector_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_vector_for([IVec(0, -1)])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_vector_for([IVec(1, 2, 3)])
+
+
+class TestHyperplane:
+    def test_perpendicular(self):
+        for s in (IVec(5, 1), IVec(1, 0), IVec(0, 1)):
+            h = hyperplane_for_schedule(s)
+            assert s.dot(h) == 0
+
+    def test_figure16_hyperplane(self):
+        assert hyperplane_for_schedule(IVec(5, 1)) == IVec(1, -5)
+
+    def test_doall_hyperplane_convenience(self):
+        deps = [IVec(1, -4), IVec(0, 1)]
+        s, h = doall_hyperplane(deps)
+        assert s.dot(h) == 0
+        assert is_strict_schedule_vector(s, deps)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            hyperplane_for_schedule(IVec(1, 2, 3))

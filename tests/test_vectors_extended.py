@@ -1,0 +1,90 @@
+"""Unit tests for ExtVec (vectors with infinite components)."""
+
+import pytest
+
+from repro.vectors import ExtVec, IVec, NEG_INF, POS_INF
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = ExtVec(-1, POS_INF)
+        assert v[0] == -1
+        assert v[1] == POS_INF
+
+    def test_from_ivec(self):
+        assert ExtVec.from_ivec(IVec(1, 2)) == ExtVec(1, 2)
+
+    def test_top(self):
+        t = ExtVec.top(2)
+        assert t == ExtVec(POS_INF, POS_INF)
+
+    def test_finite_float_rejected(self):
+        with pytest.raises(TypeError):
+            ExtVec(1.5, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ExtVec(True, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ExtVec([])
+
+
+class TestOrdering:
+    def test_inf_greater_than_any_int(self):
+        assert ExtVec(0, 10**9) < ExtVec(0, POS_INF)
+
+    def test_neg_inf_smaller(self):
+        assert ExtVec(0, NEG_INF) < ExtVec(0, -(10**9))
+
+    def test_top_dominates(self):
+        assert ExtVec(5, 5) < ExtVec.top(2)
+
+    def test_lex_first_coordinate(self):
+        # the Figure-9 weight (-1, inf) is below (0, anything finite)
+        assert ExtVec(-1, POS_INF) < ExtVec(0, -1000)
+
+
+class TestArithmetic:
+    def test_add_ivec(self):
+        assert ExtVec(-1, POS_INF) + IVec(3, 4) == ExtVec(2, POS_INF)
+
+    def test_finite_sums_stay_int(self):
+        v = ExtVec(1, 2) + IVec(3, 4)
+        assert v.is_finite()
+        assert v.to_ivec() == IVec(4, 6)
+
+    def test_inf_absorbs(self):
+        assert (ExtVec.top(2) + IVec(-100, -100)) == ExtVec.top(2)
+
+    def test_undefined_sum_raises(self):
+        with pytest.raises(ValueError):
+            ExtVec(POS_INF, 0) + ExtVec(NEG_INF, 0)
+
+    def test_neg(self):
+        assert -ExtVec(1, POS_INF) == ExtVec(-1, NEG_INF)
+
+    def test_sub(self):
+        assert ExtVec(5, 5) - IVec(2, 3) == ExtVec(3, 2)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            ExtVec(1, 2) + ExtVec(1, 2, 3)
+
+
+class TestConversion:
+    def test_to_ivec_finite(self):
+        assert ExtVec(1, -2).to_ivec() == IVec(1, -2)
+
+    def test_to_ivec_infinite_raises(self):
+        with pytest.raises(ValueError):
+            ExtVec(1, POS_INF).to_ivec()
+
+    def test_is_finite(self):
+        assert ExtVec(0, 0).is_finite()
+        assert not ExtVec(0, POS_INF).is_finite()
+
+    def test_str(self):
+        assert str(ExtVec(-1, POS_INF)) == "(-1, inf)"
+        assert str(ExtVec(-1, NEG_INF)) == "(-1, -inf)"

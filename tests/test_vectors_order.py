@@ -1,0 +1,94 @@
+"""Unit tests for lexicographic order helpers."""
+
+import pytest
+
+from repro.vectors import (
+    IVec,
+    is_strict_schedule_vector,
+    lex_cmp,
+    lex_max,
+    lex_min,
+    lex_nonnegative,
+    lex_positive,
+    lex_sorted,
+    lex_sum,
+)
+
+
+class TestCmp:
+    def test_less(self):
+        assert lex_cmp(IVec(0, 9), IVec(1, 0)) == -1
+
+    def test_greater(self):
+        assert lex_cmp(IVec(1, 0), IVec(0, 9)) == 1
+
+    def test_equal(self):
+        assert lex_cmp(IVec(2, 2), IVec(2, 2)) == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            lex_cmp(IVec(1, 2), IVec(1, 2, 3))
+
+
+class TestMinMaxSum:
+    def test_min_is_paper_delta(self):
+        # D_L(A,B) = {(1,1),(2,1)} -> delta = (1,1)
+        assert lex_min([IVec(2, 1), IVec(1, 1)]) == IVec(1, 1)
+
+    def test_min_empty_raises(self):
+        with pytest.raises(ValueError):
+            lex_min([])
+
+    def test_max(self):
+        assert lex_max([IVec(0, 5), IVec(1, -9)]) == IVec(1, -9)
+
+    def test_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            lex_max([])
+
+    def test_sum_cycle_weight(self):
+        # cycle c1 = A->B->C->D->A in Figure 2: (1,1)+(0,-2)+(0,-1)+(2,1)=(3,-1)
+        total = lex_sum([IVec(1, 1), IVec(0, -2), IVec(0, -1), IVec(2, 1)])
+        assert total == IVec(3, -1)
+
+    def test_sum_empty_is_none(self):
+        assert lex_sum([]) is None
+
+    def test_sorted(self):
+        out = lex_sorted([IVec(1, 0), IVec(0, 3)])
+        assert out == [IVec(0, 3), IVec(1, 0)]
+
+
+class TestPredicates:
+    def test_positive(self):
+        assert lex_positive(IVec(0, 1))
+        assert not lex_positive(IVec(0, 0))
+        assert not lex_positive(IVec(0, -1))
+
+    def test_nonnegative(self):
+        assert lex_nonnegative(IVec(0, 0))
+        assert lex_nonnegative(IVec(1, -5))
+        assert not lex_nonnegative(IVec(0, -1))
+
+    def test_strict_schedule_row(self):
+        # s=(1,0) is strict for Figure 3's retimed vectors (Section 2.3)
+        s = IVec(1, 0)
+        deps = [IVec(1, 1), IVec(1, -2), IVec(1, 0), IVec(1, 1)]
+        assert is_strict_schedule_vector(s, deps)
+
+    def test_strict_schedule_rejects_row_dependence(self):
+        assert not is_strict_schedule_vector(IVec(1, 0), [IVec(0, 2)])
+
+    def test_zero_vectors_exempt(self):
+        assert is_strict_schedule_vector(IVec(1, 0), [IVec(0, 0), IVec(2, 3)])
+
+    def test_figure14_schedule(self):
+        # s=(5,1) must be strict for the Figure-15 retimed vector set
+        s = IVec(5, 1)
+        deps = [
+            IVec(0, 5), IVec(0, 0), IVec(0, 2), IVec(0, 1),
+            IVec(1, 0), IVec(1, -4), IVec(1, 3),
+        ]
+        assert is_strict_schedule_vector(s, deps)
+        # but (4,1) is not: (1,-4) . (4,1) = 0
+        assert not is_strict_schedule_vector(IVec(4, 1), deps)

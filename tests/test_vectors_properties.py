@@ -1,0 +1,79 @@
+"""Property-based tests for the vector algebra (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.vectors import ExtVec, IVec, lex_max, lex_min, lex_sum
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+
+
+def ivecs(dim=2):
+    return st.lists(ints, min_size=dim, max_size=dim).map(IVec)
+
+
+@given(ivecs(), ivecs())
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(ivecs(), ivecs(), ivecs())
+def test_addition_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(ivecs())
+def test_additive_inverse(a):
+    assert a + (-a) == IVec.zero(a.dim)
+    assert a - a == IVec.zero(a.dim)
+
+
+@given(ivecs(), ivecs(), ivecs())
+def test_lex_order_is_translation_invariant(a, b, c):
+    """Adding the same vector to both sides preserves lexicographic order --
+    the fact that makes difference-constraint reasoning sound."""
+    assert (a < b) == (a + c < b + c)
+
+
+@given(ivecs(), ivecs())
+def test_order_totality(a, b):
+    assert (a < b) + (a == b) + (b < a) == 1
+
+
+@given(st.lists(ivecs(), min_size=1, max_size=20))
+def test_lex_min_max_membership(vs):
+    lo, hi = lex_min(vs), lex_max(vs)
+    assert lo in vs and hi in vs
+    assert all(lo <= v <= hi for v in vs)
+
+
+@given(st.lists(ivecs(), min_size=1, max_size=10))
+def test_lex_sum_matches_componentwise(vs):
+    total = lex_sum(vs)
+    for axis in range(2):
+        assert total[axis] == sum(v[axis] for v in vs)
+
+
+@given(ivecs(), st.integers(min_value=-50, max_value=50))
+def test_scalar_mul_distributes(a, k):
+    assert k * a == IVec(k * c for c in a) if a.dim else True
+    assert (k * a) + a == (k + 1) * a
+
+
+@given(ivecs(dim=3), ivecs(dim=3))
+def test_higher_dimension_arithmetic(a, b):
+    assert (a + b) - b == a
+
+
+@given(ivecs())
+def test_extvec_roundtrip(a):
+    assert ExtVec.from_ivec(a).to_ivec() == a
+
+
+@given(ivecs(), ivecs())
+def test_extvec_order_agrees_with_ivec(a, b):
+    assert (a < b) == (ExtVec.from_ivec(a) < ExtVec.from_ivec(b))
+
+
+@given(ivecs(), ivecs())
+def test_dot_symmetry(a, b):
+    assert a.dot(b) == b.dot(a)

@@ -1,0 +1,106 @@
+"""Unit tests for the end-to-end verification layer."""
+
+import pytest
+
+from repro.codegen import apply_fusion
+from repro.fusion import Strategy, fuse
+from repro.gallery.common import iir2d_code
+from repro.gallery.paper import figure2_code
+from repro.graph import random_legal_mldg
+from repro.loopir import parse_program, program_from_mldg
+from repro.depend import extract_mldg
+from repro.verify import (
+    check_equivalence,
+    runtime_doall_violations,
+    verify_fusion_result,
+)
+
+
+@pytest.fixture
+def fig2_nest():
+    return parse_program(figure2_code())
+
+
+class TestCheckEquivalence:
+    def test_figure2_alg4(self, fig2_nest):
+        g = extract_mldg(fig2_nest)
+        res = fuse(g)
+        fused = apply_fusion(fig2_nest, res.retiming, mldg=g)
+        rep = check_equivalence(fig2_nest, fused, mode="doall")
+        assert rep.equivalent
+        assert rep.max_abs_difference == 0.0
+
+    def test_report_records_failure_magnitude(self, fig2_nest):
+        from repro.gallery.paper import figure2_expected_llofra_retiming
+
+        fused = apply_fusion(fig2_nest, figure2_expected_llofra_retiming())
+        rep = check_equivalence(fig2_nest, fused, mode="doall", order_seed=99)
+        assert not rep.equivalent
+        assert rep.max_abs_difference > 0.0
+
+
+class TestVerifyFusionResult:
+    def test_figure2_all_modes(self, fig2_nest):
+        g = extract_mldg(fig2_nest)
+        reports = verify_fusion_result(fig2_nest, fuse(g))
+        assert reports and all(r.equivalent for r in reports)
+        assert {r.mode for r in reports} == {"serial", "doall"}
+
+    def test_iir2d_all_modes(self):
+        nest = parse_program(iir2d_code())
+        g = extract_mldg(nest)
+        reports = verify_fusion_result(nest, fuse(g))
+        assert all(r.equivalent for r in reports)
+
+    def test_hyperplane_mode_used_for_forced_hyperplane(self, fig2_nest):
+        g = extract_mldg(fig2_nest)
+        res = fuse(g, strategy=Strategy.HYPERPLANE)
+        reports = verify_fusion_result(fig2_nest, res)
+        assert {r.mode for r in reports} == {"serial", "hyperplane"}
+        assert all(r.equivalent for r in reports)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_programs_end_to_end(self, seed):
+        """The full pipeline on random graphs: synthesise -> fuse -> verify."""
+        g = random_legal_mldg(6, seed=seed)
+        nest = program_from_mldg(g)
+        res = fuse(extract_mldg(nest))
+        reports = verify_fusion_result(nest, res, sizes=[(7, 6)], seeds=[seed])
+        assert all(r.equivalent for r in reports), [r.mode for r in reports]
+
+
+class TestRuntimeDoall:
+    def test_alg4_fusion_has_no_violations(self, fig2_nest):
+        g = extract_mldg(fig2_nest)
+        res = fuse(g)
+        fused = apply_fusion(fig2_nest, res.retiming, mldg=g)
+        assert runtime_doall_violations(fused, 8, 8) == []
+
+    def test_llofra_fusion_has_violations(self, fig2_nest):
+        from repro.gallery.paper import figure2_expected_llofra_retiming
+
+        fused = apply_fusion(fig2_nest, figure2_expected_llofra_retiming())
+        violations = runtime_doall_violations(fused, 8, 8)
+        assert violations  # Figure 7: rows are serialised
+
+    def test_graph_doall_implies_runtime_doall(self):
+        """Property 4.1 (graph level) is sound against the instance scan.
+
+        (The converse can fail on small grids: a surviving (0, k) vector
+        with |k| larger than m has no same-row instance pair to conflict.)
+        """
+        from repro.retiming import is_doall_after_fusion
+
+        for seed in range(6):
+            g = random_legal_mldg(5, seed=seed)
+            nest = program_from_mldg(g)
+            res = fuse(extract_mldg(nest))
+            fused = apply_fusion(nest, res.retiming)
+            if is_doall_after_fusion(res.retimed):
+                assert runtime_doall_violations(fused, 16, 16) == [], f"seed {seed}"
+
+    def test_violation_limit(self, fig2_nest):
+        from repro.gallery.paper import figure2_expected_llofra_retiming
+
+        fused = apply_fusion(fig2_nest, figure2_expected_llofra_retiming())
+        assert len(runtime_doall_violations(fused, 8, 8, limit=3)) == 3

@@ -1,0 +1,84 @@
+"""Unit tests for iteration-space renderings (Figures 7, 13, 16)."""
+
+import pytest
+
+from repro.fusion import cyclic_parallel_retiming, legal_fusion_retiming
+from repro.gallery import figure2_mldg
+from repro.vectors import IVec
+from repro.viz import (
+    dependence_arrows,
+    format_hyperplane_grid,
+    format_iteration_space,
+    intra_row_arrows,
+)
+
+
+@pytest.fixture
+def fig2():
+    return figure2_mldg()
+
+
+class TestArrows:
+    def test_simple_vector(self):
+        from repro.graph import mldg_from_table
+
+        g = mldg_from_table({("A", "B"): [(1, 1)]}, nodes=["A", "B"])
+        arrows = dependence_arrows(g, 2, 2)
+        assert arrows == [((0, 0), (1, 1))]
+
+    def test_zero_vectors_omitted(self):
+        from repro.graph import mldg_from_table
+
+        g = mldg_from_table({("A", "B"): [(0, 0)]}, nodes=["A", "B"])
+        assert dependence_arrows(g, 3, 3) == []
+
+    def test_duplicate_vectors_collapse(self):
+        from repro.graph import mldg_from_table
+
+        g = mldg_from_table(
+            {("A", "B"): [(1, 0)], ("B", "C"): [(1, 0)]}, nodes=["A", "B", "C"]
+        )
+        arrows = dependence_arrows(g, 2, 1)
+        assert arrows == [((0, 0), (1, 0))]
+
+    def test_figure7_has_intra_row_arrows(self, fig2):
+        """LLOFRA-only retiming leaves same-row dependencies (Figure 7)."""
+        gr = legal_fusion_retiming(fig2).apply(fig2)
+        assert intra_row_arrows(gr, 4, 4)
+
+    def test_figure13_has_none(self, fig2):
+        """Algorithm 4's retiming clears every same-row arrow (Figure 13)."""
+        gr = cyclic_parallel_retiming(fig2).apply(fig2)
+        assert intra_row_arrows(gr, 4, 4) == []
+
+
+class TestFormatting:
+    def test_iteration_space_distinguishes_figures(self, fig2):
+        serial = format_iteration_space(legal_fusion_retiming(fig2).apply(fig2))
+        parallel = format_iteration_space(cyclic_parallel_retiming(fig2).apply(fig2))
+        assert "SERIAL" in serial and "Figure 7" in serial
+        assert "DOALL" in parallel and "Figure 13" in parallel
+
+    def test_grid_shape(self, fig2):
+        gr = cyclic_parallel_retiming(fig2).apply(fig2)
+        text = format_iteration_space(gr, rows=3, cols=5)
+        assert "2,4" in text and "0,0" in text
+
+    def test_empty_graph(self):
+        from repro.graph import MLDG
+
+        g = MLDG(dim=2)
+        g.add_node("A")
+        assert "no inter-iteration dependencies" in format_iteration_space(g)
+
+    def test_hyperplane_grid_figure16(self):
+        """s = (5,1): level increments of 1 along j and 5 along i."""
+        text = format_hyperplane_grid(IVec(5, 1), rows=3, cols=4)
+        assert "i=2:" in text
+        # row i=0 shows 0 1 2 3; row i=1 shows 5 6 7 8
+        assert " 0   1   2   3" in text
+        assert " 5   6   7   8" in text
+
+    def test_hyperplane_grid_rejects_3d(self):
+        with pytest.raises(ValueError):
+            format_hyperplane_grid(IVec(1, 1, 1))
