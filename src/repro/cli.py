@@ -1,12 +1,18 @@
 """Command-line interface.
 
-Three subcommands::
+Four main subcommands::
 
     repro-fuse analyze  program.loop   # dependence report + MLDG
+    repro-fuse lint     program.loop   # static diagnostics (text/json/sarif)
     repro-fuse fuse     program.loop   # retime + fuse + emit code
     repro-fuse demo     fig2           # run a gallery example end to end
 
 ``python -m repro.cli`` works identically.
+
+Exit codes: ``analyze``/``fuse``/``demo``/``report`` return 0 on success,
+1 on input errors (parse/validation/fusion) and 2 on usage errors.  ``lint``
+follows the linter convention instead: 0 = clean (notes allowed), 1 =
+warnings only, 2 = errors or an unreadable/unparseable input.
 """
 
 from __future__ import annotations
@@ -44,8 +50,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser("analyze", help="dependence analysis of a DSL program")
     p_an.add_argument("file", help="loop DSL source file ('-' for stdin)")
+    p_an.add_argument(
+        "--format",
+        choices=["text", "json", "dot", "sarif"],
+        default=None,
+        help="output format (default: text; sarif emits lint diagnostics)",
+    )
     p_an.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     p_an.add_argument("--json", action="store_true", help="emit MLDG JSON")
+
+    p_li = sub.add_parser(
+        "lint", help="static diagnostics (model, legality, hygiene rules)"
+    )
+    p_li.add_argument("file", help="loop DSL source file ('-' for stdin)")
+    p_li.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (default: text)",
+    )
 
     p_fu = sub.add_parser("fuse", help="fuse a DSL program with full parallelism")
     p_fu.add_argument("file", help="loop DSL source file ('-' for stdin)")
@@ -103,13 +126,21 @@ def _read_source(path: str) -> str:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    nest = parse_program(_read_source(args.file))
+    source = _read_source(args.file)
+    fmt = args.format or ("dot" if args.dot else "json" if args.json else "text")
+    if fmt == "sarif":
+        from repro.lint import lint_source, render_sarif
+
+        path = "<stdin>" if args.file == "-" else args.file
+        print(render_sarif(lint_source(source, path=path)))
+        return 0
+    nest = parse_program(source)
     records = dependence_table(nest)
     g = extract_mldg(nest, check=False)
-    if args.dot:
+    if fmt == "dot":
         print(mldg_to_dot(g))
         return 0
-    if args.json:
+    if fmt == "json":
         print(mldg_to_json(g))
         return 0
     from repro.graph import mldg_stats
@@ -197,6 +228,27 @@ def _report_fusion(
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lint import lint_source, render_sarif
+
+    try:
+        source = _read_source(args.file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = "<stdin>" if args.file == "-" else args.file
+    result = lint_source(source, path=path)
+    if args.format == "json":
+        print(_json.dumps(result.to_dict(), indent=2))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(result.render_text())
+    return result.exit_code
+
+
 def _cmd_fuse(args: argparse.Namespace) -> int:
     nest = parse_program(_read_source(args.file))
     g = extract_mldg(nest)
@@ -248,6 +300,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "fuse":
             return _cmd_fuse(args)
         if args.command == "demo":

@@ -15,19 +15,24 @@ edge vector.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.mldg import MLDG
-from repro.loopir.ast_nodes import Assignment, LoopNest
+from repro.loopir.ast_nodes import ArrayRef, Assignment, LoopNest
 from repro.loopir.validate import validate_program
 from repro.vectors import IVec
 
-__all__ = ["extract_mldg", "dependence_table", "DependenceRecord"]
+__all__ = ["extract_mldg", "dependence_table", "records_by_edge", "DependenceRecord"]
 
 
 @dataclass(frozen=True)
 class DependenceRecord:
-    """One flow dependence: producer/consumer loops, statements and vector."""
+    """One flow dependence: producer/consumer loops, statements and vector.
+
+    ``ref`` is the consuming :class:`~repro.loopir.ast_nodes.ArrayRef`
+    itself, so diagnostics can point at the exact read (its ``span``) that
+    induces the dependence.
+    """
 
     array: str
     src: str  # producer loop label
@@ -35,6 +40,7 @@ class DependenceRecord:
     vector: IVec
     producer: Assignment
     consumer: Assignment
+    ref: Optional[ArrayRef] = None  # the consuming read
 
     def __str__(self) -> str:
         return (
@@ -73,9 +79,25 @@ def dependence_table(nest: LoopNest, *, check: bool = True) -> List[DependenceRe
                         vector=vector,
                         producer=w_stmt,
                         consumer=stmt,
+                        ref=ref,
                     )
                 )
     return records
+
+
+def records_by_edge(
+    records: List[DependenceRecord],
+) -> Dict[Tuple[str, str], List[DependenceRecord]]:
+    """Index dependence records by MLDG edge ``(src, dst)``.
+
+    The per-edge lists preserve extraction order, so the first record of an
+    edge is the textually first read inducing it -- the natural anchor for
+    edge-level diagnostics.
+    """
+    index: Dict[Tuple[str, str], List[DependenceRecord]] = {}
+    for rec in records:
+        index.setdefault((rec.src, rec.dst), []).append(rec)
+    return index
 
 
 def extract_mldg(nest: LoopNest, *, check: bool = True) -> MLDG:

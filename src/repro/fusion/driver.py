@@ -137,13 +137,23 @@ def fuse(g: MLDG, strategy: Strategy | str = Strategy.AUTO) -> FusionResult:
 
     report = check_legal(g)
     if not report.legal:
-        raise IllegalMLDGError(report.violations)
+        # structured diagnostics ride along so callers see codes and spans
+        from repro.lint.engine import diagnostics_from_legality
+
+        raise IllegalMLDGError(
+            report.violations, diagnostics=diagnostics_from_legality(report)
+        )
 
     if strategy is Strategy.DIRECT:
         if not is_fusion_legal(g):
+            from repro.lint.engine import LintContext
+            from repro.lint.registry import get_rule
+
+            diags = list(get_rule("LF201").run(LintContext(mldg=g)))
             raise FusionError(
                 "direct fusion is illegal: fusion-preventing dependencies exist "
-                "(use LLOFRA or a parallel strategy)"
+                "(use LLOFRA or a parallel strategy)",
+                diagnostics=diags,
             )
         r = Retiming.zero(dim=g.dim)
         return _result(

@@ -1,8 +1,18 @@
-"""Exception types for the fusion algorithms."""
+"""Exception types for the fusion algorithms.
+
+Exceptions raised on *input* problems (rather than internal errors) carry
+the full structured diagnostic story: :class:`FusionError.diagnostics` holds
+:class:`repro.lint.Diagnostic` records, so callers -- the CLI, the pipeline,
+CI tooling -- can render codes, severities and spans instead of parsing
+truncated exception text.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.lint.diagnostics import Diagnostic
 
 __all__ = [
     "FusionError",
@@ -13,20 +23,36 @@ __all__ = [
 
 
 class FusionError(Exception):
-    """Base class for fusion failures."""
+    """Base class for fusion failures.
+
+    ``diagnostics`` carries the structured findings behind the failure (empty
+    for internal errors); the exception *message* may summarise, but nothing
+    is lost.
+    """
+
+    def __init__(
+        self, message: str, diagnostics: Optional[Sequence["Diagnostic"]] = None
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics: List["Diagnostic"] = list(diagnostics or [])
 
 
 class IllegalMLDGError(FusionError):
     """The input MLDG does not model an executable nested loop.
 
-    Carries the structural violations from
-    :func:`repro.graph.legality.check_legal`.
+    The message stays short (at most five violations quoted), but the *full*
+    lists survive on the exception: ``violations`` has every violation as
+    text and ``diagnostics`` the same findings as structured records.
     """
 
-    def __init__(self, violations: List[str]) -> None:
+    def __init__(
+        self,
+        violations: List[str],
+        diagnostics: Optional[Sequence["Diagnostic"]] = None,
+    ) -> None:
         detail = "; ".join(violations[:5])
         more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
-        super().__init__(f"illegal MLDG: {detail}{more}")
+        super().__init__(f"illegal MLDG: {detail}{more}", diagnostics)
         self.violations = violations
 
 

@@ -20,6 +20,7 @@ Public surface:
 from repro.graph.edges import DependenceEdge
 from repro.graph.mldg import MLDG
 from repro.graph.legality import (
+    LegalityFinding,
     LegalityReport,
     VectorClass,
     check_legal,
@@ -53,6 +54,7 @@ from repro.graph.serialization import (
 __all__ = [
     "MLDG",
     "DependenceEdge",
+    "LegalityFinding",
     "LegalityReport",
     "VectorClass",
     "check_legal",

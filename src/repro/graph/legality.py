@@ -73,6 +73,7 @@ from repro.vectors import IVec, lex_nonnegative
 __all__ = [
     "VectorClass",
     "classify_vector",
+    "LegalityFinding",
     "LegalityReport",
     "check_legal",
     "is_legal",
@@ -107,12 +108,40 @@ def classify_vector(d: IVec) -> str:
     return VectorClass.FUSION_PREVENTING
 
 
+@dataclass(frozen=True)
+class LegalityFinding:
+    """One structured legality violation.
+
+    ``kind`` names the violated condition; ``cycle`` carries the
+    negative-cycle certificate (node names) when the violation is a cycle,
+    ``edge``/``vector`` the offending edge and dependence vector when it is
+    edge-local.  ``message`` is the human-readable form (identical to the
+    string in :attr:`LegalityReport.violations`).
+    """
+
+    kind: str  # "negative-cycle" | "negative-outer-distance"
+    #        | "doall-self-dependence" | "backward-same-iteration"
+    message: str
+    cycle: Optional[Tuple[str, ...]] = None
+    edge: Optional[Tuple[str, str]] = None
+    vector: Optional[IVec] = None
+
+    def __str__(self) -> str:
+        return self.message
+
+
 @dataclass
 class LegalityReport:
-    """Outcome of a legality check with human-readable violations."""
+    """Outcome of a legality check with human-readable violations.
+
+    ``violations`` is the legacy string form; ``findings`` carries the same
+    violations as structured :class:`LegalityFinding` records, in the same
+    order.
+    """
 
     legal: bool
     violations: List[str] = field(default_factory=list)
+    findings: List[LegalityFinding] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return self.legal
@@ -135,15 +164,23 @@ def check_legal(g: MLDG) -> LegalityReport:
     (Theorem 2.3).  On failure the report carries the negative-cycle
     certificate.
     """
-    violations: List[str] = []
+    findings: List[LegalityFinding] = []
     try:
         _llofra_feasible_retiming(g)
     except InfeasibleSystemError as exc:
         cyc = " -> ".join(map(str, exc.cycle))
-        violations.append(
-            f"dependence cycle with lexicographically negative weight: {cyc}"
+        findings.append(
+            LegalityFinding(
+                kind="negative-cycle",
+                message=f"dependence cycle with lexicographically negative weight: {cyc}",
+                cycle=tuple(map(str, exc.cycle)),
+            )
         )
-    return LegalityReport(legal=not violations, violations=violations)
+    return LegalityReport(
+        legal=not findings,
+        violations=[f.message for f in findings],
+        findings=findings,
+    )
 
 
 def is_legal(g: MLDG) -> bool:
@@ -191,25 +228,44 @@ def is_sequence_executable(g: MLDG) -> LegalityReport:
        (self-dependencies must be outermost-loop-carried: the innermost
        loops are DOALL).
     """
-    violations: List[str] = []
+    findings: List[LegalityFinding] = []
     for e in g.edges():
         for d in e.vectors:
             if d[0] < 0:
-                violations.append(
-                    f"{e.src}->{e.dst} vector {d}: negative outermost distance"
+                findings.append(
+                    LegalityFinding(
+                        kind="negative-outer-distance",
+                        message=f"{e.src}->{e.dst} vector {d}: negative outermost distance",
+                        edge=e.key,
+                        vector=d,
+                    )
                 )
             elif d[0] == 0:
                 if e.src == e.dst:
-                    violations.append(
-                        f"{e.src}->{e.dst} vector {d}: self-dependence must be "
-                        "outermost-loop-carried (DOALL body)"
+                    findings.append(
+                        LegalityFinding(
+                            kind="doall-self-dependence",
+                            message=f"{e.src}->{e.dst} vector {d}: self-dependence must be "
+                            "outermost-loop-carried (DOALL body)",
+                            edge=e.key,
+                            vector=d,
+                        )
                     )
                 elif g.program_index(e.src) >= g.program_index(e.dst):
-                    violations.append(
-                        f"{e.src}->{e.dst} vector {d}: same-iteration dependence "
-                        "flows backwards in program order"
+                    findings.append(
+                        LegalityFinding(
+                            kind="backward-same-iteration",
+                            message=f"{e.src}->{e.dst} vector {d}: same-iteration dependence "
+                            "flows backwards in program order",
+                            edge=e.key,
+                            vector=d,
+                        )
                     )
-    return LegalityReport(legal=not violations, violations=violations)
+    return LegalityReport(
+        legal=not findings,
+        violations=[f.message for f in findings],
+        findings=findings,
+    )
 
 
 def fusion_preventing_vectors(g: MLDG) -> Iterator[Tuple[DependenceEdge, IVec]]:

@@ -1,0 +1,58 @@
+"""``repro.lint`` -- a rule-based static analyzer for LoopIR and MLDGs.
+
+The fusion framework's preconditions, turned into actionable machine-readable
+diagnostics instead of mid-pipeline exceptions:
+
+* **program model** (§1 / Figure 1): single assignment per array, constant
+  dependence distances, DOALL innermost loops, well-ordered reads
+  (``LF101``-``LF104``, including the static DOALL race detector);
+* **fusion legality** (Lemma 2.1, Theorems 2.3/3.1, Definition 2.2):
+  fusion-preventing edges, illegal and zero-weight cycles, hard-edge
+  inventory (``LF201``-``LF204``);
+* **hygiene**: dead arrays, domain-escaping writes (``LF301``-``LF302``).
+
+Every diagnostic carries a stable code, a severity, a source span (when the
+program came from DSL text) and a fix-it hint.  Output formats: classic
+compiler text, JSON, and SARIF 2.1.0 for GitHub code scanning.  Inline
+``! lint: disable=LF###`` comments suppress diagnostics.
+
+    >>> from repro.lint import lint_source
+    >>> res = lint_source("do i = 0, n\\n  doall j = 0, m\\n"
+    ...                   "    a[i][j] = a[i][j-1]\\n  end\\nend")
+    >>> [d.code for d in res.diagnostics]
+    ['LF103']
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintResult, Severity
+from repro.lint.doall import DoallRace, static_doall_races
+from repro.lint.engine import (
+    LintContext,
+    diagnostics_from_legality,
+    diagnostics_from_model_findings,
+    lint_mldg,
+    lint_nest,
+    lint_source,
+)
+from repro.lint.registry import Rule, all_rules, get_rule, rule_codes
+from repro.lint.sarif import SARIF_VERSION, render_sarif, sarif_log
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "Severity",
+    "DoallRace",
+    "static_doall_races",
+    "LintContext",
+    "lint_source",
+    "lint_nest",
+    "lint_mldg",
+    "diagnostics_from_legality",
+    "diagnostics_from_model_findings",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rule_codes",
+    "SARIF_VERSION",
+    "sarif_log",
+    "render_sarif",
+]

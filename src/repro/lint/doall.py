@@ -1,0 +1,64 @@
+"""Static DOALL race detection on MLDGs.
+
+The static complement of :func:`repro.verify.doall.runtime_doall_violations`:
+instead of scanning executed statement instances for same-row conflicts, this
+inspects dependence vectors.  A loop body claimed to be DOALL races exactly
+when some dependence *inside that body* has an equal first (outermost)
+coordinate but a nonzero later coordinate -- two inner iterations of the same
+outer iteration would then touch the same cell (Property 4.1 of the paper).
+
+Two granularities:
+
+* ``fused=False`` (default) -- every MLDG node is its own claimed-DOALL
+  loop, so only **self**-dependences can race.  This is the program-model
+  check of §1 at graph level.
+* ``fused=True`` -- all nodes share one fused innermost loop (the situation
+  after fusion), so **every** edge's vectors are intra-body.  A clean result
+  is exactly :func:`repro.retiming.verify.is_doall_after_fusion`; a nonempty
+  one predicts the cells the runtime scan would flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.mldg import MLDG
+from repro.vectors import IVec
+
+__all__ = ["DoallRace", "static_doall_races"]
+
+
+@dataclass(frozen=True)
+class DoallRace:
+    """One statically detected DOALL violation: an intra-body inner dependence."""
+
+    src: str
+    dst: str
+    vector: IVec
+
+    def __str__(self) -> str:
+        kind = "self-dependence" if self.src == self.dst else "dependence"
+        return (
+            f"{self.src} -> {self.dst} {kind} {self.vector}: equal outermost "
+            "coordinate with nonzero inner offset -- iterations "
+            f"j and j{'-' if self.vector[1] >= 0 else '+'}{abs(self.vector[1])} "
+            "of one row touch the same cell"
+        )
+
+
+def static_doall_races(g: MLDG, *, fused: bool = False) -> List[DoallRace]:
+    """All dependence vectors that break a claimed-DOALL innermost loop.
+
+    Empty result == the claimed-DOALL loops are race-free.  With
+    ``fused=True`` the whole node set is treated as one fused body, so the
+    result is empty iff the fused innermost loop is DOALL (Property 4.1).
+    """
+    races: List[DoallRace] = []
+    for e in g.edges():
+        if not fused and e.src != e.dst:
+            continue
+        for d in e.vectors:
+            if d[0] == 0 and not d.is_zero():
+                races.append(DoallRace(e.src, e.dst, d))
+    return races

@@ -1,0 +1,206 @@
+"""The analyzer engine: run every registered rule over a program or MLDG.
+
+Entry points:
+
+* :func:`lint_source` -- DSL text in, :class:`LintResult` out.  Parse
+  failures become an ``LF001`` diagnostic instead of an exception, and
+  ``lint: disable=`` suppression comments are honored.
+* :func:`lint_nest` -- an already-parsed :class:`LoopNest` (spans are
+  available when the nest came from the parser).
+* :func:`lint_mldg` -- an abstract dependence graph with no source program
+  (gallery figures, random graphs); only graph-layer rules fire.
+
+The :class:`LintContext` caches the shared expensive artifacts (model
+findings, the dependence table, the legality report) so each rule stays a
+simple generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.depend.extract import DependenceRecord, dependence_table, extract_mldg, records_by_edge
+from repro.graph.legality import LegalityReport, check_legal
+from repro.graph.mldg import MLDG
+from repro.lint import rules as _rules  # noqa: F401  (imports populate the registry)
+from repro.lint.diagnostics import Diagnostic, LintResult, Severity
+from repro.lint.registry import all_rules
+from repro.loopir.ast_nodes import LoopNest, SourceSpan
+from repro.loopir.parser import FILE_WIDE, ParseError, collect_lint_suppressions, parse_program
+from repro.loopir.validate import ModelFinding, model_findings
+from repro.vectors import IVec
+
+__all__ = [
+    "LintContext",
+    "lint_source",
+    "lint_nest",
+    "lint_mldg",
+    "diagnostics_from_legality",
+    "diagnostics_from_model_findings",
+]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect, with lazily cached shared analyses."""
+
+    nest: Optional[LoopNest] = None
+    mldg: Optional[MLDG] = None
+    records: Optional[List[DependenceRecord]] = None
+    path: str = "<input>"
+    source: Optional[str] = None
+
+    _model: Optional[List[ModelFinding]] = field(default=None, repr=False)
+    _legal: Optional[LegalityReport] = field(default=None, repr=False)
+    _edge_index: Optional[Dict[Tuple[str, str], List[DependenceRecord]]] = field(
+        default=None, repr=False
+    )
+
+    def model_findings(self) -> List[ModelFinding]:
+        if self.nest is None:
+            return []
+        if self._model is None:
+            self._model = model_findings(self.nest)
+        return self._model
+
+    def legal_report(self) -> Optional[LegalityReport]:
+        if self.mldg is None:
+            return None
+        if self._legal is None:
+            self._legal = check_legal(self.mldg)
+        return self._legal
+
+    def span_for_edge(
+        self, src: str, dst: str, vector: Optional[IVec] = None
+    ) -> Optional[SourceSpan]:
+        """Source span of the read inducing the edge (or one of its vectors)."""
+        if self.records is None:
+            return None
+        if self._edge_index is None:
+            self._edge_index = records_by_edge(self.records)
+        recs = self._edge_index.get((src, dst), [])
+        if vector is not None:
+            for rec in recs:
+                if rec.vector == vector:
+                    return _record_span(rec)
+        return _record_span(recs[0]) if recs else None
+
+
+def _record_span(rec: DependenceRecord) -> Optional[SourceSpan]:
+    if rec.ref is not None and rec.ref.span is not None:
+        return rec.ref.span
+    return rec.consumer.span
+
+
+def _sort_key(d: Diagnostic) -> Tuple:
+    if d.span is None:
+        return (1, 0, 0, d.code)
+    return (0, d.span.line, d.span.col, d.code)
+
+
+def _apply_suppressions(
+    diagnostics: List[Diagnostic], suppressions: Dict[int, Set[str]]
+) -> List[Diagnostic]:
+    if not suppressions:
+        return diagnostics
+    file_wide = suppressions.get(FILE_WIDE, set())
+    kept = []
+    for d in diagnostics:
+        codes = set(file_wide)
+        if d.span is not None:
+            codes |= suppressions.get(d.span.line, set())
+        if d.code not in codes:
+            kept.append(d)
+    return kept
+
+
+def _run(ctx: LintContext, suppressions: Optional[Dict[int, Set[str]]] = None) -> LintResult:
+    diagnostics: List[Diagnostic] = []
+    for r in all_rules():
+        diagnostics.extend(r.run(ctx))
+    diagnostics = _apply_suppressions(diagnostics, suppressions or {})
+    diagnostics.sort(key=_sort_key)
+    return LintResult(diagnostics=diagnostics, path=ctx.path)
+
+
+def lint_nest(
+    nest: LoopNest,
+    *,
+    path: str = "<nest>",
+    source: Optional[str] = None,
+) -> LintResult:
+    """Lint a parsed (or programmatically built) loop nest.
+
+    When no statement-level model violation prevents it, the nest's MLDG is
+    extracted so the graph-layer rules run too.  ``source`` (when the nest
+    came from DSL text) enables suppression comments.
+    """
+    ctx = LintContext(nest=nest, path=path, source=source)
+    findings = ctx.model_findings()
+    # Multiple writers make the dependence table ambiguous; graph extraction
+    # is only meaningful without LF101 findings.
+    if not any(f.code == "LF101" for f in findings):
+        ctx.records = dependence_table(nest, check=False)
+        ctx.mldg = extract_mldg(nest, check=False)
+    suppressions = collect_lint_suppressions(source) if source else None
+    return _run(ctx, suppressions)
+
+
+def lint_source(source: str, *, path: str = "<input>") -> LintResult:
+    """Lint DSL text; parse errors become an ``LF001`` diagnostic."""
+    try:
+        nest = parse_program(source)
+    except ParseError as exc:
+        diag = Diagnostic(
+            code="LF001",
+            severity=Severity.ERROR,
+            message=str(exc),
+            span=SourceSpan(line=exc.line, col=getattr(exc, "col", 1)),
+            hint="see docs/DSL.md for the grammar",
+        )
+        return LintResult(diagnostics=[diag], path=path)
+    return lint_nest(nest, path=path, source=source)
+
+
+def lint_mldg(g: MLDG, *, path: str = "<mldg>") -> LintResult:
+    """Lint an abstract MLDG (graph-layer rules only)."""
+    return _run(LintContext(mldg=g, path=path))
+
+
+# ---------------------------------------------------------------------- #
+# conversions used by the fusion pipeline to attach diagnostics to errors
+# ---------------------------------------------------------------------- #
+
+_LEGALITY_CODE = {
+    "negative-cycle": "LF202",
+    "negative-outer-distance": "LF102",
+    "doall-self-dependence": "LF103",
+    "backward-same-iteration": "LF104",
+}
+
+
+def diagnostics_from_legality(report: LegalityReport) -> List[Diagnostic]:
+    """Structured diagnostics for a failed legality check (driver gating)."""
+    return [
+        Diagnostic(
+            code=_LEGALITY_CODE.get(f.kind, "LF202"),
+            severity=Severity.ERROR,
+            message=f.message,
+        )
+        for f in report.findings
+    ]
+
+
+def diagnostics_from_model_findings(findings: List[ModelFinding]) -> List[Diagnostic]:
+    """Structured diagnostics for program-model violations (pipeline gating)."""
+    return [
+        Diagnostic(
+            code=f.code,
+            severity=Severity.ERROR,
+            message=f.message,
+            span=f.span,
+            hint=f.hint,
+        )
+        for f in findings
+    ]

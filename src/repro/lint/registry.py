@@ -1,0 +1,74 @@
+"""The rule registry.
+
+Every analyzer rule registers itself with the :func:`rule` decorator; the
+engine iterates :func:`all_rules` so adding a rule is one function in
+:mod:`repro.lint.rules` plus its metadata -- no engine changes.  The
+registry is also the single source of rule metadata for the SARIF
+``tool.driver.rules`` array and for ``docs/DIAGNOSTICS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.lint.engine import LintContext
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "rule_codes"]
+
+Checker = Callable[["LintContext"], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata plus checker for one diagnostic code."""
+
+    code: str  # stable code, e.g. "LF201"
+    slug: str  # kebab-case rule name, e.g. "fusion-preventing-edge"
+    severity: Severity  # default severity (checkers may downgrade per finding)
+    layer: str  # "source" | "model" | "graph" | "hygiene"
+    summary: str  # one-line description (SARIF shortDescription)
+    checker: Checker
+
+    def run(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        return self.checker(ctx)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    code: str, slug: str, severity: Severity, layer: str, summary: str
+) -> Callable[[Checker], Checker]:
+    """Register a checker function under a stable diagnostic code."""
+
+    def register(fn: Checker) -> Checker:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        _REGISTRY[code] = Rule(
+            code=code,
+            slug=slug,
+            severity=severity,
+            layer=layer,
+            summary=summary,
+            checker=fn,
+        )
+        return fn
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code (stable SARIF rule order)."""
+    return [_REGISTRY[c] for c in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code]
+
+
+def rule_codes() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 output.
+
+Serialises a :class:`~repro.lint.diagnostics.LintResult` as a Static
+Analysis Results Interchange Format log (the schema GitHub code scanning
+ingests): one ``run`` of the ``repro-lint`` driver, every registered rule in
+``tool.driver.rules`` (with stable indices), one ``result`` per diagnostic
+with ``ruleId``, ``level`` and a physical location carrying line/column.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.diagnostics import Diagnostic, LintResult
+from repro.lint.registry import all_rules, rule_codes
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "sarif_log", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_DOCS_URI = "https://example.invalid/repro/docs/DIAGNOSTICS.md"
+
+
+def _tool_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0.0.0")
+
+
+def _rule_descriptor(code: str, slug: str, summary: str, severity: str) -> Dict[str, Any]:
+    return {
+        "id": code,
+        "name": slug,
+        "shortDescription": {"text": summary},
+        "helpUri": f"{_DOCS_URI}#{code.lower()}",
+        "defaultConfiguration": {"level": severity},
+    }
+
+
+def _location(diag: Diagnostic, uri: str) -> Dict[str, Any]:
+    region: Dict[str, Any] = {}
+    if diag.span is not None:
+        region["startLine"] = diag.span.line
+        region["startColumn"] = diag.span.col
+        if diag.span.end_line is not None:
+            region["endLine"] = diag.span.end_line
+        if diag.span.end_col is not None:
+            region["endColumn"] = diag.span.end_col
+    else:
+        region["startLine"] = 1
+        region["startColumn"] = 1
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": region,
+        }
+    }
+
+
+def sarif_log(result: LintResult, *, uri: str | None = None) -> Dict[str, Any]:
+    """The SARIF 2.1.0 log for one lint run, as a JSON-ready dict."""
+    artifact_uri = uri if uri is not None else result.path
+    indices = {code: k for k, code in enumerate(rule_codes())}
+    results = []
+    for d in result.diagnostics:
+        entry: Dict[str, Any] = {
+            "ruleId": d.code,
+            "level": d.severity.sarif_level,
+            "message": {"text": d.message},
+            "locations": [_location(d, artifact_uri)],
+        }
+        if d.code in indices:
+            entry["ruleIndex"] = indices[d.code]
+        if d.hint:
+            entry["message"]["markdown"] = f"{d.message}\n\n**Fix:** {d.hint}"
+        results.append(entry)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _DOCS_URI,
+                        "version": _tool_version(),
+                        "rules": [
+                            _rule_descriptor(
+                                r.code, r.slug, r.summary, r.severity.sarif_level
+                            )
+                            for r in all_rules()
+                        ],
+                    }
+                },
+                "artifacts": [{"location": {"uri": artifact_uri}}],
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult, *, uri: str | None = None) -> str:
+    """The SARIF log serialised as pretty-printed JSON text."""
+    return json.dumps(sarif_log(result, uri=uri), indent=2)

@@ -23,11 +23,17 @@ from repro.loopir.ast_nodes import (
     Const,
     InnerLoop,
     LoopNest,
+    SourceSpan,
     UnaryOp,
 )
-from repro.loopir.parser import ParseError, parse_program
+from repro.loopir.parser import ParseError, collect_lint_suppressions, parse_program
 from repro.loopir.printer import format_program
-from repro.loopir.validate import ValidationError, validate_program
+from repro.loopir.validate import (
+    ModelFinding,
+    ValidationError,
+    model_findings,
+    validate_program,
+)
 from repro.loopir.synthesize import program_from_mldg
 from repro.loopir.builder import LoopNestBuilder
 
@@ -39,11 +45,15 @@ __all__ = [
     "UnaryOp",
     "InnerLoop",
     "LoopNest",
+    "SourceSpan",
     "parse_program",
     "ParseError",
+    "collect_lint_suppressions",
     "format_program",
     "validate_program",
     "ValidationError",
+    "ModelFinding",
+    "model_findings",
     "program_from_mldg",
     "LoopNestBuilder",
 ]

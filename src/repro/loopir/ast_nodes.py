@@ -13,11 +13,12 @@ Expression nodes: :class:`Const`, :class:`ArrayRef`, :class:`UnaryOp`,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Set, Tuple, Union
+from typing import Dict, Iterator, Optional, Set, Tuple, Union
 
 from repro.vectors import IVec
 
 __all__ = [
+    "SourceSpan",
     "Expr",
     "Const",
     "ArrayRef",
@@ -27,6 +28,24 @@ __all__ = [
     "InnerLoop",
     "LoopNest",
 ]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A region of DSL source text: 1-based line/column, inclusive end.
+
+    Spans are carried by AST nodes built by the parser so diagnostics can
+    point at the offending text; programmatically built trees have no spans.
+    Spans never participate in node equality or hashing.
+    """
+
+    line: int
+    col: int
+    end_line: Optional[int] = None
+    end_col: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
 
 
 class Expr:
@@ -63,6 +82,7 @@ class ArrayRef(Expr):
 
     array: str
     offset: IVec
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def array_refs(self) -> Iterator["ArrayRef"]:
         yield self
@@ -73,7 +93,7 @@ class ArrayRef(Expr):
         Retiming node ``u`` by ``r(u)`` rewrites each of its statements'
         references from ``a[i+c][j+d]`` to ``a[i+c+r0][j+d+r1]``.
         """
-        return ArrayRef(self.array, self.offset + by)
+        return ArrayRef(self.array, self.offset + by, span=self.span)
 
     def index_text(self, index_names: Tuple[str, ...]) -> str:
         parts = []
@@ -142,6 +162,7 @@ class Assignment:
 
     target: ArrayRef
     expr: Expr
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def reads(self) -> Iterator[ArrayRef]:
         return self.expr.array_refs()
@@ -158,7 +179,7 @@ class Assignment:
                 return BinOp(e.op, shift_expr(e.left), shift_expr(e.right))
             return e
 
-        return Assignment(self.target.shifted(by), shift_expr(self.expr))
+        return Assignment(self.target.shifted(by), shift_expr(self.expr), span=self.span)
 
     def __str__(self) -> str:
         return f"{self.target} = {self.expr}"
@@ -174,6 +195,7 @@ class InnerLoop:
 
     label: str
     statements: Tuple[Assignment, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.label:

@@ -16,15 +16,18 @@ The concrete syntax mirrors the paper's Fortran-style figures::
   comment on the ``doall`` line; unlabeled loops get ``L1``, ``L2``, ...
 * Statements assign an array element; subscripts are the loop index plus a
   constant (uniform accesses): ``a[i-2][j+1]``.
-* ``!`` starts a comment.  Expressions use ``+ - * /``, parentheses, unary
-  minus and numeric literals.
+* ``!`` (or ``#``) starts a comment.  Expressions use ``+ - * /``,
+  parentheses, unary minus and numeric literals.
+* ``! lint: disable=LF101,LF201`` comments suppress lint diagnostics (see
+  :mod:`repro.lint`): on a code line they silence the listed codes for that
+  line, on a comment-only line for the whole file.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.loopir.ast_nodes import (
     ArrayRef,
@@ -34,19 +37,21 @@ from repro.loopir.ast_nodes import (
     Expr,
     InnerLoop,
     LoopNest,
+    SourceSpan,
     UnaryOp,
 )
 from repro.vectors import IVec
 
-__all__ = ["parse_program", "ParseError"]
+__all__ = ["parse_program", "ParseError", "collect_lint_suppressions", "FILE_WIDE"]
 
 
 class ParseError(Exception):
     """Syntax or model error in DSL source, with a line number."""
 
-    def __init__(self, message: str, line: int) -> None:
+    def __init__(self, message: str, line: int, col: int = 1) -> None:
         super().__init__(f"line {line}: {message}")
         self.line = line
+        self.col = col
 
 
 _TOKEN_RE = re.compile(
@@ -59,7 +64,42 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
-_LOOP_COMMENT_RE = re.compile(r"!\s*loop\s+(\w+)", re.IGNORECASE)
+_LOOP_COMMENT_RE = re.compile(r"[!#]\s*loop\s+(\w+)", re.IGNORECASE)
+
+_SUPPRESS_RE = re.compile(r"[!#]\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Key used in :func:`collect_lint_suppressions` for file-wide suppressions.
+FILE_WIDE = 0
+
+
+def _comment_start(line: str) -> int:
+    """Index of the first comment character (``!`` or ``#``), or -1."""
+    candidates = [k for k in (line.find("!"), line.find("#")) if k >= 0]
+    return min(candidates) if candidates else -1
+
+
+def collect_lint_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> lint codes disabled there by comment directives.
+
+    A ``lint: disable=LF101,LF301`` directive inside a ``!``/``#`` comment on
+    a line that also holds code suppresses those codes for diagnostics on
+    that line; on a comment-only (or blank-code) line, the codes are
+    suppressed file-wide, recorded under the key :data:`FILE_WIDE`.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        bang = _comment_start(raw)
+        if bang < 0:
+            continue
+        m = _SUPPRESS_RE.search(raw, bang)
+        if m is None:
+            continue
+        codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+        if not codes:
+            continue
+        key = lineno if raw[:bang].strip() else FILE_WIDE
+        suppressions.setdefault(key, set()).update(codes)
+    return suppressions
 
 
 @dataclass(frozen=True)
@@ -67,6 +107,11 @@ class _Token:
     kind: str  # "number" | "name" | "op" | "eof"
     text: str
     line: int
+    col: int = 1
+
+    @property
+    def end_col(self) -> int:
+        return self.col + max(len(self.text) - 1, 0)
 
 
 def _tokenize(source: str) -> Tuple[List[_Token], Dict[int, str]]:
@@ -75,7 +120,7 @@ def _tokenize(source: str) -> Tuple[List[_Token], Dict[int, str]]:
     comment_labels: Dict[int, str] = {}
     for lineno, raw in enumerate(source.splitlines(), start=1):
         line = raw
-        bang = line.find("!")
+        bang = _comment_start(line)
         if bang >= 0:
             m = _LOOP_COMMENT_RE.search(line)
             if m:
@@ -85,11 +130,14 @@ def _tokenize(source: str) -> Tuple[List[_Token], Dict[int, str]]:
         while pos < len(line):
             m = _TOKEN_RE.match(line, pos)
             if m is None:
-                raise ParseError(f"unexpected character {line[pos]!r}", lineno)
+                raise ParseError(
+                    f"unexpected character {line[pos]!r}", lineno, pos + 1
+                )
+            start = pos
             pos = m.end()
             if m.lastgroup == "ws":
                 continue
-            tokens.append(_Token(m.lastgroup or "", m.group(), lineno))
+            tokens.append(_Token(m.lastgroup or "", m.group(), lineno, start + 1))
     tokens.append(_Token("eof", "", len(source.splitlines()) + 1))
     return tokens, comment_labels
 
@@ -132,6 +180,16 @@ class _Parser:
 
     def at_keyword(self, word: str) -> bool:
         return self.cur.kind == "name" and self.cur.text.lower() == word
+
+    def span_from(self, start: _Token) -> SourceSpan:
+        """Span from ``start`` through the most recently consumed token."""
+        last = self.tokens[self.pos - 1] if self.pos > 0 else start
+        return SourceSpan(
+            line=start.line,
+            col=start.col,
+            end_line=last.line,
+            end_col=last.end_col,
+        )
 
     # -------------------------------------------------------------- #
     # grammar
@@ -202,8 +260,11 @@ class _Parser:
             self.advance()  # ':'
         if not self.at_keyword("doall"):
             raise ParseError(
-                f"expected 'doall' (or 'end'), found {self.cur.text!r}", self.cur.line
+                f"expected 'doall' (or 'end'), found {self.cur.text!r}",
+                self.cur.line,
+                self.cur.col,
             )
+        doall_tok = self.cur
         doall_line = self.cur.line
         self.advance()
         inner_idx, bound = self._parse_range()
@@ -221,13 +282,24 @@ class _Parser:
         self.expect("name")  # 'end'
         if not statements:
             raise ParseError(f"DOALL loop {label} has no statements", doall_line)
-        return label, inner_idx, bound, InnerLoop(label=label, statements=tuple(statements))
+        loop = InnerLoop(
+            label=label,
+            statements=tuple(statements),
+            span=SourceSpan(
+                line=doall_tok.line,
+                col=doall_tok.col,
+                end_line=doall_tok.line,
+                end_col=doall_tok.end_col,
+            ),
+        )
+        return label, inner_idx, bound, loop
 
     def parse_statement(self, outer_idx: str, inner_idx: str) -> Assignment:
+        start = self.cur
         target = self.parse_array_ref(outer_idx, inner_idx)
         self.expect("op", "=")
         expr = self.parse_expr(outer_idx, inner_idx)
-        return Assignment(target=target, expr=expr)
+        return Assignment(target=target, expr=expr, span=self.span_from(start))
 
     def parse_array_ref(self, outer_idx: str, inner_idx: str) -> ArrayRef:
         name_tok = self.expect("name")
@@ -236,7 +308,11 @@ class _Parser:
             self.expect("op", "[")
             offsets.append(self.parse_index(expected_idx))
             self.expect("op", "]")
-        return ArrayRef(array=name_tok.text, offset=IVec(offsets))
+        return ArrayRef(
+            array=name_tok.text,
+            offset=IVec(offsets),
+            span=self.span_from(name_tok),
+        )
 
     def parse_index(self, expected_idx: str) -> int:
         tok = self.expect("name")

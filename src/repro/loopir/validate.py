@@ -14,45 +14,102 @@ contains only data dependencies with constant distances"), made checkable:
    same outermost iteration's textual loop/statement order.  (A violation
    would read a cell before it is written, which the original program's
    semantics cannot mean.)
+
+Each violation is a structured :class:`ModelFinding` carrying the stable
+diagnostic code of the corresponding ``repro.lint`` rule (``LF101`` multiple
+assignment, ``LF102`` future-iteration read, ``LF103`` DOALL race, ``LF104``
+read-before-write), the offending statement and its source span.
+:func:`validate_program` remains the raise-on-error entry point;
+:func:`model_findings` is the non-raising structured form the linter builds
+on.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.loopir.ast_nodes import LoopNest
+from repro.loopir.ast_nodes import Assignment, LoopNest, SourceSpan
 
-__all__ = ["ValidationError", "validate_program"]
+__all__ = ["ModelFinding", "ValidationError", "model_findings", "validate_program"]
+
+
+@dataclass(frozen=True)
+class ModelFinding:
+    """One structured program-model violation.
+
+    ``code`` is the stable ``repro.lint`` diagnostic code; ``message`` is the
+    human-readable description (exactly the string historically carried by
+    :class:`ValidationError`); ``loop``/``array`` name the offending loop
+    label and array; ``statement`` and ``span`` locate the violation when
+    the nest came from parsed source.
+    """
+
+    code: str
+    message: str
+    loop: Optional[str] = None
+    array: Optional[str] = None
+    statement: Optional[Assignment] = None
+    span: Optional[SourceSpan] = None
+    hint: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
 
 
 class ValidationError(Exception):
-    """The loop nest violates the program model; ``problems`` lists why."""
+    """The loop nest violates the program model.
 
-    def __init__(self, problems: List[str]) -> None:
+    ``problems`` lists every violation as text (the full list -- nothing is
+    truncated); ``findings`` carries the same violations as structured
+    :class:`ModelFinding` records for machine consumption.
+    """
+
+    def __init__(
+        self, problems: List[str], findings: Optional[List[ModelFinding]] = None
+    ) -> None:
         super().__init__("; ".join(problems))
         self.problems = problems
+        self.findings = list(findings or [])
 
 
-def validate_program(nest: LoopNest) -> None:
-    """Raise :class:`ValidationError` unless the nest fits the program model."""
-    problems: List[str] = []
+def model_findings(nest: LoopNest) -> List[ModelFinding]:
+    """All program-model violations of ``nest`` as structured findings.
 
-    # 1. single writer per array
+    Returns an empty list when the nest fits the model.  Never raises; this
+    is the analysis behind :func:`validate_program` and the model-layer
+    rules of :mod:`repro.lint`.
+    """
+    findings: List[ModelFinding] = []
+
+    # 1. single writer per array (LF101)
     writers = {}
     for loop in nest.loops:
         for stmt in loop.statements:
             arr = stmt.target.array
             if arr in writers:
-                problems.append(
-                    f"array '{arr}' written in both loop {writers[arr][0]} and "
-                    f"loop {loop.label}: the model is single-assignment per array"
+                findings.append(
+                    ModelFinding(
+                        code="LF101",
+                        message=(
+                            f"array '{arr}' written in both loop {writers[arr][0]} "
+                            f"and loop {loop.label}: the model is "
+                            "single-assignment per array"
+                        ),
+                        loop=loop.label,
+                        array=arr,
+                        statement=stmt,
+                        span=stmt.span,
+                        hint="write each array in exactly one statement; "
+                        "introduce a second array for the second definition",
+                    )
                 )
             else:
                 writers[arr] = (loop.label, stmt)
 
     loop_pos = {lp.label: k for k, lp in enumerate(nest.loops)}
 
-    # 2 & 3: examine every read with a known writer
+    # 2 & 3: examine every read with a known writer (LF102/LF103/LF104)
     for loop in nest.loops:
         for stmt_idx, stmt in enumerate(loop.statements):
             for ref in stmt.reads():
@@ -61,36 +118,93 @@ def validate_program(nest: LoopNest) -> None:
                 w_label, w_stmt = writers[ref.array]
                 # dependence distance: consumer iteration - producer iteration
                 d = w_stmt.target.offset - ref.offset
+                span = ref.span or stmt.span
                 if d[0] < 0:
-                    problems.append(
-                        f"loop {loop.label} reads {ref} before loop {w_label} "
-                        f"writes it (distance {d}): dependence on a future "
-                        "outermost iteration"
+                    findings.append(
+                        ModelFinding(
+                            code="LF102",
+                            message=(
+                                f"loop {loop.label} reads {ref} before loop "
+                                f"{w_label} writes it (distance {d}): dependence "
+                                "on a future outermost iteration"
+                            ),
+                            loop=loop.label,
+                            array=ref.array,
+                            statement=stmt,
+                            span=span,
+                            hint=f"decrease the read's outer offset (or move the "
+                            f"write earlier) so the distance's first coordinate "
+                            f"is non-negative; currently {d}",
+                        )
                     )
                 elif d[0] == 0:
                     if w_label == loop.label:
                         if d[1] != 0:
-                            problems.append(
-                                f"loop {loop.label} reads its own output at "
-                                f"inner offset {d[1]} within one outermost "
-                                "iteration: not a DOALL loop"
+                            findings.append(
+                                ModelFinding(
+                                    code="LF103",
+                                    message=(
+                                        f"loop {loop.label} reads its own output "
+                                        f"at inner offset {d[1]} within one "
+                                        "outermost iteration: not a DOALL loop"
+                                    ),
+                                    loop=loop.label,
+                                    array=ref.array,
+                                    statement=stmt,
+                                    span=span,
+                                    hint="a claimed-DOALL loop may not carry an "
+                                    "inner-iteration dependence; make the "
+                                    "self-dependence outermost-carried (read "
+                                    f"{ref.array} at an earlier outer iteration) "
+                                    "or split the loop",
+                                )
                             )
                         else:
                             # same loop, same iteration: writer statement must
                             # come strictly before the reading statement
                             w_idx = loop.statements.index(w_stmt)
                             if w_idx >= stmt_idx:
-                                problems.append(
-                                    f"statement '{stmt}' in loop {loop.label} "
-                                    f"reads {ref} before it is written in the "
-                                    "same iteration"
+                                findings.append(
+                                    ModelFinding(
+                                        code="LF104",
+                                        message=(
+                                            f"statement '{stmt}' in loop "
+                                            f"{loop.label} reads {ref} before it "
+                                            "is written in the same iteration"
+                                        ),
+                                        loop=loop.label,
+                                        array=ref.array,
+                                        statement=stmt,
+                                        span=span,
+                                        hint="move the producing statement above "
+                                        "the consuming one",
+                                    )
                                 )
                     elif loop_pos[w_label] > loop_pos[loop.label]:
-                        problems.append(
-                            f"loop {loop.label} reads {ref}, written later in "
-                            f"the same outermost iteration by loop {w_label} "
-                            f"(distance {d}): read of an unwritten value"
+                        findings.append(
+                            ModelFinding(
+                                code="LF104",
+                                message=(
+                                    f"loop {loop.label} reads {ref}, written later "
+                                    "in the same outermost iteration by loop "
+                                    f"{w_label} (distance {d}): read of an "
+                                    "unwritten value"
+                                ),
+                                loop=loop.label,
+                                array=ref.array,
+                                statement=stmt,
+                                span=span,
+                                hint=f"move loop {w_label} before loop "
+                                f"{loop.label}, or read {ref.array} from an "
+                                "earlier outer iteration",
+                            )
                         )
 
-    if problems:
-        raise ValidationError(problems)
+    return findings
+
+
+def validate_program(nest: LoopNest) -> None:
+    """Raise :class:`ValidationError` unless the nest fits the program model."""
+    findings = model_findings(nest)
+    if findings:
+        raise ValidationError([f.message for f in findings], findings=findings)

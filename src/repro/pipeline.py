@@ -1,10 +1,17 @@
 """One-call source-to-parallel pipeline.
 
-:func:`fuse_program` chains parse -> validate -> extract -> fuse ->
+:func:`fuse_program` chains lint -> parse -> validate -> extract -> fuse ->
 codegen and returns everything a caller typically wants in one object;
 :func:`fuse_and_verify` additionally executes the transformation against
 the original program.  The CLI and the examples are thin wrappers over
 these.
+
+Fusion is *gated* on error-severity static diagnostics: a program that
+violates the §1 model raises :class:`~repro.loopir.ValidationError` carrying
+the full structured finding list, and an illegal MLDG raises
+:class:`~repro.fusion.errors.IllegalMLDGError` with its diagnostics attached.
+Warning/info diagnostics never block; they ride along on
+:attr:`PipelineResult.diagnostics`.
 """
 
 from __future__ import annotations
@@ -17,7 +24,10 @@ from repro.codegen.fused import DeadlockError, FusedProgram
 from repro.depend import extract_mldg
 from repro.fusion import FusionResult, Strategy, fuse
 from repro.graph.mldg import MLDG
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import lint_nest
 from repro.loopir import LoopNest, parse_program
+from repro.loopir.validate import ValidationError, model_findings
 
 __all__ = ["PipelineResult", "fuse_program", "fuse_and_verify"]
 
@@ -31,6 +41,7 @@ class PipelineResult:
     fusion: FusionResult
     fused: Optional[FusedProgram]  # None when the body admits no order
     notes: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)  # non-blocking lint findings
 
     @property
     def retiming(self):
@@ -60,15 +71,30 @@ def fuse_program(
     :class:`~repro.fusion.FusionError`) unchanged.
     """
     nest = parse_program(source) if isinstance(source, str) else source
-    g = extract_mldg(nest)
+    findings = model_findings(nest)
+    if findings:
+        # the structured gate: same messages validate_program raised, plus
+        # codes/spans for tooling
+        raise ValidationError([f.message for f in findings], findings=findings)
+    g = extract_mldg(nest, check=False)
     result = fuse(g, strategy=strategy)
+    diagnostics = lint_nest(
+        nest, source=source if isinstance(source, str) else None
+    ).diagnostics
     notes: List[str] = list(result.notes)
     try:
         fused = apply_fusion(nest, result.retiming, mldg=g)
     except DeadlockError as exc:
         fused = None
         notes.append(f"no fused body order exists: {exc}")
-    return PipelineResult(nest=nest, mldg=g, fusion=result, fused=fused, notes=notes)
+    return PipelineResult(
+        nest=nest,
+        mldg=g,
+        fusion=result,
+        fused=fused,
+        notes=notes,
+        diagnostics=diagnostics,
+    )
 
 
 def fuse_and_verify(

@@ -146,3 +146,85 @@ class TestReport:
         assert main(["analyze", fig2_file]) == 0
         out = capsys.readouterr().out
         assert "4 loops" in out and "hard-edge" in out
+
+
+@pytest.fixture
+def race_file(tmp_path):
+    path = tmp_path / "race.loop"
+    path.write_text(
+        "do i = 0, n\n"
+        "  doall j = 0, m\n"
+        "    a[i][j] = a[i][j-1]\n"
+        "  end\n"
+        "end\n"
+    )
+    return str(path)
+
+
+class TestLint:
+    """Exit-code convention: 0 = clean (notes allowed), 1 = warnings, 2 = errors."""
+
+    def test_warnings_exit_1(self, fig2_file, capsys):
+        assert main(["lint", fig2_file]) == 1
+        out = capsys.readouterr().out
+        assert "warning[LF201]" in out
+        assert "info[LF301]" in out
+        assert "hint:" in out
+
+    def test_clean_exit_0(self, iir_file, capsys):
+        assert main(["lint", iir_file]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_errors_exit_2(self, race_file, capsys):
+        assert main(["lint", race_file]) == 2
+        assert "error[LF103]" in capsys.readouterr().out
+
+    def test_parse_error_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.loop"
+        bad.write_text("do i = 1, n\nend")
+        assert main(["lint", str(bad)]) == 2
+        assert "error[LF001]" in capsys.readouterr().out
+
+    def test_missing_file_exit_2(self, capsys):
+        assert main(["lint", "/nonexistent/x.loop"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_format(self, fig2_file, capsys):
+        assert main(["lint", fig2_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"] == fig2_file
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "LF201" in codes
+        assert payload["summary"]["exitCode"] == 1
+        assert all("line" in d and "column" in d for d in payload["diagnostics"])
+
+    def test_sarif_format(self, fig2_file, capsys):
+        assert main(["lint", fig2_file, "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        lf201 = [r for r in results if r["ruleId"] == "LF201"]
+        assert lf201
+        region = lf201[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] > 1 and region["startColumn"] > 1
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("do i = 0, n\n  doall j = 0, m\n    a[i][j] = x[i][j]\n  end\nend\n"),
+        )
+        assert main(["lint", "-"]) == 0
+        assert "<stdin>" in capsys.readouterr().out
+
+    def test_analyze_shares_sarif_format(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file, "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_analyze_format_flag_matches_legacy_flags(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file, "--format", "json"]) == 0
+        via_format = capsys.readouterr().out
+        assert main(["analyze", fig2_file, "--json"]) == 0
+        assert capsys.readouterr().out == via_format

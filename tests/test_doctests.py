@@ -11,6 +11,7 @@ import pytest
 import repro.constraints.system
 import repro.graph.builders
 import repro.graph.mldg
+import repro.lint
 import repro.retiming.retiming
 import repro.vectors.extended
 import repro.vectors.vector
@@ -22,6 +23,7 @@ MODULES = [
     repro.graph.builders,
     repro.retiming.retiming,
     repro.constraints.system,
+    repro.lint,
 ]
 
 

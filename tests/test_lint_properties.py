@@ -1,0 +1,156 @@
+"""Properties tying the static analyzer to the rest of the pipeline.
+
+Three contracts:
+
+* a program that lints clean of errors fuses without :class:`FusionError`;
+* ``LF202`` fires exactly when the fusion driver raises
+  :class:`IllegalMLDGError` (and the exception carries the diagnostics);
+* the static DOALL race detector (``LF103`` / ``static_doall_races``)
+  agrees with the instance-level scan ``runtime_doall_violations`` on
+  every gallery MLDG.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.codegen import apply_fusion
+from repro.codegen.fused import DeadlockError
+from repro.fusion import FusionError, IllegalMLDGError, fuse
+from repro.gallery import (
+    figure2_mldg,
+    figure8_mldg,
+    figure14_mldg,
+    floyd_steinberg_mldg,
+    iir2d_mldg,
+)
+from repro.graph import mldg_from_table, random_legal_mldg
+from repro.graph.legality import is_sequence_executable
+from repro.lint import lint_mldg, lint_nest, static_doall_races
+from repro.loopir import program_from_mldg, validate_program
+from repro.loopir.validate import ValidationError
+from repro.pipeline import fuse_program
+from repro.verify import runtime_doall_violations
+
+seeds = st.integers(min_value=0, max_value=10**6)
+sizes = st.integers(min_value=1, max_value=8)
+
+GALLERY = {
+    "fig2": figure2_mldg,
+    "fig8": figure8_mldg,
+    "fig14": figure14_mldg,
+    "iir2d": iir2d_mldg,
+    "sor": floyd_steinberg_mldg,
+}
+
+
+@given(seeds, sizes)
+@settings(max_examples=40, deadline=None)
+def test_error_clean_programs_fuse(seed, n):
+    """Lint-clean (no error severity) source programs never hit FusionError."""
+    g = random_legal_mldg(n, seed=seed)
+    assume(is_sequence_executable(g).legal)
+    nest = program_from_mldg(g)
+    result = lint_nest(nest)
+    assert not result.has_errors
+    try:
+        out = fuse_program(nest)
+    except FusionError as exc:  # pragma: no cover - the property under test
+        pytest.fail(f"lint-clean program failed to fuse: {exc}")
+    assert out.fusion.retiming is not None
+
+
+@given(seeds, sizes)
+@settings(max_examples=40, deadline=None)
+def test_linter_agrees_with_validator(seed, n):
+    """Model-layer lint errors occur exactly when validate_program raises."""
+    g = random_legal_mldg(n, seed=seed)
+    assume(is_sequence_executable(g).legal)
+    nest = program_from_mldg(g)
+    validate_program(nest)  # must not raise
+    model_codes = {"LF101", "LF102", "LF103", "LF104"}
+    assert not (set(lint_nest(nest).codes) & model_codes)
+
+
+@given(seeds, sizes)
+@settings(max_examples=40, deadline=None)
+def test_legal_graphs_never_lf202(seed, n):
+    g = random_legal_mldg(n, seed=seed)
+    result = lint_mldg(g)
+    assert not result.by_code("LF202")
+    fuse(g)  # must not raise IllegalMLDGError
+
+
+@pytest.mark.parametrize(
+    "table",
+    [
+        {("A", "B"): [(0, 1)], ("B", "A"): [(-1, 0)]},
+        {("A", "A"): [(-1, 2)]},
+        {("A", "B"): [(1, 0)], ("B", "C"): [(-2, 0)], ("C", "A"): [(0, 0)]},
+    ],
+    ids=["two-cycle", "self-loop", "three-cycle"],
+)
+def test_lf202_iff_illegal_mldg_error(table):
+    g = mldg_from_table(table)
+    diagnostics = lint_mldg(g).by_code("LF202")
+    assert diagnostics
+    with pytest.raises(IllegalMLDGError) as excinfo:
+        fuse(g)
+    assert excinfo.value.diagnostics  # structured findings ride on the error
+    assert {d.code for d in excinfo.value.diagnostics} <= {"LF202", "LF102", "LF103", "LF104"}
+
+
+def test_validation_error_carries_findings():
+    bad = (
+        "do i = 0, n\n"
+        "  doall j = 0, m\n"
+        "    a[i][j] = x[i][j]\n"
+        "    a[i][j] = y[i][j]\n"
+        "  end\n"
+        "end\n"
+    )
+    with pytest.raises(ValidationError) as excinfo:
+        fuse_program(bad)
+    assert [f.code for f in excinfo.value.findings] == ["LF101"]
+    assert excinfo.value.problems == [f.message for f in excinfo.value.findings]
+
+
+class TestGalleryAgreement:
+    """static_doall_races vs runtime_doall_violations on all five MLDGs."""
+
+    @pytest.mark.parametrize("name", sorted(GALLERY))
+    def test_static_matches_graph_level_doall(self, name):
+        g = GALLERY[name]()
+        result = fuse(g)
+        static = static_doall_races(result.retimed, fused=True)
+        assert (not static) == result.is_doall
+
+    @pytest.mark.parametrize("name", sorted(GALLERY))
+    def test_static_matches_runtime_scan(self, name):
+        g = GALLERY[name]()
+        result = fuse(g)
+        static = static_doall_races(result.retimed, fused=True)
+        nest = program_from_mldg(g, check=False)
+        try:
+            fp = apply_fusion(nest, result.retiming, mldg=g)
+        except DeadlockError:
+            # no fused body order exists (fig14): the static detector must
+            # already have refused to call the fused loop DOALL
+            assert static, f"{name}: deadlock but no static race reported"
+            return
+        runtime = runtime_doall_violations(fp, 8, 8, limit=100)
+        assert (not static) == (not runtime), (
+            f"{name}: static={[str(r) for r in static][:3]} "
+            f"runtime={runtime[:3]}"
+        )
+
+    def test_expected_gallery_split(self):
+        doall = {
+            name: fuse(builder()).is_doall for name, builder in GALLERY.items()
+        }
+        assert doall == {
+            "fig2": True,
+            "fig8": True,
+            "fig14": False,
+            "iir2d": True,
+            "sor": False,
+        }

@@ -1,0 +1,172 @@
+"""Golden tests: one fixture program per diagnostic code, plus the rule
+registry, suppression comments, and the static DOALL race detector."""
+
+import pathlib
+
+import pytest
+
+from repro.gallery import figure2_mldg, figure14_mldg
+from repro.graph import mldg_from_table, random_legal_mldg
+from repro.lint import (
+    Severity,
+    all_rules,
+    get_rule,
+    lint_mldg,
+    lint_source,
+    rule_codes,
+    static_doall_races,
+)
+from repro.lint.registry import rule
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
+
+#: fixture -> (expected code, expected severity, expected exit code)
+GOLDEN = {
+    "lf001.loop": ("LF001", Severity.ERROR, 2),
+    "lf101.loop": ("LF101", Severity.ERROR, 2),
+    "lf102.loop": ("LF102", Severity.ERROR, 2),
+    "lf103.loop": ("LF103", Severity.ERROR, 2),
+    "lf104.loop": ("LF104", Severity.ERROR, 2),
+    "lf201.loop": ("LF201", Severity.WARNING, 1),
+    "lf204.loop": ("LF204", Severity.INFO, 0),
+    "lf301.loop": ("LF301", Severity.INFO, 0),
+    "lf302.loop": ("LF302", Severity.WARNING, 1),
+}
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(path.read_text(), path=name)
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("name", sorted(GOLDEN), ids=lambda n: n.split(".")[0])
+    def test_expected_code_fires(self, name):
+        code, severity, exit_code = GOLDEN[name]
+        result = lint_fixture(name)
+        hits = result.by_code(code)
+        assert hits, f"{name}: expected {code}, got {result.codes}"
+        assert all(d.severity is severity for d in hits)
+        assert result.exit_code == exit_code
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN), ids=lambda n: n.split(".")[0])
+    def test_diagnostics_carry_spans(self, name):
+        """Source-backed diagnostics always know their line and column."""
+        for d in lint_fixture(name).diagnostics:
+            assert d.span is not None, f"{name}: {d.code} has no span"
+            assert d.span.line >= 1 and d.span.col >= 1
+
+    def test_clean_program_has_no_diagnostics(self):
+        result = lint_fixture("clean.loop")
+        assert result.diagnostics == []
+        assert result.exit_code == 0
+        assert result.summary() == "clean: no diagnostics"
+
+    def test_fixture_set_covers_every_source_rule(self):
+        covered = {code for code, _, _ in GOLDEN.values()}
+        # LF202/LF203 need graphs that no valid single-writer source produces.
+        assert covered == set(rule_codes()) - {"LF202", "LF203"}
+
+
+class TestGraphOnlyRules:
+    def test_lf202_illegal_cycle(self):
+        g = mldg_from_table(
+            {("A", "B"): [(0, 1)], ("B", "A"): [(-1, 0)]},
+            nodes=["A", "B"],
+        )
+        result = lint_mldg(g)
+        assert result.by_code("LF202")
+        assert result.exit_code == 2
+
+    def test_lf203_zero_weight_cycle_fig14(self):
+        result = lint_mldg(figure14_mldg())
+        hits = result.by_code("LF203")
+        assert len(hits) == 1
+        assert "zero-weight" in hits[0].message
+        assert not result.has_errors  # legal graph: deadlock is a warning
+
+    def test_lf103_on_abstract_graph_self_edge(self):
+        g = mldg_from_table({("A", "A"): [(0, 1)]}, nodes=["A"])
+        result = lint_mldg(g)
+        assert result.by_code("LF103")
+
+    def test_fig2_graph_layer(self):
+        result = lint_mldg(figure2_mldg())
+        assert "LF201" in result.codes
+        assert "LF204" in result.codes
+        assert not result.has_errors
+
+
+class TestStaticDoallRaces:
+    def test_self_edge_race_detected(self):
+        g = mldg_from_table({("A", "A"): [(0, 2)]}, nodes=["A"])
+        races = static_doall_races(g)
+        assert [(r.src, r.dst, tuple(r.vector)) for r in races] == [("A", "A", (0, 2))]
+
+    def test_outer_carried_self_edge_is_fine(self):
+        g = mldg_from_table({("A", "A"): [(1, -1)]}, nodes=["A"])
+        assert static_doall_races(g) == []
+
+    def test_fused_mode_checks_cross_edges(self):
+        g = mldg_from_table({("A", "B"): [(0, 1)]}, nodes=["A", "B"])
+        assert static_doall_races(g) == []  # unfused: separate DOALL loops sync
+        races = static_doall_races(g, fused=True)
+        assert [(r.src, r.dst) for r in races] == [("A", "B")]
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_the_line(self):
+        result = lint_fixture("suppressed.loop")
+        assert result.diagnostics == []
+        assert result.exit_code == 0
+
+    def test_suppression_is_code_specific(self):
+        src = (
+            "do i = 0, n\n"
+            "  doall j = 0, m\n"
+            "    a[i][j] = a[i][j-1]  ! lint: disable=LF301\n"
+            "  end\n"
+            "end\n"
+        )
+        result = lint_source(src)
+        assert "LF103" in result.codes  # a different code stays
+
+    def test_file_wide_suppression(self):
+        src = (
+            "! lint: disable=LF103, LF301\n"
+            "do i = 0, n\n"
+            "  doall j = 0, m\n"
+            "    a[i][j] = a[i][j-1]\n"
+            "  end\n"
+            "end\n"
+        )
+        assert lint_source(src).diagnostics == []
+
+
+class TestRegistry:
+    def test_codes_are_sorted_and_unique(self):
+        codes = rule_codes()
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        assert len(codes) >= 10
+
+    def test_every_rule_is_well_formed(self):
+        for r in all_rules():
+            assert r.code.startswith("LF") and len(r.code) == 5
+            assert r.slug and r.summary
+            assert r.layer in {"source", "model", "graph", "hygiene"}
+            assert isinstance(r.severity, Severity)
+
+    def test_get_rule(self):
+        assert get_rule("LF201").slug == "fusion-preventing-edge"
+        with pytest.raises(KeyError):
+            get_rule("LF999")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            rule("LF201", "dup", Severity.INFO, "graph", "duplicate")(lambda ctx: iter(()))
+
+    def test_random_legal_graphs_never_error(self):
+        for seed in range(10):
+            g = random_legal_mldg(6, seed=seed)
+            assert not lint_mldg(g).has_errors

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 output: structural conformance of the emitted log."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import (
+    SARIF_VERSION,
+    all_rules,
+    lint_source,
+    render_sarif,
+    rule_codes,
+    sarif_log,
+)
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+@pytest.fixture(scope="module")
+def fp_result():
+    path = FIXTURES / "lf201.loop"
+    return lint_source(path.read_text(), path="lf201.loop")
+
+
+@pytest.fixture(scope="module")
+def log(fp_result):
+    return sarif_log(fp_result)
+
+
+class TestLogShape:
+    def test_top_level(self, log):
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(log["runs"]) == 1
+
+    def test_driver_lists_every_rule(self, log):
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == rule_codes()
+        for descriptor in driver["rules"]:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["helpUri"].endswith(f"#{descriptor['id'].lower()}")
+            assert descriptor["defaultConfiguration"]["level"] in {
+                "note",
+                "warning",
+                "error",
+            }
+
+    def test_artifact_records_the_path(self, log):
+        assert log["runs"][0]["artifacts"] == [
+            {"location": {"uri": "lf201.loop"}}
+        ]
+
+
+class TestResults:
+    def test_one_result_per_diagnostic(self, fp_result, log):
+        results = log["runs"][0]["results"]
+        assert len(results) == len(fp_result.diagnostics)
+
+    def test_rule_index_points_into_rules(self, log):
+        run = log["runs"][0]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for res in run["results"]:
+            assert ids[res["ruleIndex"]] == res["ruleId"]
+
+    def test_fusion_preventing_result_has_line_and_column(self, log):
+        """The acceptance criterion: LF201 with a physical location."""
+        results = [r for r in log["runs"][0]["results"] if r["ruleId"] == "LF201"]
+        assert results
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 9  # b[i][j] = a[i][j+1]
+        assert region["startColumn"] == 15
+        assert results[0]["level"] == "warning"
+        assert "fusion-preventing" in results[0]["message"]["text"]
+
+    def test_hint_becomes_markdown_fix(self, log):
+        results = [r for r in log["runs"][0]["results"] if r["ruleId"] == "LF201"]
+        assert "**Fix:**" in results[0]["message"]["markdown"]
+
+    def test_severity_mapping_info_is_note(self, log):
+        levels = {r["ruleId"]: r["level"] for r in log["runs"][0]["results"]}
+        assert levels["LF301"] == "note"
+
+    def test_spanless_diagnostics_default_to_1_1(self):
+        from repro.gallery import figure14_mldg
+        from repro.lint import lint_mldg
+
+        log14 = sarif_log(lint_mldg(figure14_mldg()))
+        for res in log14["runs"][0]["results"]:
+            region = res["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+class TestRendering:
+    def test_render_sarif_round_trips(self, fp_result):
+        text = render_sarif(fp_result)
+        assert json.loads(text) == sarif_log(fp_result)
+
+    def test_uri_override(self, fp_result):
+        log = sarif_log(fp_result, uri="src/program.loop")
+        run = log["runs"][0]
+        assert run["artifacts"][0]["location"]["uri"] == "src/program.loop"
+        for res in run["results"]:
+            loc = res["locations"][0]["physicalLocation"]["artifactLocation"]
+            assert loc["uri"] == "src/program.loop"
+
+    def test_levels_cover_all_severities(self):
+        assert {r.severity.sarif_level for r in all_rules()} == {
+            "note",
+            "warning",
+            "error",
+        }

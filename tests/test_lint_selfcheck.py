@@ -1,0 +1,75 @@
+"""Self-check: everything this repo ships as a demo must lint error-free.
+
+Collected inputs: the gallery's DSL sources, every ``examples/*.loop`` file,
+and every loop-DSL program embedded in the ``examples/*.py`` scripts.
+Warnings and notes are expected (fig2 exists *because* it has
+fusion-preventing edges); error-severity diagnostics are not.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.gallery.common import floyd_steinberg_code, iir2d_code
+from repro.gallery.paper import figure2_code
+from repro.lint import lint_source
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = ROOT / "examples"
+
+_DSL_BLOCK = re.compile(r'"""(.*?)"""', re.DOTALL)
+
+
+def embedded_dsl_programs():
+    """(label, source) for every DSL program inside the example scripts."""
+    found = []
+    for script in sorted(EXAMPLES.glob("*.py")):
+        for k, block in enumerate(_DSL_BLOCK.findall(script.read_text())):
+            if re.search(r"^\s*do i = 0", block, re.MULTILINE):
+                found.append((f"{script.name}[{k}]", block))
+    return found
+
+
+GALLERY_SOURCES = [
+    ("figure2_code", figure2_code()),
+    ("iir2d_code", iir2d_code()),
+]
+if floyd_steinberg_code() is not None:  # pragma: no cover - gallery choice
+    GALLERY_SOURCES.append(("floyd_steinberg_code", floyd_steinberg_code()))
+
+
+@pytest.mark.parametrize("label,source", GALLERY_SOURCES, ids=lambda v: v[:24])
+def test_gallery_sources_lint_error_free(label, source):
+    result = lint_source(source, path=label)
+    assert not result.has_errors, result.render_text()
+
+
+@pytest.mark.parametrize(
+    "path", sorted(EXAMPLES.glob("*.loop")), ids=lambda p: p.name
+)
+def test_example_loop_files_lint_error_free(path):
+    result = lint_source(path.read_text(), path=path.name)
+    assert not result.has_errors, result.render_text()
+
+
+def test_example_loop_files_exist():
+    names = {p.name for p in EXAMPLES.glob("*.loop")}
+    assert {"fig2.loop", "iir2d.loop", "fusion_preventing.loop"} <= names
+
+
+@pytest.mark.parametrize("label,source", embedded_dsl_programs(), ids=lambda v: v[:32])
+def test_embedded_example_programs_lint_error_free(label, source):
+    result = lint_source(source, path=label)
+    assert not result.has_errors, result.render_text()
+
+
+def test_embedded_programs_were_collected():
+    assert embedded_dsl_programs(), "no DSL programs found in examples/*.py"
+
+
+def test_fig2_expected_diagnostics():
+    """The running example's known analysis story, end to end."""
+    result = lint_source(figure2_code(), path="fig2")
+    assert result.codes == ["LF201", "LF204", "LF301"]
+    assert result.exit_code == 1  # warnings, no errors
