@@ -1,18 +1,21 @@
 """Command-line interface.
 
-Four main subcommands::
+Five main subcommands::
 
     repro-fuse analyze  program.loop   # dependence report + MLDG
     repro-fuse lint     program.loop   # static diagnostics (text/json/sarif)
     repro-fuse fuse     program.loop   # retime + fuse + emit code
+    repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient)
     repro-fuse demo     fig2           # run a gallery example end to end
 
 ``python -m repro.cli`` works identically.
 
-Exit codes: ``analyze``/``fuse``/``demo``/``report`` return 0 on success,
-1 on input errors (parse/validation/fusion) and 2 on usage errors.  ``lint``
-follows the linter convention instead: 0 = clean (notes allowed), 1 =
-warnings only, 2 = errors or an unreadable/unparseable input.
+Exit codes: ``analyze``/``fuse``/``run``/``demo``/``report`` return 0 on
+success, 1 on input errors (parse/validation/fusion/budget) and 2 on usage
+errors.  ``run --format json`` always prints a JSON document -- a result
+report on success, an error report (``{"error": ...}``) on failure.
+``lint`` follows the linter convention instead: 0 = clean (notes allowed),
+1 = warnings only, 2 = errors or an unreadable/unparseable input.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.fusion import FusionError, Strategy, fuse
 from repro.graph import mldg_to_dot, mldg_to_json
 from repro.loopir import ParseError, ValidationError, parse_program
 from repro.machine import profile_fusion, unfused_profile
+from repro.resilience.budget import BudgetExceededError as _BudgetExceededError
 
 __all__ = ["main", "build_arg_parser"]
 
@@ -105,6 +109,51 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="compile_kernel",
         help="print the compiled Python/numpy kernel for the fused program",
     )
+
+    p_run = sub.add_parser(
+        "run",
+        help="hardened pipeline: resource budgets and verified degradation",
+    )
+    p_run.add_argument("file", help="loop DSL source file ('-' for stdin)")
+    p_run.add_argument(
+        "--resilient",
+        action="store_true",
+        help="degrade through the ladder (doall -> hyperplane -> legal-only "
+        "-> partition -> original) instead of failing on the first error",
+    )
+    p_run.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help="wall-clock budget in milliseconds",
+    )
+    p_run.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N", help="MLDG node cap"
+    )
+    p_run.add_argument(
+        "--max-edges", type=int, default=None, metavar="N", help="MLDG edge cap"
+    )
+    p_run.add_argument(
+        "--max-relaxation-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Bellman-Ford relaxation-round cap",
+    )
+    p_run.add_argument(
+        "--min-rung",
+        default="none",
+        choices=["none", "partition", "legal-only", "hyperplane", "doall"],
+        help="weakest acceptable ladder rung with --resilient (default: none)",
+    )
+    p_run.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    p_run.add_argument("--no-emit", action="store_true", help="skip code emission")
 
     p_demo = sub.add_parser("demo", help="run a gallery example")
     p_demo.add_argument("name", choices=sorted(_DEMOS), help="example name")
@@ -266,6 +315,88 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     )
 
 
+def _run_error_dict(exc: BaseException) -> dict:
+    """JSON error report for ``run --format json`` failures."""
+    out: dict = {
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "diagnostics": [
+                d.to_dict() for d in getattr(exc, "diagnostics", []) or []
+            ],
+        }
+    }
+    report = getattr(exc, "report", None)
+    if report is not None and hasattr(report, "to_dict"):
+        out["error"]["report"] = report.to_dict()
+    return out
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.loopir.printer import format_program
+    from repro.pipeline import fuse_program
+    from repro.resilience.budget import Budget, BudgetExceededError
+    from repro.resilience.pipeline import fuse_program_resilient
+
+    budget = Budget(
+        deadline_ms=args.deadline_ms,
+        max_nodes=args.max_nodes,
+        max_edges=args.max_edges,
+        max_relaxation_rounds=args.max_relaxation_rounds,
+    )
+    try:
+        source = _read_source(args.file)
+        if args.resilient:
+            result = fuse_program_resilient(
+                source, budget=budget, min_rung=args.min_rung
+            )
+            if args.format == "json":
+                doc = result.to_dict()
+                if args.no_emit:
+                    doc.pop("emitted", None)
+                print(_json.dumps(doc, indent=2))
+                return 0
+            print(result.report.describe())
+            for note in result.notes:
+                print(f"note: {note}")
+            if not args.no_emit:
+                print()
+                print("! ===== emitted program =====")
+                print(result.emitted_code())
+            return 0
+        out = fuse_program(source, budget=budget)
+        if args.format == "json":
+            doc = {
+                "strategy": out.fusion.strategy.value,
+                "parallelism": out.fusion.parallelism.value,
+                "retiming": {
+                    k: list(v) for k, v in out.fusion.retiming.as_dict().items()
+                },
+                "notes": list(out.notes),
+            }
+            if not args.no_emit and out.fused is not None:
+                doc["emitted"] = emit_fused_program(out.fused)
+            print(_json.dumps(doc, indent=2))
+            return 0
+        print(out.fusion.summary())
+        if not args.no_emit:
+            print()
+            print("! ===== emitted program =====")
+            if out.fused is not None:
+                print(emit_fused_program(out.fused))
+            else:
+                print(format_program(out.nest))
+        return 0
+    except (ParseError, ValidationError, FusionError, BudgetExceededError, OSError) as exc:
+        if args.format == "json":
+            print(_json.dumps(_run_error_dict(exc), indent=2))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.gallery import (
         figure2_mldg,
@@ -304,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "fuse":
             return _cmd_fuse(args)
+        if args.command == "run":
+            return _cmd_run(args)
         if args.command == "demo":
             return _cmd_demo(args)
         if args.command == "report":
@@ -316,7 +449,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
             print(full_report(n, m))
             return 0
-    except (ParseError, ValidationError, FusionError, OSError) as exc:
+    except (ParseError, ValidationError, FusionError, _BudgetExceededError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 2

@@ -124,9 +124,9 @@ def _zero_dependence_order(g_retimed: MLDG, program_order: List[str]) -> List[st
     try:
         pos = {name: k for k, name in enumerate(program_order)}
         return list(nx.lexicographical_topological_sort(order_graph, key=pos.get))
-    except nx.NetworkXUnfeasible:
+    except nx.NetworkXUnfeasible as exc:
         cycle_edges = nx.find_cycle(order_graph)
-        raise DeadlockError([u for (u, _v) in cycle_edges]) from None
+        raise DeadlockError([u for (u, _v) in cycle_edges]) from exc
 
 
 def apply_fusion(

@@ -14,13 +14,23 @@ at a caller-supplied ``top`` (plus infinity) and the source at ``zero``.
 After ``|V| - 1`` relaxation rounds a further improving edge proves a
 negative cycle; the certificate cycle is recovered by walking predecessor
 links ``|V|`` steps back from the improving edge's head.
+
+Work is bounded two ways: when a round stabilises (no relaxation fired)
+the certificate scan is skipped entirely — stabilisation already proves no
+improving edge remains, which a debug-only assertion re-checks — and an
+explicit relaxation cap (``max_rounds`` or a
+:class:`~repro.resilience.budget.Budget`) turns pathological inputs into a
+typed :class:`~repro.resilience.budget.BudgetExceededError` instead of a
+full ``O(V * E)`` crawl.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.resilience.budget import Budget, BudgetExceededError
 
 __all__ = [
     "bellman_ford",
@@ -51,11 +61,14 @@ class BellmanFordResult(Generic[Node, W]):
 
     ``negative_cycle`` is ``None`` on success.  When set, ``dist``/``pred``
     hold the (meaningless beyond diagnosis) state at detection time.
+    ``rounds`` counts the relaxation rounds actually executed (useful to
+    confirm early stabilisation on benign graphs).
     """
 
     dist: Dict[Node, W]
     pred: Dict[Node, Optional[Node]]
     negative_cycle: Optional[List[Node]]
+    rounds: int = field(default=0, compare=False)
 
     @property
     def feasible(self) -> bool:
@@ -81,6 +94,19 @@ def _trace_cycle(
     return cycle
 
 
+def _improving_edge(
+    dist: Dict[Node, W], edges: Sequence[Tuple[Node, Node, W]], top: W
+) -> Optional[Tuple[Node, Node]]:
+    """The first edge still relaxable under ``dist``, or ``None``."""
+    for (u, v, w) in edges:
+        du = dist[u]
+        if du == top:
+            continue
+        if du + w < dist[v]:
+            return (u, v)
+    return None
+
+
 def bellman_ford(
     nodes: Sequence[Node],
     edges: Sequence[Tuple[Node, Node, W]],
@@ -88,6 +114,8 @@ def bellman_ford(
     *,
     zero: W,
     top: W,
+    max_rounds: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> BellmanFordResult[Node, W]:
     """Shortest paths from ``source`` under any totally-ordered weight domain.
 
@@ -102,6 +130,16 @@ def bellman_ford(
     top:
         "Unreached" sentinel; must satisfy ``d + w < top`` for reachable
         distances (e.g. ``math.inf`` or ``ExtVec.top(dim)``).
+    max_rounds:
+        Hard cap on relaxation rounds.  If the distances have not
+        stabilised within the cap, raises
+        :class:`~repro.resilience.budget.BudgetExceededError` (partial
+        distances cannot distinguish a negative cycle from slow
+        convergence, so there is nothing sound to return).
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`; its
+        ``max_relaxation_rounds`` combines with ``max_rounds`` (the
+        tighter wins) and its deadline is checked once per round.
     """
     if source not in set(nodes):
         raise ValueError(f"source {source!r} not among nodes")
@@ -109,8 +147,23 @@ def bellman_ford(
     pred: Dict[Node, Optional[Node]] = {v: None for v in nodes}
     dist[source] = zero
 
+    caps = [
+        c
+        for c in (max_rounds, budget.max_relaxation_rounds if budget else None)
+        if c is not None
+    ]
+    cap = min(caps) if caps else None
+
     n = len(nodes)
+    rounds = 0
+    stabilized = False
     for _round in range(n - 1):
+        if cap is not None and rounds >= cap:
+            raise BudgetExceededError(
+                "relaxation-rounds", cap, rounds + 1, "bellman-ford relaxation"
+            )
+        if budget is not None:
+            budget.check_deadline("bellman-ford relaxation")
         changed = False
         for (u, v, w) in edges:
             du = dist[u]
@@ -121,29 +174,41 @@ def bellman_ford(
                 dist[v] = candidate
                 pred[v] = u
                 changed = True
+        rounds += 1
         if not changed:
+            stabilized = True
             break
-    else:
-        # ran all n-1 rounds with changes: must verify for negative cycles
-        pass
 
-    for (u, v, w) in edges:
-        du = dist[u]
-        if du == top:
-            continue
-        if du + w < dist[v]:
-            # one more improvement possible => negative cycle reachable from source
-            pred[v] = u
-            cycle = _trace_cycle(pred, v, n)
-            return BellmanFordResult(dist=dist, pred=pred, negative_cycle=cycle)
+    if stabilized:
+        # Early exit: a stabilised round proves no improving edge remains,
+        # hence no negative cycle is reachable — the O(E) certificate scan
+        # below is redundant.  Re-checked as a debug assertion (drop via -O).
+        assert _improving_edge(dist, edges, top) is None, (
+            "bellman-ford invariant violated: an improving edge survived a "
+            "stabilised relaxation round (non-transitive weight ordering?)"
+        )
+        return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
 
-    return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None)
+    improving = _improving_edge(dist, edges, top)
+    if improving is not None:
+        # one more improvement possible => negative cycle reachable from source
+        u, v = improving
+        pred[v] = u
+        cycle = _trace_cycle(pred, v, n)
+        return BellmanFordResult(dist=dist, pred=pred, negative_cycle=cycle, rounds=rounds)
+
+    return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
 
 
 def scalar_bellman_ford(
     nodes: Sequence[Node],
     edges: Sequence[Tuple[Node, Node, int]],
     source: Node,
+    *,
+    max_rounds: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> BellmanFordResult[Node, float]:
     """Problem ILP's solver: integer weights, ``math.inf`` as unreached."""
-    return bellman_ford(nodes, edges, source, zero=0, top=math.inf)
+    return bellman_ford(
+        nodes, edges, source, zero=0, top=math.inf, max_rounds=max_rounds, budget=budget
+    )

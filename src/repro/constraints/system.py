@@ -15,6 +15,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from repro.constraints.bellman_ford import bellman_ford
 from repro.constraints.constraint_graph import SUPER_SOURCE, ConstraintGraph
 from repro.constraints.vector_bellman_ford import vector_bellman_ford
+from repro.resilience.budget import Budget
 from repro.vectors import ExtVec, IVec
 
 __all__ = [
@@ -63,14 +64,18 @@ class ScalarConstraintSystem:
     def constraint_graph(self) -> ConstraintGraph:
         return ConstraintGraph.build(self._unknowns, self._constraints, zero=0)
 
-    def solve(self) -> Dict[Hashable, int]:
+    def solve(self, *, budget: Optional[Budget] = None) -> Dict[Hashable, int]:
         """Feasible values (shortest-path distances from ``v_0``).
 
         Unknowns untouched by any constraint get 0.  Raises
-        :class:`InfeasibleSystemError` when a negative cycle exists.
+        :class:`InfeasibleSystemError` when a negative cycle exists and
+        :class:`~repro.resilience.budget.BudgetExceededError` when the
+        optional ``budget`` runs out mid-solve.
         """
         g = self.constraint_graph()
-        result = bellman_ford(g.nodes, g.edges, g.source, zero=0, top=math.inf)
+        result = bellman_ford(
+            g.nodes, g.edges, g.source, zero=0, top=math.inf, budget=budget
+        )
         if not result.feasible:
             cycle = [c for c in result.negative_cycle if c != SUPER_SOURCE]
             raise InfeasibleSystemError(cycle)
@@ -141,7 +146,9 @@ class VectorConstraintSystem:
             self._unknowns, self._constraints, zero=ExtVec([0] * self._dim)
         )
 
-    def solve(self, *, verify: bool = True) -> Dict[Hashable, IVec]:
+    def solve(
+        self, *, verify: bool = True, budget: Optional[Budget] = None
+    ) -> Dict[Hashable, IVec]:
         """Feasible vector values; raises :class:`InfeasibleSystemError` if none.
 
         Distances whose trailing coordinates remain ``+inf`` (possible when
@@ -153,7 +160,9 @@ class VectorConstraintSystem:
         and infinite weights and raises ``ValueError``.
         """
         g = self.constraint_graph()
-        result = vector_bellman_ford(g.nodes, g.edges, g.source, dim=self._dim)
+        result = vector_bellman_ford(
+            g.nodes, g.edges, g.source, dim=self._dim, budget=budget
+        )
         if not result.feasible:
             cycle = [c for c in result.negative_cycle if c != SUPER_SOURCE]
             raise InfeasibleSystemError(cycle)

@@ -15,9 +15,10 @@ prefix, as in the paper's Figure 9.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Sequence, Tuple, TypeVar, Union
+from typing import Dict, Hashable, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.constraints.bellman_ford import BellmanFordResult, bellman_ford
+from repro.resilience.budget import Budget
 from repro.vectors import ExtVec, IVec
 
 __all__ = ["vector_bellman_ford"]
@@ -32,12 +33,21 @@ def vector_bellman_ford(
     source: Node,
     *,
     dim: int,
+    max_rounds: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> BellmanFordResult[Node, ExtVec]:
     """Lexicographic shortest paths from ``source`` (Algorithm 1).
 
     Returns a :class:`~repro.constraints.bellman_ford.BellmanFordResult`
     whose distances are :class:`ExtVec`; reachable distances are finite and
     can be converted with ``.to_ivec()``.
+
+    ``max_rounds``/``budget`` bound the relaxation work exactly as in
+    :func:`~repro.constraints.bellman_ford.bellman_ford`: a graph that has
+    not stabilised within the cap raises
+    :class:`~repro.resilience.budget.BudgetExceededError`, and on graphs
+    that stabilise early the negative-cycle certificate scan is skipped
+    (``result.rounds`` reports the rounds actually run).
     """
     if dim < 1:
         raise ValueError("dimension must be >= 1")
@@ -56,6 +66,8 @@ def vector_bellman_ford(
         source,
         zero=ExtVec([0] * dim),
         top=ExtVec.top(dim),
+        max_rounds=max_rounds,
+        budget=budget,
     )
 
 

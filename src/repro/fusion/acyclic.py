@@ -20,6 +20,8 @@ all (Theorem 2.3).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import networkx as nx
 
 from repro.constraints import VectorConstraintSystem
@@ -28,6 +30,7 @@ from repro.fusion.errors import IllegalMLDGError, NotAcyclicError
 from repro.graph.analysis import is_acyclic
 from repro.graph.legality import check_legal
 from repro.graph.mldg import MLDG
+from repro.resilience.budget import Budget
 from repro.retiming import Retiming
 from repro.vectors import ExtVec, IVec, POS_INF
 
@@ -49,7 +52,9 @@ def acyclic_constraint_graph(g: MLDG) -> ConstraintGraph:
     return _acyclic_system(g).constraint_graph()
 
 
-def acyclic_parallel_retiming(g: MLDG, *, check: bool = True) -> Retiming:
+def acyclic_parallel_retiming(
+    g: MLDG, *, check: bool = True, budget: Optional[Budget] = None
+) -> Retiming:
     """Algorithm 3: retiming giving a DOALL fused innermost loop (DAGs only).
 
     Raises :class:`~repro.fusion.errors.NotAcyclicError` on cyclic inputs and
@@ -62,12 +67,16 @@ def acyclic_parallel_retiming(g: MLDG, *, check: bool = True) -> Retiming:
     if check:
         report = check_legal(g)
         if not report.legal:
-            raise IllegalMLDGError(report.violations)
+            from repro.lint.engine import diagnostics_from_legality
+
+            raise IllegalMLDGError(
+                report.violations, diagnostics=diagnostics_from_legality(report)
+            )
     if not is_acyclic(g):
         cycle = next(iter(nx.simple_cycles(g.structure_digraph())), None)
         raise NotAcyclicError(list(cycle) if cycle else None)
 
-    solution = _acyclic_system(g).solve()
+    solution = _acyclic_system(g).solve(budget=budget)
     # Algorithm 3's final step: zero every coordinate after the first (the
     # solver already resolves the unconstrained infinite coordinates to 0).
     fixed = {

@@ -37,7 +37,7 @@ module rejects other dimensions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.constraints import (
     InfeasibleSystemError,
@@ -47,6 +47,7 @@ from repro.constraints.constraint_graph import ConstraintGraph
 from repro.fusion.errors import IllegalMLDGError, NoParallelRetimingError
 from repro.graph.legality import check_legal
 from repro.graph.mldg import MLDG
+from repro.resilience.budget import Budget
 from repro.retiming import Retiming
 
 __all__ = ["cyclic_parallel_retiming", "cyclic_phase_graphs", "CyclicPhaseGraphs"]
@@ -104,7 +105,9 @@ def cyclic_phase_graphs(g: MLDG) -> CyclicPhaseGraphs:
     )
 
 
-def cyclic_parallel_retiming(g: MLDG, *, check: bool = True) -> Retiming:
+def cyclic_parallel_retiming(
+    g: MLDG, *, check: bool = True, budget: Optional[Budget] = None
+) -> Retiming:
     """Algorithm 4: a retiming giving a DOALL fused innermost loop.
 
     Succeeds exactly when Theorem 4.2's conditions hold; otherwise raises
@@ -118,15 +121,19 @@ def cyclic_parallel_retiming(g: MLDG, *, check: bool = True) -> Retiming:
     if check:
         report = check_legal(g)
         if not report.legal:
-            raise IllegalMLDGError(report.violations)
+            from repro.lint.engine import diagnostics_from_legality
+
+            raise IllegalMLDGError(
+                report.violations, diagnostics=diagnostics_from_legality(report)
+            )
 
     try:
-        r_x = _phase_one_system(g).solve()
+        r_x = _phase_one_system(g).solve(budget=budget)
     except InfeasibleSystemError as exc:
         raise NoParallelRetimingError("x", exc.cycle) from exc
 
     try:
-        r_y = _phase_two_system(g, r_x).solve()
+        r_y = _phase_two_system(g, r_x).solve(budget=budget)
     except InfeasibleSystemError as exc:
         raise NoParallelRetimingError("y", exc.cycle) from exc
 

@@ -27,6 +27,7 @@ from repro.fusion.legal import legal_fusion_retiming
 from repro.graph.analysis import is_acyclic
 from repro.graph.legality import check_legal, is_fusion_legal
 from repro.graph.mldg import MLDG
+from repro.resilience.budget import Budget
 from repro.retiming import ROW_SCHEDULE, Retiming, hyperplane_for_schedule
 from repro.retiming.verify import RetimingVerification, verify_retiming
 from repro.vectors import IVec
@@ -124,16 +125,30 @@ def _result(
     )
 
 
-def fuse(g: MLDG, strategy: Strategy | str = Strategy.AUTO) -> FusionResult:
+def fuse(
+    g: MLDG,
+    strategy: Strategy | str = Strategy.AUTO,
+    *,
+    budget: Optional[Budget] = None,
+) -> FusionResult:
     """Fuse the loop nest modelled by ``g``, maximising parallelism.
 
     ``strategy`` forces a specific algorithm; the default ``AUTO`` picks:
     Algorithm 3 for DAGs, else Algorithm 4, else Algorithm 5.  Raises
     :class:`~repro.fusion.errors.FusionError` subclasses on illegal inputs
     or when a forced strategy does not apply.
+
+    ``budget`` bounds the run: node/edge caps are checked up front and the
+    relaxation/deadline limits are enforced inside the solvers, raising
+    :class:`~repro.resilience.budget.BudgetExceededError` on exhaustion
+    (callers wanting degradation instead of an error should use
+    :func:`repro.resilience.fuse_resilient`).
     """
     if isinstance(strategy, str):
         strategy = Strategy(strategy)
+    if budget is not None:
+        budget.start()
+        budget.check_graph(g.num_nodes, g.num_edges, "fuse entry")
 
     report = check_legal(g)
     if not report.legal:
@@ -162,19 +177,19 @@ def fuse(g: MLDG, strategy: Strategy | str = Strategy.AUTO) -> FusionResult:
         )
 
     if strategy is Strategy.LEGAL_ONLY:
-        r = legal_fusion_retiming(g, check=False)
+        r = legal_fusion_retiming(g, check=False, budget=budget)
         return _result(g, r, Strategy.LEGAL_ONLY, schedule=ROW_SCHEDULE, hyperplane=None)
 
     if strategy is Strategy.ACYCLIC:
-        r = acyclic_parallel_retiming(g, check=False)
+        r = acyclic_parallel_retiming(g, check=False, budget=budget)
         return _result(g, r, Strategy.ACYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
 
     if strategy is Strategy.CYCLIC:
-        r = cyclic_parallel_retiming(g, check=False)
+        r = cyclic_parallel_retiming(g, check=False, budget=budget)
         return _result(g, r, Strategy.CYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
 
     if strategy is Strategy.HYPERPLANE:
-        hp = hyperplane_parallel_fusion(g, check=False)
+        hp = hyperplane_parallel_fusion(g, check=False, budget=budget)
         return _result(
             g,
             hp.retiming,
@@ -185,13 +200,13 @@ def fuse(g: MLDG, strategy: Strategy | str = Strategy.AUTO) -> FusionResult:
 
     # AUTO
     if is_acyclic(g):
-        r = acyclic_parallel_retiming(g, check=False)
+        r = acyclic_parallel_retiming(g, check=False, budget=budget)
         return _result(g, r, Strategy.ACYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
     try:
-        r = cyclic_parallel_retiming(g, check=False)
+        r = cyclic_parallel_retiming(g, check=False, budget=budget)
         return _result(g, r, Strategy.CYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
     except NoParallelRetimingError as exc:
-        hp = hyperplane_parallel_fusion(g, check=False)
+        hp = hyperplane_parallel_fusion(g, check=False, budget=budget)
         return _result(
             g,
             hp.retiming,

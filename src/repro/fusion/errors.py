@@ -36,6 +36,13 @@ class FusionError(Exception):
         super().__init__(message)
         self.diagnostics: List["Diagnostic"] = list(diagnostics or [])
 
+    def __str__(self) -> str:
+        base = super().__str__()
+        codes = sorted({d.code for d in self.diagnostics})
+        if codes:
+            return f"{base} [{', '.join(codes)}]"
+        return base
+
 
 class IllegalMLDGError(FusionError):
     """The input MLDG does not model an executable nested loop.

@@ -14,11 +14,12 @@ On the paper's Figure 14 this yields ``s = (5, 1)`` and ``h = (1, -5)``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.fusion.errors import IllegalMLDGError
 from repro.fusion.legal import legal_fusion_retiming
 from repro.graph.mldg import MLDG
+from repro.resilience.budget import Budget
 from repro.retiming import Retiming, hyperplane_for_schedule, schedule_vector_for
 from repro.vectors import IVec
 
@@ -52,7 +53,9 @@ class HyperplaneFusion:
         return self.schedule == IVec(1, 0)
 
 
-def hyperplane_parallel_fusion(g: MLDG, *, check: bool = True) -> HyperplaneFusion:
+def hyperplane_parallel_fusion(
+    g: MLDG, *, check: bool = True, budget: Optional[Budget] = None
+) -> HyperplaneFusion:
     """Algorithm 5: LLOFRA retiming plus wavefront schedule and hyperplane.
 
     Always succeeds on a legal 2-D MLDG (Theorem 4.4).  Raises
@@ -62,7 +65,7 @@ def hyperplane_parallel_fusion(g: MLDG, *, check: bool = True) -> HyperplaneFusi
     """
     if g.dim != 2:
         raise ValueError("Algorithm 5's hyperplane construction is two-dimensional")
-    r = legal_fusion_retiming(g, check=check)
+    r = legal_fusion_retiming(g, check=check, budget=budget)
     gr = r.apply(g)
     retimed = sorted(gr.all_vectors())
     s = schedule_vector_for(retimed)

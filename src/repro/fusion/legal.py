@@ -16,11 +16,14 @@ Complexity: ``O(|V| * |E|)`` vector operations -- one Bellman-Ford run.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.constraints import InfeasibleSystemError, VectorConstraintSystem
 from repro.constraints.constraint_graph import ConstraintGraph
 from repro.fusion.errors import IllegalMLDGError
 from repro.graph.legality import check_legal
 from repro.graph.mldg import MLDG
+from repro.resilience.budget import Budget
 from repro.retiming import Retiming
 
 __all__ = ["legal_fusion_retiming", "llofra", "llofra_constraint_graph"]
@@ -38,7 +41,9 @@ def llofra_constraint_graph(g: MLDG) -> ConstraintGraph:
     return _llofra_system(g).constraint_graph()
 
 
-def legal_fusion_retiming(g: MLDG, *, check: bool = True) -> Retiming:
+def legal_fusion_retiming(
+    g: MLDG, *, check: bool = True, budget: Optional[Budget] = None
+) -> Retiming:
     """Algorithm 2: a retiming making loop fusion legal.
 
     Parameters
@@ -49,6 +54,10 @@ def legal_fusion_retiming(g: MLDG, *, check: bool = True) -> Retiming:
         When true (default), validate structural legality first and raise
         :class:`~repro.fusion.errors.IllegalMLDGError` with diagnostics
         instead of surfacing a bare infeasible-system error.
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget` bounding the
+        Bellman-Ford solve; exhaustion raises
+        :class:`~repro.resilience.budget.BudgetExceededError`.
 
     Returns the retiming whose values are the shortest-path distances from
     ``v_0`` -- exactly the function the paper reports in Figure 6
@@ -57,9 +66,13 @@ def legal_fusion_retiming(g: MLDG, *, check: bool = True) -> Retiming:
     if check:
         report = check_legal(g)
         if not report.legal:
-            raise IllegalMLDGError(report.violations)
+            from repro.lint.engine import diagnostics_from_legality
+
+            raise IllegalMLDGError(
+                report.violations, diagnostics=diagnostics_from_legality(report)
+            )
     try:
-        solution = _llofra_system(g).solve()
+        solution = _llofra_system(g).solve(budget=budget)
     except InfeasibleSystemError as exc:
         # unreachable for structurally legal graphs (Theorem 3.2); reachable
         # when check=False on an illegal graph

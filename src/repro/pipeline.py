@@ -28,6 +28,7 @@ from repro.lint.diagnostics import Diagnostic
 from repro.lint.engine import lint_nest
 from repro.loopir import LoopNest, parse_program
 from repro.loopir.validate import ValidationError, model_findings
+from repro.resilience.budget import Budget
 
 __all__ = ["PipelineResult", "fuse_program", "fuse_and_verify"]
 
@@ -62,13 +63,18 @@ def fuse_program(
     source: Union[str, LoopNest],
     *,
     strategy: Union[Strategy, str] = Strategy.AUTO,
+    budget: Optional[Budget] = None,
 ) -> PipelineResult:
     """Parse (if needed), analyse and fuse a loop-DSL program.
 
     Accepts DSL text or an already-built :class:`LoopNest`.  Raises the
     pipeline stages' own exceptions (:class:`~repro.loopir.ParseError`,
     :class:`~repro.loopir.ValidationError`,
-    :class:`~repro.fusion.FusionError`) unchanged.
+    :class:`~repro.fusion.FusionError`) unchanged.  ``budget`` is passed
+    through to :func:`repro.fusion.fuse`; exhaustion raises
+    :class:`~repro.resilience.budget.BudgetExceededError` (use
+    :func:`repro.resilience.fuse_program_resilient` for degradation
+    instead of an error).
     """
     nest = parse_program(source) if isinstance(source, str) else source
     findings = model_findings(nest)
@@ -77,7 +83,7 @@ def fuse_program(
         # codes/spans for tooling
         raise ValidationError([f.message for f in findings], findings=findings)
     g = extract_mldg(nest, check=False)
-    result = fuse(g, strategy=strategy)
+    result = fuse(g, strategy=strategy, budget=budget)
     diagnostics = lint_nest(
         nest, source=source if isinstance(source, str) else None
     ).diagnostics

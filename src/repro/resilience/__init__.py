@@ -1,0 +1,69 @@
+"""Hardened execution layer: degradation ladder, budgets, fault injection.
+
+``repro.resilience`` wraps the fusion pipeline in a *verified degradation
+ladder* — strategies are tried strongest-first and every rung's output is
+re-checked against the untouched input graph before it may be returned.
+A rung that fails (exception, budget exhaustion, or verification rejecting
+its answer) is degraded past, down to returning the original program
+unchanged, and the whole descent is recorded in a :class:`RecoveryReport`.
+
+Public surface:
+
+- :class:`Budget` / :class:`BudgetExceededError`  (``repro.resilience.budget``)
+- :func:`fuse_resilient`, :class:`ResilientFusionResult`,
+  :class:`ResilienceError`  (``repro.resilience.ladder``)
+- :func:`fuse_program_resilient`, :class:`ResilientPipelineResult`
+  (``repro.resilience.pipeline``)
+- :class:`Rung`, :class:`RungAttempt`, :class:`RecoveryReport`
+  (``repro.resilience.report``)
+- :mod:`repro.resilience.faults` — seeded deterministic fault injectors
+
+Only ``budget`` is imported eagerly: the low-level solvers in
+``repro.constraints`` import it, so pulling in the ladder (which imports
+``repro.fusion`` → ``repro.constraints``) here would create an import
+cycle.  Everything else is exported lazily via PEP 562.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.resilience.budget import Budget, BudgetExceededError
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "Rung",
+    "RungAttempt",
+    "RecoveryReport",
+    "ResilienceError",
+    "ResilientFusionResult",
+    "fuse_resilient",
+    "ResilientPipelineResult",
+    "fuse_program_resilient",
+    "faults",
+]
+
+_LAZY = {
+    "Rung": "repro.resilience.report",
+    "RungAttempt": "repro.resilience.report",
+    "RecoveryReport": "repro.resilience.report",
+    "ResilienceError": "repro.resilience.ladder",
+    "ResilientFusionResult": "repro.resilience.ladder",
+    "fuse_resilient": "repro.resilience.ladder",
+    "ResilientPipelineResult": "repro.resilience.pipeline",
+    "fuse_program_resilient": "repro.resilience.pipeline",
+    "faults": "repro.resilience.faults",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if name == "faults" else getattr(module, name)
+    globals()[name] = value
+    return value

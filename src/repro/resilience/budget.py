@@ -1,0 +1,131 @@
+"""Resource budgets for the hardened pipeline.
+
+A :class:`Budget` bounds what one fusion run may consume: wall-clock time
+(``deadline_ms``), input size (``max_nodes``/``max_edges``) and Bellman-Ford
+work (``max_relaxation_rounds``).  The solvers and fusion algorithms accept
+an optional budget and call its ``check_*`` methods at their loop heads;
+exhaustion raises :class:`BudgetExceededError`.
+
+The error is a *degradation trigger*, not a crash: the resilience ladder
+(:mod:`repro.resilience.ladder`) treats it like any other rung failure and
+falls back to a cheaper strategy, down to returning the original program
+unchanged.  Callers outside the ladder see it as an ordinary typed error.
+
+This module deliberately imports nothing from the rest of :mod:`repro` so
+the low-level solvers can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Budget", "BudgetExceededError"]
+
+
+class BudgetExceededError(RuntimeError):
+    """A resource budget was exhausted.
+
+    ``resource`` names the exhausted dimension (``"deadline-ms"``,
+    ``"nodes"``, ``"edges"``, ``"relaxation-rounds"``), ``limit``/``used``
+    quantify it, and ``context`` says where the check fired.
+    """
+
+    def __init__(
+        self, resource: str, limit: float, used: float, context: str = ""
+    ) -> None:
+        where = f" during {context}" if context else ""
+        super().__init__(
+            f"budget exceeded{where}: {resource} used {used:g} of limit {limit:g}"
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.context = context
+
+
+@dataclass
+class Budget:
+    """Resource limits for one pipeline run.  ``None`` means unlimited.
+
+    The deadline clock starts at the first :meth:`start` call (idempotent),
+    so a budget can be built eagerly and armed when work begins.
+
+    >>> b = Budget(max_nodes=2).start()
+    >>> b.check_graph(2, 10)          # within limits: no-op
+    >>> b.check_graph(3, 0)
+    Traceback (most recent call last):
+        ...
+    repro.resilience.budget.BudgetExceededError: budget exceeded: nodes used 3 of limit 2
+    """
+
+    deadline_ms: Optional[float] = None
+    max_nodes: Optional[int] = None
+    max_edges: Optional[int] = None
+    max_relaxation_rounds: Optional[int] = None
+    _t0: Optional[float] = field(default=None, repr=False, compare=False)
+
+    def start(self) -> "Budget":
+        """Arm the deadline clock (first call wins) and return ``self``."""
+        if self._t0 is None:
+            self._t0 = time.monotonic()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since :meth:`start` (0 before the clock is armed)."""
+        if self._t0 is None:
+            return 0.0
+        return (time.monotonic() - self._t0) * 1000.0
+
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds left before the deadline, or ``None`` if unlimited."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms - self.elapsed_ms()
+
+    def deadline_exceeded(self) -> bool:
+        remaining = self.remaining_ms()
+        return remaining is not None and remaining <= 0
+
+    # ------------------------------------------------------------------ #
+    # checks (raise BudgetExceededError)
+    # ------------------------------------------------------------------ #
+
+    def check_deadline(self, context: str = "") -> None:
+        if self.deadline_exceeded():
+            assert self.deadline_ms is not None
+            raise BudgetExceededError(
+                "deadline-ms", self.deadline_ms, self.elapsed_ms(), context
+            )
+
+    def check_graph(self, num_nodes: int, num_edges: int, context: str = "") -> None:
+        if self.max_nodes is not None and num_nodes > self.max_nodes:
+            raise BudgetExceededError("nodes", self.max_nodes, num_nodes, context)
+        if self.max_edges is not None and num_edges > self.max_edges:
+            raise BudgetExceededError("edges", self.max_edges, num_edges, context)
+
+    def check_rounds(self, rounds: int, context: str = "") -> None:
+        if (
+            self.max_relaxation_rounds is not None
+            and rounds > self.max_relaxation_rounds
+        ):
+            raise BudgetExceededError(
+                "relaxation-rounds", self.max_relaxation_rounds, rounds, context
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view used by the recovery report."""
+        return {
+            "deadlineMs": self.deadline_ms,
+            "maxNodes": self.max_nodes,
+            "maxEdges": self.max_edges,
+            "maxRelaxationRounds": self.max_relaxation_rounds,
+            "elapsedMs": round(self.elapsed_ms(), 3),
+        }

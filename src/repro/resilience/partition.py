@@ -1,0 +1,131 @@
+"""Greedy partition of an MLDG into maximal legally-fusible clusters.
+
+The second-weakest ladder rung: when no whole-graph fusion succeeds, split
+the loop sequence along fusion-preventing edges into maximal runs of
+consecutive loops whose induced subgraph is still legally fusible with the
+*identity* retiming, and fuse each run directly.  Because no loop instance
+moves (the retiming is zero), correctness only needs the original sequence
+to be executable and every cluster's zero-dependence subgraph to order its
+bodies — both checked here against the pristine graph.
+
+This is the classic non-retiming baseline the paper improves on (its
+"traditional fusion" of Section 1): weaker than LLOFRA, but it never moves
+computation, so it survives conditions that reject every retiming rung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.graph.legality import (
+    is_fusion_legal,
+    is_sequence_executable,
+    zero_weight_cycle,
+)
+from repro.graph.mldg import MLDG
+from repro.retiming.verify import is_doall_after_fusion
+
+__all__ = ["Cluster", "PartitionedFusion", "greedy_partition", "validate_partition"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One maximal run of consecutive loops fused directly (zero retiming)."""
+
+    labels: Tuple[str, ...]
+    doall: bool = False
+
+    @property
+    def fused(self) -> bool:
+        return len(self.labels) > 1
+
+
+@dataclass
+class PartitionedFusion:
+    """The partition rung's answer: clusters covering the program in order."""
+
+    original: MLDG
+    clusters: List[Cluster] = field(default_factory=list)
+
+    @property
+    def fused_clusters(self) -> List[Cluster]:
+        return [c for c in self.clusters if c.fused]
+
+    @property
+    def num_fused(self) -> int:
+        return len(self.fused_clusters)
+
+    def describe(self) -> str:
+        parts = []
+        for c in self.clusters:
+            text = "+".join(c.labels)
+            if c.fused and c.doall:
+                text += " (doall)"
+            parts.append(text)
+        return " | ".join(parts)
+
+
+def _cluster_fusible(sub: MLDG) -> bool:
+    """Direct fusion of ``sub`` is legal: all vectors lex-nonnegative and the
+    zero-dependence subgraph acyclic (a fused body order exists)."""
+    return is_fusion_legal(sub) and zero_weight_cycle(sub) is None
+
+
+def greedy_partition(g: MLDG) -> PartitionedFusion:
+    """Split program order greedily into maximal directly-fusible runs.
+
+    Greedy left-to-right growth is optimal for interval partitioning of a
+    sequence: a run is closed exactly when extending it by the next loop
+    would make the induced subgraph illegal to fuse directly.
+    """
+    result = PartitionedFusion(original=g)
+    run: List[str] = []
+    for node in g.nodes:
+        if not run:
+            run = [node]
+            continue
+        if _cluster_fusible(g.restricted_to(run + [node])):
+            run.append(node)
+        else:
+            result.clusters.append(_close(g, run))
+            run = [node]
+    if run:
+        result.clusters.append(_close(g, run))
+    return result
+
+
+def _close(g: MLDG, run: List[str]) -> Cluster:
+    sub = g.restricted_to(run)
+    doall = len(run) > 1 and is_doall_after_fusion(sub)
+    return Cluster(labels=tuple(run), doall=doall)
+
+
+def validate_partition(g: MLDG, partition: PartitionedFusion) -> Optional[str]:
+    """Re-check a partition against the pristine graph.
+
+    Returns ``None`` when the partition is provably safe to execute, or a
+    human-readable reason to reject it.  Used as the verification gate of
+    the partition rung, so it must not trust anything ``greedy_partition``
+    computed (the partition may have been built from a corrupted graph).
+    """
+    if not is_sequence_executable(g).legal:
+        return "original sequence is not executable; no direct fusion is safe"
+    covered = [label for c in partition.clusters for label in c.labels]
+    if covered != list(g.nodes):
+        return (
+            f"clusters {covered!r} do not cover the program order {list(g.nodes)!r}"
+        )
+    for c in partition.clusters:
+        if not c.fused:
+            continue
+        sub = g.restricted_to(c.labels)
+        if not is_fusion_legal(sub):
+            return f"cluster {'+'.join(c.labels)} is not legal to fuse directly"
+        if zero_weight_cycle(sub) is not None:
+            return f"cluster {'+'.join(c.labels)} has no fused body order"
+        if c.doall and not is_doall_after_fusion(sub):
+            return f"cluster {'+'.join(c.labels)} is not DOALL as claimed"
+    if partition.num_fused == 0:
+        return "no fusible clusters: partition is all singletons"
+    return None

@@ -1,0 +1,185 @@
+"""Recovery reports: the structured account of a degradation-ladder run.
+
+Every :func:`repro.resilience.ladder.fuse_resilient` call returns a
+:class:`RecoveryReport` alongside its result: which rungs were attempted,
+why each failed rung failed (as :class:`repro.lint.Diagnostic` records with
+``RS***`` codes), how long each took, and where the ladder came to rest.
+
+Diagnostic codes:
+
+- ``RS001`` — a rung's algorithm raised a typed error (budget, infeasible
+  constraint system, deadlock, ...).
+- ``RS002`` — a rung computed an answer but verification *rejected* it;
+  the answer was discarded, never returned.
+- ``RS003`` — a rung was skipped because the budget was already exhausted.
+- ``RS004`` — the ladder came to rest below the caller's ``min_rung``
+  (severity ERROR; the ladder raises in this case).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.resilience.budget import Budget
+
+__all__ = [
+    "Rung",
+    "RungAttempt",
+    "RecoveryReport",
+    "RS001",
+    "RS002",
+    "RS003",
+    "RS004",
+    "rung_from_label",
+]
+
+RS001 = "RS001"
+RS002 = "RS002"
+RS003 = "RS003"
+RS004 = "RS004"
+
+
+class Rung(enum.IntEnum):
+    """Ladder rungs, ordered weakest (0) to strongest (4).
+
+    The ladder tries them strongest-first; comparisons (``final >= min_rung``)
+    use the integer ordering.
+    """
+
+    ORIGINAL = 0
+    PARTITION = 1
+    LEGAL_FUSION = 2
+    HYPERPLANE = 3
+    DOALL = 4
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+
+_LABELS = {
+    Rung.ORIGINAL: "none",
+    Rung.PARTITION: "partition",
+    Rung.LEGAL_FUSION: "legal-only",
+    Rung.HYPERPLANE: "hyperplane",
+    Rung.DOALL: "doall",
+}
+
+_BY_LABEL = {label: rung for rung, label in _LABELS.items()}
+
+
+def rung_from_label(label: str) -> Rung:
+    """Parse a CLI-facing rung label (``doall``, ``hyperplane``, ...)."""
+    try:
+        return _BY_LABEL[label]
+    except KeyError:
+        raise ValueError(
+            f"unknown rung {label!r}; expected one of {sorted(_BY_LABEL)}"
+        ) from None
+
+
+@dataclass
+class RungAttempt:
+    """One rung of the ladder: what happened and how long it took.
+
+    ``status`` is one of ``"ok"`` (rung succeeded and its answer was
+    verified), ``"failed"`` (the algorithm raised), ``"rejected"``
+    (verification refused the computed answer) or ``"skipped"`` (budget
+    already exhausted).
+    """
+
+    rung: Rung
+    status: str
+    wall_ms: float = 0.0
+    error: Optional[str] = None
+    message: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rung": self.rung.label,
+            "status": self.status,
+            "wallMs": round(self.wall_ms, 3),
+            "error": self.error,
+            "message": self.message,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """The full account of one ladder descent."""
+
+    attempts: List[RungAttempt] = field(default_factory=list)
+    final_rung: Rung = Rung.ORIGINAL
+    parallelism: str = "serial"
+    total_ms: float = 0.0
+    budget: Optional[Budget] = None
+    notes: List[str] = field(default_factory=list)
+
+    def record(self, attempt: RungAttempt) -> RungAttempt:
+        self.attempts.append(attempt)
+        return attempt
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All diagnostics across all attempts, in ladder order."""
+        out: List[Diagnostic] = []
+        for attempt in self.attempts:
+            out.extend(attempt.diagnostics)
+        return out
+
+    def attempt_for(self, rung: Rung) -> Optional[RungAttempt]:
+        for attempt in self.attempts:
+            if attempt.rung is rung:
+                return attempt
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "finalRung": self.final_rung.label,
+            "parallelism": self.parallelism,
+            "totalMs": round(self.total_ms, 3),
+            "budget": self.budget.to_dict() if self.budget is not None else None,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "notes": list(self.notes),
+        }
+
+    def describe(self) -> str:
+        """A multi-line human-readable dump used by ``repro-fuse run``."""
+        lines = [
+            f"final rung   : {self.final_rung.label}",
+            f"parallelism  : {self.parallelism}",
+            f"total time   : {self.total_ms:.1f} ms",
+        ]
+        lines.append("ladder:")
+        for attempt in self.attempts:
+            line = f"  {attempt.rung.label:<11} {attempt.status}"
+            line += f"  ({attempt.wall_ms:.1f} ms)"
+            if attempt.message:
+                line += f"  {attempt.message}"
+            lines.append(line)
+            for diag in attempt.diagnostics:
+                lines.append(
+                    f"    {diag.severity.name.lower()}[{diag.code}] {diag.message}"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def rung_diagnostic(code: str, message: str, *, error: bool = False) -> Diagnostic:
+    """Build one resilience diagnostic (span-free; these are not source lints)."""
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR if error else Severity.WARNING,
+        message=message,
+    )
+
+
+__all__.append("rung_diagnostic")

@@ -161,6 +161,158 @@ def race_file(tmp_path):
     return str(path)
 
 
+@pytest.fixture
+def fusion_preventing_file(tmp_path):
+    import pathlib
+
+    src = (
+        pathlib.Path(__file__).parent.parent / "examples" / "fusion_preventing.loop"
+    ).read_text()
+    path = tmp_path / "fp.loop"
+    path.write_text(src)
+    return str(path)
+
+
+class TestRun:
+    """The hardened entry point: 0 = verified result, 1 = typed failure
+    (JSON error report with --format json), 2 = usage errors."""
+
+    def test_strict_success(self, fig2_file, capsys):
+        assert main(["run", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "strategy     : cyclic" in out
+        assert "emitted program" in out
+
+    def test_strict_budget_exhaustion_exit_1(self, fig2_file, capsys):
+        assert main(["run", fig2_file, "--max-relaxation-rounds", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+
+    def test_strict_budget_exhaustion_json(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    fig2_file,
+                    "--max-relaxation-rounds",
+                    "0",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "BudgetExceededError"
+        assert "relaxation-rounds" in payload["error"]["message"]
+
+    def test_resilient_success_text(self, fig2_file, capsys):
+        assert main(["run", fig2_file, "--resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "final rung   : doall" in out
+        assert "doall       ok" in out
+
+    def test_resilient_json_report(self, fig2_file, capsys):
+        assert main(["run", fig2_file, "--resilient", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rung"] == "doall"
+        assert payload["parallelism"] == "doall"
+        assert payload["report"]["attempts"][0]["status"] == "ok"
+        assert "emitted" in payload
+
+    def test_resilient_fusion_preventing_reaches_doall(
+        self, fusion_preventing_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "run",
+                    fusion_preventing_file,
+                    "--resilient",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rung"] == "doall"
+
+    def test_resilient_degrades_under_budget(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    fig2_file,
+                    "--resilient",
+                    "--max-relaxation-rounds",
+                    "0",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rung"] == "partition"
+        statuses = [(a["rung"], a["status"]) for a in payload["report"]["attempts"]]
+        assert ("doall", "failed") in statuses
+        assert ("partition", "ok") in statuses
+
+    def test_resilient_min_rung_failure_json(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    fig2_file,
+                    "--resilient",
+                    "--deadline-ms",
+                    "0",
+                    "--min-rung",
+                    "doall",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "ResilienceError"
+        codes = {d["code"] for d in payload["error"]["diagnostics"]}
+        assert "RS004" in codes
+        assert payload["error"]["report"]["finalRung"] == "none"
+
+    def test_malformed_input_json_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.loop"
+        bad.write_text("x = broken\n")
+        assert main(["run", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "ParseError"
+        assert payload["error"]["message"]
+
+    def test_illegal_model_program_json_error(self, race_file, capsys):
+        assert main(["run", race_file, "--resilient", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "ValidationError"
+
+    def test_missing_file_exit_1(self, capsys):
+        assert main(["run", "/nonexistent/x.loop"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_min_rung_is_usage_error(self, fig2_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", fig2_file, "--resilient", "--min-rung", "bogus"])
+        assert exc.value.code == 2
+
+    def test_no_emit_json_omits_program(self, fig2_file, capsys):
+        assert (
+            main(["run", fig2_file, "--resilient", "--format", "json", "--no-emit"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "emitted" not in payload
+
+
 class TestLint:
     """Exit-code convention: 0 = clean (notes allowed), 1 = warnings, 2 = errors."""
 

@@ -5,6 +5,10 @@ The suite's confidence rests on the checkers, so here we corrupt known-good
 retimings/schedules in targeted ways and assert each layer fails loudly:
 graph-level invariants, instance-level DOALL scans, randomised execution
 equivalence, and the dataflow order checker.
+
+The targeted corruption helper now lives in :mod:`repro.resilience.faults`
+(as ``perturb_retiming``); the seeded chaos suite built on top of it is
+``tests/test_resilience_faults.py``.
 """
 
 import pytest
@@ -15,6 +19,7 @@ from repro.fusion import fuse
 from repro.gallery import figure2_mldg
 from repro.gallery.paper import figure2_code
 from repro.loopir import parse_program
+from repro.resilience.faults import perturb_retiming as _corrupt
 from repro.retiming import Retiming, verify_retiming
 from repro.vectors import IVec
 from repro.verify import (
@@ -24,12 +29,6 @@ from repro.verify import (
     runtime_doall_violations,
     verify_retimed_execution,
 )
-
-
-def _corrupt(retiming: Retiming, node: str, delta: IVec) -> Retiming:
-    mapping = retiming.as_dict()
-    mapping[node] = mapping.get(node, IVec.zero(retiming.dim)) + delta
-    return Retiming(mapping, dim=retiming.dim)
 
 
 @pytest.fixture

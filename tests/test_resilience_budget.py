@@ -1,0 +1,185 @@
+"""Resource budgets: the Budget object, the hardened Bellman-Ford, and the
+budget threading through solvers, fusion strategies and the pipeline.
+
+Covers the adversarial cases the relaxation-count guard exists for: a chain
+whose edge order fights propagation (needs ~n-1 rounds), a fast-stabilizing
+graph (early exit, tiny round count, negative cycles still caught), and
+exhaustion surfacing as :class:`BudgetExceededError` rather than a hang or a
+partial answer.
+"""
+
+import time
+
+import pytest
+
+from repro.constraints import InfeasibleSystemError, ScalarConstraintSystem
+from repro.constraints.bellman_ford import scalar_bellman_ford
+from repro.constraints.vector_bellman_ford import vector_bellman_ford
+from repro.fusion import fuse
+from repro.gallery import figure2_mldg
+from repro.pipeline import fuse_program
+from repro.resilience import Budget, BudgetExceededError
+from repro.vectors import ExtVec
+
+
+def _adversarial_chain(n):
+    """Chain s -> x0 -> ... -> x_{n-1} with edges listed against propagation.
+
+    Each relaxation round improves only one more node, so full convergence
+    needs ~n rounds -- the worst case the round cap defends against.
+    """
+    nodes = ["s"] + [f"x{i}" for i in range(n)]
+    edges = [(f"x{i - 1}" if i else "s", f"x{i}", -1) for i in range(n)]
+    edges.reverse()
+    return nodes, edges, "s"
+
+
+class TestBudgetObject:
+    def test_defaults_are_unlimited(self):
+        b = Budget()
+        b.start()
+        b.check_deadline("anywhere")
+        b.check_graph(10**6, 10**6, "huge graph")
+        b.check_rounds(10**9, "many rounds")
+        assert b.remaining_ms() is None
+        assert not b.deadline_exceeded()
+
+    def test_start_is_idempotent(self):
+        b = Budget(deadline_ms=1000.0)
+        assert b.start() is b
+        t0 = b.elapsed_ms()
+        time.sleep(0.01)
+        b.start()  # must NOT reset the clock
+        assert b.elapsed_ms() > t0
+
+    def test_deadline_expires(self):
+        b = Budget(deadline_ms=0.0).start()
+        assert b.deadline_exceeded()
+        with pytest.raises(BudgetExceededError) as exc:
+            b.check_deadline("unit test")
+        assert exc.value.resource == "deadline-ms"
+        assert "unit test" in str(exc.value)
+
+    def test_graph_caps(self):
+        b = Budget(max_nodes=3, max_edges=5).start()
+        b.check_graph(3, 5, "at the cap")
+        with pytest.raises(BudgetExceededError) as exc:
+            b.check_graph(4, 0, "too many nodes")
+        assert exc.value.resource == "nodes"
+        assert exc.value.limit == 3 and exc.value.used == 4
+        with pytest.raises(BudgetExceededError) as exc:
+            b.check_graph(0, 6, "too many edges")
+        assert exc.value.resource == "edges"
+
+    def test_to_dict_is_json_shaped(self):
+        d = Budget(deadline_ms=5.0, max_nodes=2).start().to_dict()
+        assert set(d) == {
+            "deadlineMs",
+            "maxNodes",
+            "maxEdges",
+            "maxRelaxationRounds",
+            "elapsedMs",
+        }
+        assert d["deadlineMs"] == 5.0 and d["maxNodes"] == 2
+        assert d["maxEdges"] is None
+
+
+class TestBellmanFordGuard:
+    def test_adversarial_chain_converges_without_cap(self):
+        nodes, edges, src = _adversarial_chain(50)
+        result = scalar_bellman_ford(nodes, edges, src)
+        assert result.feasible
+        assert result.dist["x49"] == -50
+        # edge order fights propagation: one node per round
+        assert result.rounds >= 49
+
+    def test_adversarial_chain_trips_round_cap(self):
+        nodes, edges, src = _adversarial_chain(50)
+        with pytest.raises(BudgetExceededError) as exc:
+            scalar_bellman_ford(nodes, edges, src, max_rounds=3)
+        assert exc.value.resource == "relaxation-rounds"
+        assert exc.value.limit == 3
+
+    def test_budget_cap_equivalent_to_max_rounds(self):
+        nodes, edges, src = _adversarial_chain(50)
+        with pytest.raises(BudgetExceededError):
+            scalar_bellman_ford(
+                nodes, edges, src, budget=Budget(max_relaxation_rounds=3)
+            )
+
+    def test_fast_graph_stabilizes_early(self):
+        # favourable edge order: propagation completes in one round
+        nodes = ["s"] + [f"x{i}" for i in range(50)]
+        edges = [(f"x{i - 1}" if i else "s", f"x{i}", -1) for i in range(50)]
+        result = scalar_bellman_ford(nodes, edges, "s")
+        assert result.feasible
+        assert result.rounds <= 2  # early exit, nowhere near the |V|-1 bound
+
+    def test_early_exit_still_catches_negative_cycle(self):
+        # a 2-cycle of total weight -1 never stabilizes, so the certificate
+        # scan must still run and report it
+        nodes = ["s", "a", "b"]
+        edges = [("s", "a", 0), ("a", "b", -1), ("b", "a", 0)]
+        result = scalar_bellman_ford(nodes, edges, "s")
+        assert not result.feasible
+        assert set(result.negative_cycle) >= {"a", "b"}
+
+    def test_single_node_negative_self_loop(self):
+        # regression: zero relaxation rounds must not skip the cycle scan
+        result = scalar_bellman_ford(["a"], [("a", "a", -1)], "a")
+        assert not result.feasible
+
+    def test_vector_solver_respects_cap(self):
+        n = 30
+        nodes = ["s"] + [f"x{i}" for i in range(n)]
+        w = ExtVec((0, -1))
+        edges = [(f"x{i - 1}" if i else "s", f"x{i}", w) for i in range(n)]
+        edges.reverse()
+        ok = vector_bellman_ford(nodes, edges, "s", dim=2)
+        assert ok.feasible and ok.rounds >= n - 1
+        with pytest.raises(BudgetExceededError):
+            vector_bellman_ford(nodes, edges, "s", dim=2, max_rounds=2)
+
+
+class TestBudgetThreading:
+    def test_scalar_system_solve_accepts_budget(self):
+        s = ScalarConstraintSystem(["a", "b"])
+        s.add_leq("a", "b", 3)
+        assert s.solve(budget=Budget())["b"] <= 3
+
+    def test_infeasible_system_still_reports_cycle_under_budget(self):
+        s = ScalarConstraintSystem(["a", "b"])
+        s.add_leq("a", "b", -2)
+        s.add_leq("b", "a", 1)
+        with pytest.raises(InfeasibleSystemError):
+            s.solve(budget=Budget())
+
+    def test_fuse_honours_node_cap(self):
+        g = figure2_mldg()
+        with pytest.raises(BudgetExceededError) as exc:
+            fuse(g, budget=Budget(max_nodes=2))
+        assert exc.value.resource == "nodes"
+
+    def test_fuse_honours_relaxation_cap(self):
+        g = figure2_mldg()
+        with pytest.raises(BudgetExceededError):
+            fuse(g, budget=Budget(max_relaxation_rounds=0))
+
+    def test_fuse_unlimited_budget_matches_no_budget(self):
+        g = figure2_mldg()
+        assert (
+            fuse(g, budget=Budget()).retiming.as_dict()
+            == fuse(g).retiming.as_dict()
+        )
+
+    def test_fuse_program_threads_budget(self, tmp_path):
+        from repro.gallery.paper import figure2_code
+
+        with pytest.raises(BudgetExceededError):
+            fuse_program(figure2_code(), budget=Budget(max_relaxation_rounds=0))
+
+    def test_error_carries_structured_fields(self):
+        err = BudgetExceededError("nodes", 2, 5, "unit")
+        assert err.resource == "nodes"
+        assert err.limit == 2 and err.used == 5
+        assert "used 5 of limit 2" in str(err)

@@ -1,0 +1,273 @@
+"""Seeded chaos suite for the fault-injection subsystem.
+
+The acceptance property: under ANY single injected fault, the resilient
+pipeline either returns a result that re-verifies against the *pristine*
+graph/program, or raises a typed :class:`FusionError` with non-empty
+diagnostics.  Never a silent wrong answer, never a bare traceback.
+
+Seed count per (target x injector) pair defaults to 50 and can be scaled
+with the ``CHAOS_SEEDS`` environment variable (e.g. ``CHAOS_SEEDS=200`` for
+a deeper soak, ``CHAOS_SEEDS=5`` for a quick smoke).  The heavyweight sweeps
+carry the ``chaos`` marker so they can be deselected with ``-m "not chaos"``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.codegen import ArrayStore, run_fused, run_original
+from repro.fusion import FusionError
+from repro.gallery import (
+    figure2_mldg,
+    figure8_mldg,
+    figure14_mldg,
+    floyd_steinberg_mldg,
+    iir2d_mldg,
+)
+from repro.gallery.common import iir2d_code
+from repro.gallery.paper import figure2_code
+from repro.loopir import parse_program
+from repro.resilience import Rung, fuse_program_resilient, fuse_resilient, faults
+from repro.resilience.partition import validate_partition
+from repro.retiming import verify_retiming
+from repro.vectors import IVec
+
+CHAOS_SEEDS = int(os.environ.get("CHAOS_SEEDS", "50"))
+
+GALLERY = {
+    "fig2": figure2_mldg,
+    "fig8": figure8_mldg,
+    "fig14": figure14_mldg,
+    "iir2d": iir2d_mldg,
+    "sor": floyd_steinberg_mldg,
+}
+
+INJECTORS = {inj.name: inj for inj in faults.registered_injectors()}
+
+PROGRAMS = {
+    "fig2": figure2_code(),
+    "iir2d": iir2d_code(),
+}
+
+
+def _external_verify(g, res) -> None:
+    """Re-verify a ladder result against the PRISTINE graph.
+
+    This must not trust anything the (possibly fault-ridden) pipeline
+    verified internally.
+    """
+    rung = res.rung
+    if rung is Rung.ORIGINAL:
+        assert res.retiming is None or all(
+            v == IVec.zero(g.dim) for v in res.retiming.as_dict().values()
+        )
+        return
+    if rung is Rung.PARTITION:
+        assert res.partition is not None
+        assert validate_partition(g, res.partition) is None
+        return
+    assert res.retiming is not None
+    v = verify_retiming(g, res.retiming)
+    if rung is Rung.DOALL:
+        assert v.ok_for_parallel_fusion
+    else:
+        assert v.ok_for_legal_fusion
+    if rung is Rung.HYPERPLANE:
+        s = res.schedule
+        assert s is not None and any(c != 0 for c in s)
+        gr = res.retiming.apply(g)
+        zero = IVec.zero(g.dim)
+        for e in gr.edges():
+            for d in e.vectors:
+                assert d == zero or s.dot(d) > 0
+
+
+class TestInjectorMechanics:
+    def test_registry_covers_every_point(self):
+        points = {inj.point for inj in faults.registered_injectors()}
+        assert points == set(faults.POINTS)
+
+    def test_pass_through_is_identity_outside_context(self):
+        g = figure2_mldg()
+        assert faults.pass_through("mldg", g) is g
+
+    def test_injection_is_deterministic_per_seed(self):
+        g = figure2_mldg()
+        inj = INJECTORS["EdgeWeightCorruption"]
+        with faults.inject(inj, seed=7):
+            a = faults.pass_through("mldg", g)
+        with faults.inject(inj, seed=7):
+            b = faults.pass_through("mldg", g)
+        assert a is not g
+        assert a.describe() == b.describe()
+
+    def test_different_seeds_eventually_differ(self):
+        g = figure2_mldg()
+        inj = INJECTORS["EdgeWeightCorruption"]
+        texts = set()
+        for seed in range(8):
+            with faults.inject(inj, seed=seed):
+                texts.add(faults.pass_through("mldg", g).describe())
+        assert len(texts) > 1
+
+    def test_wrong_point_is_untouched(self):
+        g = figure2_mldg()
+        inj = INJECTORS["ScheduleOffByOne"]  # point "schedule"
+        with faults.inject(inj, seed=0) as active:
+            assert faults.pass_through("mldg", g) is g
+            assert active.hits == 0
+
+    def test_hits_count_corruptions(self):
+        inj = INJECTORS["ScheduleOffByOne"]
+        with faults.inject(inj, seed=0) as active:
+            out = faults.pass_through("schedule", IVec(1, 0))
+            assert out != IVec(1, 0)
+            assert active.hits == 1
+
+    def test_contexts_nest_and_restore(self):
+        outer = INJECTORS["ScheduleOffByOne"]
+        inner = INJECTORS["StatementReorder"]
+        with faults.inject(outer, seed=0):
+            with faults.inject(inner, seed=0):
+                # inner context owns the seam: schedule passes through clean
+                assert faults.pass_through("schedule", IVec(1, 0)) == IVec(1, 0)
+            assert faults.pass_through("schedule", IVec(1, 0)) != IVec(1, 0)
+        assert faults.pass_through("schedule", IVec(1, 0)) == IVec(1, 0)
+
+    def test_statement_reorder_permutes(self):
+        inj = INJECTORS["StatementReorder"]
+        body = ("a", "b", "c")
+        with faults.inject(inj, seed=3):
+            out = faults.pass_through("body-order", body)
+        assert sorted(out) == sorted(body) and tuple(out) != body
+
+    def test_retiming_injectors_change_some_mapping(self):
+        from repro.fusion import fuse
+
+        r = fuse(figure2_mldg()).retiming
+        for name in ("RetimingDrop", "RetimingPerturb"):
+            changed = 0
+            for seed in range(5):
+                with faults.inject(INJECTORS[name], seed=seed):
+                    out = faults.pass_through("retiming", r)
+                changed += out.as_dict() != r.as_dict()
+            assert changed > 0, name
+
+
+@pytest.mark.chaos
+class TestGraphChaos:
+    """gallery MLDG x injector x CHAOS_SEEDS seeds."""
+
+    @pytest.mark.parametrize("graph_name", sorted(GALLERY))
+    @pytest.mark.parametrize("inj_name", sorted(INJECTORS))
+    def test_single_fault_never_silent(self, graph_name, inj_name):
+        build = GALLERY[graph_name]
+        inj = INJECTORS[inj_name]
+        outcomes = {"ok": 0, "typed-error": 0, "hits": 0}
+        for seed in range(CHAOS_SEEDS):
+            g = build()
+            with faults.inject(inj, seed=seed) as active:
+                try:
+                    res = fuse_resilient(g)
+                except FusionError as exc:
+                    assert exc.diagnostics, (
+                        f"{graph_name}/{inj_name}/seed={seed}: typed error "
+                        "without diagnostics"
+                    )
+                    outcomes["typed-error"] += 1
+                else:
+                    _external_verify(build(), res)
+                    assert res.report is not None
+                    outcomes["ok"] += 1
+                outcomes["hits"] += active.hits
+        assert outcomes["ok"] + outcomes["typed-error"] == CHAOS_SEEDS
+
+    def test_faults_actually_fire(self):
+        """The chaos property is vacuous if injectors never trigger."""
+        g = figure2_mldg()
+        inj = INJECTORS["EdgeWeightCorruption"]
+        total_hits = 0
+        for seed in range(10):
+            with faults.inject(inj, seed=seed) as active:
+                try:
+                    fuse_resilient(g)
+                except FusionError:
+                    pass
+                total_hits += active.hits
+        assert total_hits > 0
+
+    def test_corruption_forces_observable_degradation_somewhere(self):
+        """At least one seed must knock fig2 off its fault-free DOALL rung
+        or raise -- otherwise the injected faults are not load-bearing."""
+        inj = INJECTORS["EdgeWeightCorruption"]
+        disturbed = 0
+        for seed in range(max(CHAOS_SEEDS, 10)):  # seed 5 is the first hit
+            with faults.inject(inj, seed=seed):
+                try:
+                    res = fuse_resilient(figure2_mldg())
+                except FusionError:
+                    disturbed += 1
+                else:
+                    disturbed += res.rung is not Rung.DOALL
+        assert disturbed > 0
+
+
+@pytest.mark.chaos
+class TestProgramChaos:
+    """End-to-end chaos through parse -> ladder -> codegen -> equivalence."""
+
+    @pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+    def test_body_order_chaos(self, prog_name):
+        source = PROGRAMS[prog_name]
+        inj = INJECTORS["StatementReorder"]
+        nest = parse_program(source)
+        n, m, seed0 = 7, 6, 2  # deliberately NOT the gate's sizes/seeds
+        base = ArrayStore.for_program(nest, n, m, seed=seed0)
+        ref = run_original(nest, n, m, store=base.copy())
+        for seed in range(CHAOS_SEEDS):
+            with faults.inject(inj, seed=seed):
+                try:
+                    res = fuse_program_resilient(source)
+                except FusionError as exc:
+                    assert exc.diagnostics
+                    continue
+            # whatever survived must still be bit-exact on fresh sizes
+            if res.fused is not None:
+                got = run_fused(res.fused, n, m, store=base.copy(), mode="serial")
+            elif res.partitioned is not None:
+                got = run_original(res.partitioned, n, m, store=base.copy())
+            else:
+                continue
+            assert ref.equal(got), f"{prog_name}/seed={seed}: silent corruption"
+
+    @pytest.mark.parametrize("inj_name", sorted(INJECTORS))
+    def test_fig2_program_all_injectors(self, inj_name):
+        source = PROGRAMS["fig2"]
+        inj = INJECTORS[inj_name]
+        seeds = max(CHAOS_SEEDS // 5, 10)
+        for seed in range(seeds):
+            with faults.inject(inj, seed=seed):
+                try:
+                    res = fuse_program_resilient(source)
+                except FusionError as exc:
+                    assert exc.diagnostics
+                    continue
+            assert res.report.final_rung is res.rung
+
+    def test_interleaved_chaos_is_reproducible(self):
+        """Same seed, same injector, same target => identical final rung."""
+        inj = INJECTORS["RetimingPerturb"]
+        rng = random.Random(99)
+        seeds = [rng.randrange(10_000) for _ in range(10)]
+
+        def outcome(seed):
+            with faults.inject(inj, seed=seed):
+                try:
+                    return fuse_resilient(figure2_mldg()).rung
+                except FusionError as exc:
+                    return type(exc).__name__
+
+        first = [outcome(s) for s in seeds]
+        second = [outcome(s) for s in seeds]
+        assert first == second
