@@ -1,0 +1,85 @@
+"""The performance trajectory: backends, memo caches and solvers over time.
+
+Not a paper experiment -- this archives the library's own measured
+performance so regressions are visible commit to commit.  Records flow
+through the ``perf_record`` fixture into ``BENCH_perf.json`` at the
+repository root (schema ``repro-bench-perf/1``): execution backends at full
+size (interpreter vs compiled vs parallel DOALL and wavefront), cold-vs-hot
+fusion memoization, and the SLF worklist against the round-based
+Bellman-Ford reference.
+
+The full-size measurements are marked ``perf`` (deselect with
+``-m 'not perf'``); a small smoke tier runs by default so the harness
+itself cannot rot unnoticed.
+"""
+
+import pytest
+
+from repro.perf.bench import (
+    bench_backends,
+    bench_fusion_cache,
+    bench_solvers,
+    render_records_text,
+    records_to_json,
+)
+
+FULL_N = FULL_M = 256
+SMOKE_N = SMOKE_M = 24
+
+
+def test_smoke_backends(report, perf_record):
+    """Fast tier: the whole harness end to end at a tiny size."""
+    records = bench_backends(
+        "fig2", n=SMOKE_N, m=SMOKE_M, jobs=(1, 2), repeats=2
+    )
+    assert {r.backend for r in records} >= {"interp", "compiled"}
+    perf_record(records)
+
+
+@pytest.mark.perf
+def test_perf_doall_backends(report, perf_record):
+    """DOALL example (fig2) at full size across every backend."""
+    records = bench_backends("fig2", n=FULL_N, m=FULL_M, jobs=(1, 2, 4))
+    perf_record(records)
+    doc = records_to_json(records)
+    report.text(render_records_text(doc))
+    interp = next(r for r in records if r.backend == "interp")
+    for r in records:
+        if r.jobs == 4 and r.backend.startswith("parallel"):
+            # the headline acceptance bar: parallel DOALL at jobs=4 beats the
+            # serial interpreter by >= 2x (bit-identity is verified by
+            # bench_backends before timing)
+            assert interp.median_s / r.median_s >= 2.0
+    assert interp.median_s > 0
+
+
+@pytest.mark.perf
+def test_perf_wavefront_backend(report, perf_record):
+    """Hyperplane example (anisotropic-sweep) with the tiled wavefront."""
+    records = bench_backends(
+        "anisotropic-sweep",
+        n=96,
+        m=96,
+        jobs=(1, 2, 4),
+        backends=("interp", "parallel"),
+    )
+    perf_record(records)
+    report.text(render_records_text(records_to_json(records)))
+
+
+@pytest.mark.perf
+def test_perf_fusion_cache(report, perf_record):
+    records = bench_fusion_cache("fig2")
+    perf_record(records)
+    hot = next(r for r in records if r.backend == "memo-cache")
+    assert hot.extra["cache"]["hits"] > 0
+
+
+@pytest.mark.perf
+def test_perf_solvers(report, perf_record):
+    records = bench_solvers(chain=400)
+    perf_record(records)
+    slf = next(r for r in records if r.backend == "slf")
+    rounds = next(r for r in records if r.backend == "rounds")
+    # the worklist must beat the O(V*E) worst case by a wide margin
+    assert rounds.median_s / slf.median_s >= 2.0

@@ -6,6 +6,13 @@ algorithm with pytest-benchmark.  The reproduction tables are printed
 through the ``report`` fixture so they appear in the terminal (and hence in
 ``bench_output.txt``) even under pytest's output capture, and are archived
 under ``results/``.
+
+Performance-trajectory records (``repro.perf.bench.BenchRecord``) collected
+through the ``perf_record`` fixture are additionally archived as
+machine-readable ``BENCH_perf.json`` at the repository root when the
+session ends -- per-benchmark medians with spread, backend, iteration-space
+size and the memo/kernel cache statistics, in the same schema
+``repro-fuse bench --format json`` prints.
 """
 
 from __future__ import annotations
@@ -16,6 +23,9 @@ from typing import Iterable, List, Sequence
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+PERF_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+_PERF_RECORDS: List = []
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -63,3 +73,25 @@ def _clear_results() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     for f in RESULTS_DIR.glob("bench_*.txt"):
         f.unlink()
+
+
+@pytest.fixture
+def perf_record():
+    """Collects :class:`repro.perf.bench.BenchRecord` lists for the archive.
+
+    Call it with an iterable of records; everything collected over the
+    session lands in ``BENCH_perf.json`` at the repository root.
+    """
+
+    def add(records) -> None:
+        _PERF_RECORDS.extend(records)
+
+    return add
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if not _PERF_RECORDS:
+        return
+    from repro.perf.bench import records_to_json, write_json
+
+    write_json(records_to_json(_PERF_RECORDS), str(PERF_JSON_PATH))

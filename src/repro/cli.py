@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Five main subcommands::
+Main subcommands::
 
     repro-fuse analyze  program.loop   # dependence report + MLDG
     repro-fuse lint     program.loop   # static diagnostics (text/json/sarif)
     repro-fuse fuse     program.loop   # retime + fuse + emit code
-    repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient)
+    repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient,
+                                       # --backend interp|compiled|parallel)
+    repro-fuse bench                   # perf harness (text/json, BENCH_perf shape)
     repro-fuse demo     fig2           # run a gallery example end to end
 
 ``python -m repro.cli`` works identically.
@@ -22,7 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.baselines import direct_fusion
 from repro.codegen import apply_fusion, emit_fused_program
@@ -154,6 +156,72 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     p_run.add_argument("--no-emit", action="store_true", help="skip code emission")
+    p_run.add_argument(
+        "--backend",
+        choices=["interp", "compiled", "parallel"],
+        default=None,
+        help="also execute the fused program with this backend "
+        "(parallel/compiled results are verified bit-identical against the "
+        "interpreter; not available with --resilient)",
+    )
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --backend parallel (default: cpu count)",
+    )
+    p_run.add_argument(
+        "--size",
+        metavar="N,M",
+        default="64,64",
+        help="iteration-space size for --backend execution (default 64,64)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="performance harness (backends, memo caches, solvers)"
+    )
+    p_bench.add_argument(
+        "--example",
+        default="fig2",
+        help="gallery example to time (default fig2; see repro.perf.bench)",
+    )
+    p_bench.add_argument(
+        "--size", metavar="N,M", default="256,256",
+        help="iteration-space size (default 256,256)",
+    )
+    p_bench.add_argument(
+        "--jobs", metavar="J1,J2,...", default="1,2,4",
+        help="comma-separated job counts for the parallel backend (default 1,2,4)",
+    )
+    p_bench.add_argument(
+        "--backends", metavar="B1,B2,...", default="interp,compiled,parallel",
+        help="comma-separated backends to time (default interp,compiled,parallel)",
+    )
+    p_bench.add_argument(
+        "--pool", choices=["thread", "process"], default="thread",
+        help="parallel-backend pool kind (default thread)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timed runs per configuration (default 3)",
+    )
+    p_bench.add_argument(
+        "--no-cache-bench", action="store_true",
+        help="skip the fusion memo-cache benchmark",
+    )
+    p_bench.add_argument(
+        "--no-solver-bench", action="store_true",
+        help="skip the Bellman-Ford SLF-vs-rounds benchmark",
+    )
+    p_bench.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    p_bench.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the JSON document to PATH",
+    )
 
     p_demo = sub.add_parser("demo", help="run a gallery example")
     p_demo.add_argument("name", choices=sorted(_DEMOS), help="example name")
@@ -332,6 +400,69 @@ def _run_error_dict(exc: BaseException) -> dict:
     return out
 
 
+def _parse_size(text: str) -> Tuple[int, int]:
+    n, m = (int(x) for x in text.split(","))
+    return n, m
+
+
+def _execute_backend(out, args: argparse.Namespace) -> dict:
+    """Execute the strict pipeline's fused program with the chosen backend.
+
+    Returns a JSON-shaped record: backend, size, wall seconds and (for the
+    compiled/parallel backends) whether the result matched the interpreter
+    bit for bit.  A mismatch raises -- executing a wrong answer fast is not
+    a feature.
+    """
+    import time as _time
+
+    from repro.codegen.interp import ArrayStore, run_fused
+
+    n, m = _parse_size(args.size)
+    fp = out.fused
+    if fp is None:
+        raise FusionError("nothing to execute: the pipeline emitted no fused program")
+    base = ArrayStore.for_program(out.nest, n, m, seed=0)
+    record: dict = {"backend": args.backend, "n": n, "m": m}
+
+    if args.backend == "interp":
+        t0 = _time.perf_counter()
+        run_fused(fp, n, m, store=base.copy(), mode="serial")
+        record["seconds"] = round(_time.perf_counter() - t0, 6)
+        return record
+
+    reference = run_fused(fp, n, m, store=base.copy(), mode="serial")
+    if args.backend == "compiled":
+        from repro.codegen.pycompile import compile_fused
+
+        kernel = compile_fused(fp)
+        got = base.copy()
+        t0 = _time.perf_counter()
+        kernel(got, n, m)
+        record["seconds"] = round(_time.perf_counter() - t0, 6)
+    else:  # parallel
+        from repro.perf.parallel import ParallelExecutor
+
+        is_doall = out.fusion.is_doall
+        schedule = None if is_doall else out.fusion.schedule
+        got = base.copy()
+        with ParallelExecutor(args.jobs) as ex:
+            t0 = _time.perf_counter()
+            ex.run(
+                fp, n, m, store=got,
+                mode="doall" if is_doall else "hyperplane",
+                schedule=schedule,
+            )
+            record["seconds"] = round(_time.perf_counter() - t0, 6)
+        record["jobs"] = ex.jobs
+        record["mode"] = "doall" if is_doall else "hyperplane"
+    if not reference.equal(got):  # pragma: no cover - correctness guard
+        raise FusionError(
+            f"{args.backend} backend diverged from the interpreter at {n}x{m}"
+        )
+    record["verified"] = "bit-identical to interpreter"
+    return record
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -340,6 +471,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.resilience.budget import Budget, BudgetExceededError
     from repro.resilience.pipeline import fuse_program_resilient
 
+    if args.backend is not None and args.resilient:
+        print("error: --backend is not available with --resilient", file=sys.stderr)
+        return 2
     budget = Budget(
         deadline_ms=args.deadline_ms,
         max_nodes=args.max_nodes,
@@ -367,6 +501,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(result.emitted_code())
             return 0
         out = fuse_program(source, budget=budget)
+        execution = (
+            _execute_backend(out, args) if args.backend is not None else None
+        )
         if args.format == "json":
             doc = {
                 "strategy": out.fusion.strategy.value,
@@ -376,11 +513,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 },
                 "notes": list(out.notes),
             }
+            if execution is not None:
+                doc["execution"] = execution
             if not args.no_emit and out.fused is not None:
                 doc["emitted"] = emit_fused_program(out.fused)
             print(_json.dumps(doc, indent=2))
             return 0
         print(out.fusion.summary())
+        if execution is not None:
+            parts = [f"backend={execution['backend']}"]
+            if "jobs" in execution:
+                parts.append(f"jobs={execution['jobs']}")
+            parts.append(f"size={execution['n']}x{execution['m']}")
+            parts.append(f"wall={execution['seconds'] * 1e3:.2f} ms")
+            if "verified" in execution:
+                parts.append(execution["verified"])
+            print("execution   : " + ", ".join(parts))
         if not args.no_emit:
             print()
             print("! ===== emitted program =====")
@@ -395,6 +543,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.perf.bench import render_records_text, run_bench_suite, write_json
+
+    try:
+        n, m = _parse_size(args.size)
+        jobs = tuple(int(x) for x in args.jobs.split(","))
+    except ValueError:
+        print(
+            f"bad --size/--jobs value; expected N,M and J1,J2,...", file=sys.stderr
+        )
+        return 2
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    try:
+        doc = run_bench_suite(
+            args.example,
+            n=n,
+            m=m,
+            jobs=jobs,
+            backends=backends,
+            pool=args.pool,
+            repeats=args.repeats,
+            include_cache=not args.no_cache_bench,
+            include_solver=not args.no_solver_bench,
+        )
+    except ValueError as exc:  # unknown example name etc.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        write_json(doc, args.output)
+    if args.format == "json":
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(render_records_text(doc))
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -437,6 +623,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fuse(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "demo":
             return _cmd_demo(args)
         if args.command == "report":

@@ -243,8 +243,12 @@ def run_fused(
         return store
 
     if mode == "doall":
+        # The ascending base list is row-invariant; copying it per row feeds
+        # shuffle the same input (and thus the same draws) as rebuilding it,
+        # so results for a given order_seed are unchanged.
+        base_js = list(range(lo_j, hi_j + 1))
         for i in range(lo_i, hi_i + 1):
-            js = list(range(lo_j, hi_j + 1))
+            js = base_js.copy()
             rng.shuffle(js)
             for j in js:
                 _fused_instance(fp, store, i, j, n, m)

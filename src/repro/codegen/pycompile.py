@@ -21,6 +21,12 @@ executed later in that row sweep: original loops are DOALL (validator),
 and a DOALL-fused body has no same-row cross-iteration dependencies at all
 (Property 4.1); executing statement-by-statement over whole rows respects
 the remaining intra-iteration ``(0,0)`` ordering exactly.
+
+``exec``/``compile`` dominate the cost of building a kernel, so finished
+kernels are cached keyed on their generated source: recompiling the same
+program (or any program that generates identical code) returns the cached
+callable.  :func:`kernel_cache_info` / :func:`clear_kernel_cache` expose
+and reset the cache; each kernel also carries ``.cache_info()``.
 """
 
 from __future__ import annotations
@@ -30,11 +36,34 @@ from typing import Callable, Dict, List
 from repro.codegen.fused import FusedProgram
 from repro.codegen.interp import ArrayStore
 from repro.loopir.ast_nodes import ArrayRef, Assignment, BinOp, Const, Expr, LoopNest, UnaryOp
+from repro.perf.memo import CacheInfo, MemoCache
 from repro.retiming.verify import is_doall_after_fusion
 
-__all__ = ["compile_original", "compile_fused", "CompiledKernel"]
+__all__ = [
+    "compile_original",
+    "compile_fused",
+    "CompiledKernel",
+    "kernel_cache_info",
+    "clear_kernel_cache",
+]
 
 CompiledKernel = Callable[[ArrayStore, int, int], None]
+
+# Compiled kernels keyed on their full generated source.  The source string
+# is a complete semantic key: identical code means identical behaviour, and
+# the kernels close over nothing program-specific (arrays arrive via the
+# store argument), so sharing one callable across programs is safe.
+_KERNEL_CACHE = MemoCache(maxsize=128)
+
+
+def kernel_cache_info() -> CacheInfo:
+    """Hit/miss/eviction statistics of the compiled-kernel cache."""
+    return _KERNEL_CACHE.cache_info()
+
+
+def clear_kernel_cache() -> None:
+    """Drop all cached kernels and reset the statistics."""
+    _KERNEL_CACHE.clear()
 
 
 def _off(base: str, k: int) -> str:
@@ -117,10 +146,15 @@ def _origins_of(store_probe: ArrayStore) -> Dict[str, tuple]:
 
 def _finalize(em: _Emitter, names: Dict[str, tuple]) -> CompiledKernel:
     source = em.source()
+    cached = _KERNEL_CACHE.get(source)
+    if cached is not None:
+        return cached
     namespace: Dict[str, object] = {}
     exec(compile(source, "<repro.codegen.pycompile>", "exec"), namespace)
     kernel = namespace["kernel"]
     kernel.source = source  # type: ignore[attr-defined]
+    kernel.cache_info = kernel_cache_info  # type: ignore[attr-defined]
+    _KERNEL_CACHE.put(source, kernel)
     return kernel  # type: ignore[return-value]
 
 

@@ -11,22 +11,36 @@ order), which both ``int``/``float`` and
 :class:`~repro.vectors.extended.ExtVec` provide.  Tentative distances start
 at a caller-supplied ``top`` (plus infinity) and the source at ``zero``.
 
-After ``|V| - 1`` relaxation rounds a further improving edge proves a
-negative cycle; the certificate cycle is recovered by walking predecessor
-links ``|V|`` steps back from the improving edge's head.
+Two interchangeable algorithms (``algorithm=`` parameter):
 
-Work is bounded two ways: when a round stabilises (no relaxation fired)
-the certificate scan is skipped entirely — stabilisation already proves no
-improving edge remains, which a debug-only assertion re-checks — and an
+* ``"slf"`` (default) -- a deque-based worklist with the smallest-label-
+  first heuristic: only vertices whose distance actually improved are
+  re-examined, and a vertex whose new label beats the queue head jumps the
+  queue.  On benign graphs this does near-linear work where the classic
+  formulation re-scans every edge per round.  A relaxation whose
+  predecessor chain reaches length ``|V|`` proves a negative cycle is
+  reachable (in a feasible graph every improving walk is simple); the
+  certificate is then extracted by the round-based pass below, so the
+  cycle reported is exactly the classic one.
+* ``"rounds"`` -- the textbook ``|V| - 1`` edge-relaxation rounds, kept as
+  the differential reference and as the certificate extractor.
+
+Work is bounded the same way in both: when the solver stabilises the
+certificate scan is skipped entirely (stabilisation already proves no
+improving edge remains, which a debug-only assertion re-checks) and an
 explicit relaxation cap (``max_rounds`` or a
 :class:`~repro.resilience.budget.Budget`) turns pathological inputs into a
 typed :class:`~repro.resilience.budget.BudgetExceededError` instead of a
-full ``O(V * E)`` crawl.
+full ``O(V * E)`` crawl.  For the worklist, one "round" is ``|V|`` vertex
+examinations -- the same amortised work as one classic edge sweep -- so a
+cap of ``k`` bounds both algorithms to ``O(k)`` sweeps' worth of work and
+a cap of ``0`` refuses to solve at all.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -37,10 +51,14 @@ __all__ = [
     "scalar_bellman_ford",
     "BellmanFordResult",
     "NegativeCycleError",
+    "ALGORITHMS",
 ]
 
 Node = TypeVar("Node", bound=Hashable)
 W = TypeVar("W")  # weight type: needs + and <
+
+#: Accepted values of the ``algorithm`` parameter.
+ALGORITHMS = ("slf", "rounds")
 
 
 class NegativeCycleError(Exception):
@@ -61,8 +79,9 @@ class BellmanFordResult(Generic[Node, W]):
 
     ``negative_cycle`` is ``None`` on success.  When set, ``dist``/``pred``
     hold the (meaningless beyond diagnosis) state at detection time.
-    ``rounds`` counts the relaxation rounds actually executed (useful to
-    confirm early stabilisation on benign graphs).
+    ``rounds`` counts the relaxation rounds actually executed -- for the
+    worklist algorithm, one round is ``|V|`` vertex examinations (useful to
+    confirm how little work benign graphs need).
     """
 
     dist: Dict[Node, W]
@@ -107,52 +126,29 @@ def _improving_edge(
     return None
 
 
-def bellman_ford(
+def _combined_cap(max_rounds: Optional[int], budget: Optional[Budget]) -> Optional[int]:
+    caps = [
+        c
+        for c in (max_rounds, budget.max_relaxation_rounds if budget else None)
+        if c is not None
+    ]
+    return min(caps) if caps else None
+
+
+def _round_based(
     nodes: Sequence[Node],
     edges: Sequence[Tuple[Node, Node, W]],
     source: Node,
     *,
     zero: W,
     top: W,
-    max_rounds: Optional[int] = None,
-    budget: Optional[Budget] = None,
+    cap: Optional[int],
+    budget: Optional[Budget],
 ) -> BellmanFordResult[Node, W]:
-    """Shortest paths from ``source`` under any totally-ordered weight domain.
-
-    Parameters
-    ----------
-    nodes, edges:
-        The graph; edges are ``(u, v, w)`` triples.
-    source:
-        Start node (the constraint graph's ``v_0``).
-    zero:
-        Additive identity of the weight domain (distance of the source).
-    top:
-        "Unreached" sentinel; must satisfy ``d + w < top`` for reachable
-        distances (e.g. ``math.inf`` or ``ExtVec.top(dim)``).
-    max_rounds:
-        Hard cap on relaxation rounds.  If the distances have not
-        stabilised within the cap, raises
-        :class:`~repro.resilience.budget.BudgetExceededError` (partial
-        distances cannot distinguish a negative cycle from slow
-        convergence, so there is nothing sound to return).
-    budget:
-        Optional :class:`~repro.resilience.budget.Budget`; its
-        ``max_relaxation_rounds`` combines with ``max_rounds`` (the
-        tighter wins) and its deadline is checked once per round.
-    """
-    if source not in set(nodes):
-        raise ValueError(f"source {source!r} not among nodes")
+    """The classic ``|V| - 1`` full-sweep formulation (reference + certifier)."""
     dist: Dict[Node, W] = {v: top for v in nodes}
     pred: Dict[Node, Optional[Node]] = {v: None for v in nodes}
     dist[source] = zero
-
-    caps = [
-        c
-        for c in (max_rounds, budget.max_relaxation_rounds if budget else None)
-        if c is not None
-    ]
-    cap = min(caps) if caps else None
 
     n = len(nodes)
     rounds = 0
@@ -200,6 +196,135 @@ def bellman_ford(
     return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
 
 
+def _slf_worklist(
+    nodes: Sequence[Node],
+    edges: Sequence[Tuple[Node, Node, W]],
+    source: Node,
+    *,
+    zero: W,
+    top: W,
+    cap: Optional[int],
+    budget: Optional[Budget],
+) -> BellmanFordResult[Node, W]:
+    """Deque-based SLF relaxation; certificates via the round-based pass.
+
+    Budget accounting: one "round" is ``|V|`` vertex pops, checked at round
+    boundaries exactly like the classic sweeps (a cap of 0 refuses any
+    work, a cap of ``k`` allows ``k * |V|`` pops).
+    """
+    n = len(nodes)
+    adjacency: Dict[Node, List[Tuple[Node, W]]] = {v: [] for v in nodes}
+    for (u, v, w) in edges:
+        adjacency[u].append((v, w))
+
+    dist: Dict[Node, W] = {v: top for v in nodes}
+    pred: Dict[Node, Optional[Node]] = {v: None for v in nodes}
+    chain_len: Dict[Node, int] = {source: 0}
+    dist[source] = zero
+
+    worklist: deque = deque([source])
+    queued = {source}
+    pops = 0
+    n_eff = max(1, n)
+
+    while worklist:
+        if pops % n_eff == 0:
+            # round boundary: same cadence of budget checks as a full sweep
+            round_number = pops // n_eff
+            if cap is not None and round_number >= cap:
+                raise BudgetExceededError(
+                    "relaxation-rounds", cap, round_number + 1, "bellman-ford relaxation"
+                )
+            if budget is not None:
+                budget.check_deadline("bellman-ford relaxation")
+        u = worklist.popleft()
+        queued.discard(u)
+        pops += 1
+        du = dist[u]
+        base_len = chain_len.get(u, 0)
+        for (v, w) in adjacency[u]:
+            candidate = du + w
+            if candidate < dist[v]:
+                dist[v] = candidate
+                pred[v] = u
+                chain_len[v] = base_len + 1
+                if chain_len[v] >= n:
+                    # An improving walk of length |V| must repeat a vertex,
+                    # and the repeated cycle must be negative (otherwise its
+                    # removal would give an equal-or-better shorter walk) --
+                    # infeasibility is certain.  Run the classic pass to
+                    # extract the very certificate it has always reported.
+                    return _round_based(
+                        nodes, edges, source,
+                        zero=zero, top=top, cap=None, budget=budget,
+                    )
+                if v not in queued:
+                    # smallest-label-first: promising vertices jump the queue
+                    if worklist and candidate < dist[worklist[0]]:
+                        worklist.appendleft(v)
+                    else:
+                        worklist.append(v)
+                    queued.add(v)
+
+    # Empty worklist: every edge out of every improved vertex was re-checked,
+    # so no improving edge remains (debug-only re-check, drop via -O).
+    assert _improving_edge(dist, edges, top) is None, (
+        "slf invariant violated: an improving edge survived an empty worklist "
+        "(non-transitive weight ordering?)"
+    )
+    rounds = -(-pops // n_eff)  # ceil: partial final batches count as a round
+    return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
+
+
+def bellman_ford(
+    nodes: Sequence[Node],
+    edges: Sequence[Tuple[Node, Node, W]],
+    source: Node,
+    *,
+    zero: W,
+    top: W,
+    max_rounds: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    algorithm: str = "slf",
+) -> BellmanFordResult[Node, W]:
+    """Shortest paths from ``source`` under any totally-ordered weight domain.
+
+    Parameters
+    ----------
+    nodes, edges:
+        The graph; edges are ``(u, v, w)`` triples.
+    source:
+        Start node (the constraint graph's ``v_0``).
+    zero:
+        Additive identity of the weight domain (distance of the source).
+    top:
+        "Unreached" sentinel; must satisfy ``d + w < top`` for reachable
+        distances (e.g. ``math.inf`` or ``ExtVec.top(dim)``).
+    max_rounds:
+        Hard cap on relaxation rounds (worklist: ``|V|``-pop batches).  If
+        the solver has not stabilised within the cap, raises
+        :class:`~repro.resilience.budget.BudgetExceededError` (partial
+        distances cannot distinguish a negative cycle from slow
+        convergence, so there is nothing sound to return).
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`; its
+        ``max_relaxation_rounds`` combines with ``max_rounds`` (the
+        tighter wins) and its deadline is checked once per round.
+    algorithm:
+        ``"slf"`` (default worklist) or ``"rounds"`` (classic sweeps).
+        Identical answers: same distances, same feasibility verdicts, same
+        certificate cycles (the worklist delegates certificate extraction
+        to the classic pass); only the work profile differs.
+    """
+    if source not in set(nodes):
+        raise ValueError(f"source {source!r} not among nodes")
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    cap = _combined_cap(max_rounds, budget)
+    solve = _slf_worklist if algorithm == "slf" else _round_based
+    return solve(nodes, edges, source, zero=zero, top=top, cap=cap, budget=budget)
+
+
 def scalar_bellman_ford(
     nodes: Sequence[Node],
     edges: Sequence[Tuple[Node, Node, int]],
@@ -207,8 +332,16 @@ def scalar_bellman_ford(
     *,
     max_rounds: Optional[int] = None,
     budget: Optional[Budget] = None,
+    algorithm: str = "slf",
 ) -> BellmanFordResult[Node, float]:
     """Problem ILP's solver: integer weights, ``math.inf`` as unreached."""
     return bellman_ford(
-        nodes, edges, source, zero=0, top=math.inf, max_rounds=max_rounds, budget=budget
+        nodes,
+        edges,
+        source,
+        zero=0,
+        top=math.inf,
+        max_rounds=max_rounds,
+        budget=budget,
+        algorithm=algorithm,
     )

@@ -35,6 +35,7 @@ def vector_bellman_ford(
     dim: int,
     max_rounds: Optional[int] = None,
     budget: Optional[Budget] = None,
+    algorithm: str = "slf",
 ) -> BellmanFordResult[Node, ExtVec]:
     """Lexicographic shortest paths from ``source`` (Algorithm 1).
 
@@ -47,7 +48,9 @@ def vector_bellman_ford(
     not stabilised within the cap raises
     :class:`~repro.resilience.budget.BudgetExceededError`, and on graphs
     that stabilise early the negative-cycle certificate scan is skipped
-    (``result.rounds`` reports the rounds actually run).
+    (``result.rounds`` reports the rounds actually run).  ``algorithm``
+    selects between the default ``"slf"`` worklist and the classic
+    ``"rounds"`` sweeps; answers are identical either way.
     """
     if dim < 1:
         raise ValueError("dimension must be >= 1")
@@ -68,6 +71,7 @@ def vector_bellman_ford(
         top=ExtVec.top(dim),
         max_rounds=max_rounds,
         budget=budget,
+        algorithm=algorithm,
     )
 
 

@@ -11,6 +11,13 @@ Every result is re-verified against the paper's invariants
 (:func:`repro.retiming.verify.verify_retiming`) before being returned --
 the algorithms are trusted, but the verification is cheap and turns any
 latent bug into a loud error.
+
+Successful outcomes are memoized by canonical MLDG structure
+(:mod:`repro.perf.memo`): a repeated -- or isomorphic-but-relabelled --
+query skips the constraint solvers and only re-runs the verification gate
+on the rehydrated retiming.  Limiting budgets and active fault injectors
+bypass the cache, so resource probes and chaos tests always measure real
+solver work.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.fusion.legal import legal_fusion_retiming
 from repro.graph.analysis import is_acyclic
 from repro.graph.legality import check_legal, is_fusion_legal
 from repro.graph.mldg import MLDG
+from repro.perf.memo import canonical_mldg_key, fusion_cache, memoization_applicable
 from repro.resilience.budget import Budget
 from repro.retiming import ROW_SCHEDULE, Retiming, hyperplane_for_schedule
 from repro.retiming.verify import RetimingVerification, verify_retiming
@@ -125,6 +133,40 @@ def _result(
     )
 
 
+def _rehydrate(g: MLDG, payload: tuple) -> FusionResult:
+    """Rebuild a :class:`FusionResult` for ``g`` from a name-free cache entry.
+
+    The retiming shifts are rebound to ``g``'s node names positionally
+    (canonical keys quotient by exactly that renaming) and the full
+    verification gate re-runs inside :func:`_result` -- the cache removes
+    solver work, never checking.
+    """
+    strategy_value, shifts, schedule, hyperplane, notes = payload
+    r = Retiming(
+        {name: IVec(*shift) for name, shift in zip(g.nodes, shifts)}, dim=g.dim
+    )
+    return _result(
+        g,
+        r,
+        Strategy(strategy_value),
+        schedule=IVec(*schedule),
+        hyperplane=IVec(*hyperplane) if hyperplane is not None else None,
+        notes=list(notes),
+    )
+
+
+def _dehydrate(result: FusionResult) -> tuple:
+    """The name-free, immutable view of ``result`` stored in the fusion cache."""
+    g = result.original
+    return (
+        result.strategy.value,
+        tuple(tuple(result.retiming[name]) for name in g.nodes),
+        tuple(result.schedule),
+        tuple(result.hyperplane) if result.hyperplane is not None else None,
+        tuple(result.notes),
+    )
+
+
 def fuse(
     g: MLDG,
     strategy: Strategy | str = Strategy.AUTO,
@@ -143,6 +185,13 @@ def fuse(
     :class:`~repro.resilience.budget.BudgetExceededError` on exhaustion
     (callers wanting degradation instead of an error should use
     :func:`repro.resilience.fuse_resilient`).
+
+    Successful results are memoized by canonical structure and requested
+    strategy: a repeat (or isomorphic relabelling) of a previous query
+    skips the solvers and re-verifies a rehydrated retiming.  Queries
+    under a limiting budget or an active fault injector bypass the cache
+    (see :func:`repro.perf.memo.memoization_applicable`); set
+    ``REPRO_FUSE_MEMO=0`` to disable memoization entirely.
     """
     if isinstance(strategy, str):
         strategy = Strategy(strategy)
@@ -150,6 +199,23 @@ def fuse(
         budget.start()
         budget.check_graph(g.num_nodes, g.num_edges, "fuse entry")
 
+    memo_ok = memoization_applicable(budget)
+    if memo_ok:
+        key = (strategy.value, canonical_mldg_key(g))
+        cached = fusion_cache().get(key)
+        if cached is not None:
+            return _rehydrate(g, cached)
+
+    result = _fuse_uncached(g, strategy, budget)
+    if memo_ok:
+        fusion_cache().put(key, _dehydrate(result))
+    return result
+
+
+def _fuse_uncached(
+    g: MLDG, strategy: Strategy, budget: Optional[Budget]
+) -> FusionResult:
+    """The strategy dispatch behind :func:`fuse` (no memoization)."""
     report = check_legal(g)
     if not report.legal:
         # structured diagnostics ride along so callers see codes and spans

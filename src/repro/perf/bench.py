@@ -1,0 +1,391 @@
+"""The performance-trajectory harness.
+
+Times the execution backends (tree-walking interpreter, compiled
+numpy kernels, parallel DOALL/wavefront), the fusion memo cache, and the
+constraint solvers on gallery workloads, and renders the measurements as
+machine-readable records -- the same shape ``BENCH_perf.json`` archives and
+``repro-fuse bench --format json`` prints.
+
+Every record carries the benchmark name, backend, iteration-space size,
+median wall-clock seconds over ``repeats`` runs with a spread estimate
+(half the min-max range), and any backend-specific extras (job count,
+cache statistics, speedup vs the serial interpreter).  Medians rather than
+means keep one preempted run from skewing a record.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BenchRecord",
+    "time_callable",
+    "bench_backends",
+    "bench_fusion_cache",
+    "bench_solvers",
+    "run_bench_suite",
+    "render_records_text",
+    "records_to_json",
+]
+
+
+@dataclass
+class BenchRecord:
+    """One timed configuration."""
+
+    name: str
+    backend: str
+    median_s: float
+    err_s: float
+    repeats: int
+    n: Optional[int] = None
+    m: Optional[int] = None
+    jobs: Optional[int] = None
+    speedup_vs_interp: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "backend": self.backend,
+            "medianSeconds": self.median_s,
+            "errSeconds": self.err_s,
+            "repeats": self.repeats,
+        }
+        if self.n is not None:
+            out["n"] = self.n
+        if self.m is not None:
+            out["m"] = self.m
+        if self.jobs is not None:
+            out["jobs"] = self.jobs
+        if self.speedup_vs_interp is not None:
+            out["speedupVsInterp"] = round(self.speedup_vs_interp, 3)
+        if self.extra:
+            out.update(self.extra)
+        return out
+
+
+def time_callable(
+    fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 1
+) -> Tuple[float, float]:
+    """Median and half-range of ``repeats`` timed runs of ``fn``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    median = statistics.median(samples)
+    err = (max(samples) - min(samples)) / 2.0
+    return median, err
+
+
+# ------------------------------------------------------------------ #
+# workload setup
+# ------------------------------------------------------------------ #
+
+_EXAMPLES: Dict[str, Callable[[], str]] = {}
+
+
+def _example_source(name: str) -> str:
+    """Loop-IR source for a named gallery example."""
+    from repro.gallery.common import floyd_steinberg_code, iir2d_code
+    from repro.gallery.extended import extended_kernels
+    from repro.gallery.paper import figure2_code
+
+    sources: Dict[str, Optional[str]] = {
+        "fig2": figure2_code(),
+        "iir2d": iir2d_code(),
+        "sor": floyd_steinberg_code(),
+    }
+    for k in extended_kernels():
+        sources[k.key] = k.code
+    try:
+        src = sources[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench example {name!r}; choose from {sorted(sources)}"
+        ) from None
+    if src is None:
+        raise ValueError(f"example {name!r} has no runnable source")
+    return src
+
+
+def bench_examples() -> List[str]:
+    """Names accepted by :func:`bench_backends` (stable order)."""
+    from repro.gallery.extended import extended_kernels
+
+    return ["fig2", "iir2d", "sor"] + [k.key for k in extended_kernels()]
+
+
+# ------------------------------------------------------------------ #
+# backend benchmarks
+# ------------------------------------------------------------------ #
+
+
+def bench_backends(
+    example: str = "fig2",
+    *,
+    n: int = 256,
+    m: int = 256,
+    jobs: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("interp", "compiled", "parallel"),
+    pool: str = "thread",
+    repeats: int = 3,
+    verify: bool = True,
+) -> List[BenchRecord]:
+    """Time the execution backends on one gallery example.
+
+    When ``verify`` is set (default) each backend's result is checked
+    bit-identical against the serial interpreter before it is timed --
+    a benchmark of a wrong answer is worthless.
+    """
+    from repro.codegen import ArrayStore, apply_fusion, run_fused
+    from repro.codegen.pycompile import compile_fused
+    from repro.depend import extract_mldg
+    from repro.fusion import fuse
+    from repro.loopir import parse_program
+    from repro.perf.parallel import ParallelExecutor
+
+    nest = parse_program(_example_source(example))
+    g = extract_mldg(nest)
+    result = fuse(g)
+    fp = apply_fusion(nest, result.retiming, mldg=g)
+    base = ArrayStore.for_program(nest, n, m, seed=0)
+    is_doall = result.is_doall
+    mode = "doall" if is_doall else "hyperplane"
+    schedule = None if is_doall else result.schedule
+
+    reference = run_fused(fp, n, m, store=base.copy(), mode="serial")
+    records: List[BenchRecord] = []
+
+    interp_median: Optional[float] = None
+    if "interp" in backends:
+        median, err = time_callable(
+            lambda: run_fused(fp, n, m, store=base.copy(), mode="serial"),
+            repeats=repeats,
+            warmup=0,
+        )
+        interp_median = median
+        records.append(
+            BenchRecord(
+                name=f"{example}-fused", backend="interp", median_s=median,
+                err_s=err, repeats=repeats, n=n, m=m,
+                extra={"parallelism": result.parallelism.value},
+            )
+        )
+
+    if "compiled" in backends:
+        kernel = compile_fused(fp)
+        if verify:
+            got = base.copy()
+            kernel(got, n, m)
+            if not reference.equal(got):  # pragma: no cover - correctness guard
+                raise AssertionError("compiled backend diverged from the interpreter")
+        median, err = time_callable(
+            lambda: kernel(base.copy(), n, m), repeats=repeats
+        )
+        records.append(
+            BenchRecord(
+                name=f"{example}-fused", backend="compiled", median_s=median,
+                err_s=err, repeats=repeats, n=n, m=m,
+                speedup_vs_interp=(interp_median / median) if interp_median else None,
+            )
+        )
+
+    if "parallel" in backends:
+        for j in jobs:
+            with ParallelExecutor(j, pool=pool) as ex:
+                if verify:
+                    got = ex.run(fp, n, m, store=base.copy(), mode=mode, schedule=schedule)
+                    if not reference.equal(got):  # pragma: no cover - correctness guard
+                        raise AssertionError(
+                            f"parallel backend (jobs={j}) diverged from the interpreter"
+                        )
+                median, err = time_callable(
+                    lambda: ex.run(
+                        fp, n, m, store=base.copy(), mode=mode, schedule=schedule
+                    ),
+                    repeats=repeats,
+                )
+            records.append(
+                BenchRecord(
+                    name=f"{example}-fused", backend=f"parallel-{pool}",
+                    median_s=median, err_s=err, repeats=repeats, n=n, m=m, jobs=j,
+                    speedup_vs_interp=(interp_median / median) if interp_median else None,
+                    extra={"mode": mode},
+                )
+            )
+    return records
+
+
+def bench_fusion_cache(
+    example: str = "fig2", *, repeats: int = 5
+) -> List[BenchRecord]:
+    """Time a cold ``fuse()`` against memo-cache hits on the same MLDG."""
+    from repro.depend import extract_mldg
+    from repro.fusion import fuse
+    from repro.loopir import parse_program
+    from repro.perf.memo import fusion_cache
+
+    nest = parse_program(_example_source(example))
+    g = extract_mldg(nest)
+
+    cache = fusion_cache()
+    cache.clear()
+    median_cold, err_cold = time_callable(
+        lambda: (cache.clear(), fuse(g)), repeats=repeats, warmup=1
+    )
+    fuse(g)  # prime
+    median_hot, err_hot = time_callable(lambda: fuse(g), repeats=repeats)
+    info = cache.cache_info()
+    return [
+        BenchRecord(
+            name=f"{example}-fuse", backend="solver", median_s=median_cold,
+            err_s=err_cold, repeats=repeats,
+        ),
+        BenchRecord(
+            name=f"{example}-fuse", backend="memo-cache", median_s=median_hot,
+            err_s=err_hot, repeats=repeats,
+            speedup_vs_interp=None,
+            extra={"cache": info.to_dict(),
+                   "speedupVsSolver": round(median_cold / median_hot, 1)
+                   if median_hot else None},
+        ),
+    ]
+
+
+def bench_solvers(*, chain: int = 400, repeats: int = 3) -> List[BenchRecord]:
+    """SLF worklist vs round-based relaxation on an adversarial chain.
+
+    The chain's edge list is reversed against propagation direction, the
+    round-based solver's worst case (one node converges per O(E) round);
+    the SLF worklist only re-relaxes touched vertices.
+    """
+    from repro.constraints.bellman_ford import scalar_bellman_ford
+
+    nodes = ["s"] + [f"x{i}" for i in range(chain)]
+    edges = [(f"x{i - 1}" if i else "s", f"x{i}", -1) for i in range(chain)]
+    edges.reverse()
+
+    records = []
+    slf_median, slf_err = time_callable(
+        lambda: scalar_bellman_ford(nodes, edges, "s"), repeats=repeats
+    )
+    rounds_median, rounds_err = time_callable(
+        lambda: scalar_bellman_ford(nodes, edges, "s", algorithm="rounds"),
+        repeats=repeats,
+    )
+    records.append(
+        BenchRecord(
+            name=f"bellman-ford-chain-{chain}", backend="slf",
+            median_s=slf_median, err_s=slf_err, repeats=repeats,
+            extra={"speedupVsRounds": round(rounds_median / slf_median, 1)
+                   if slf_median else None},
+        )
+    )
+    records.append(
+        BenchRecord(
+            name=f"bellman-ford-chain-{chain}", backend="rounds",
+            median_s=rounds_median, err_s=rounds_err, repeats=repeats,
+        )
+    )
+    return records
+
+
+# ------------------------------------------------------------------ #
+# suite + rendering
+# ------------------------------------------------------------------ #
+
+
+def run_bench_suite(
+    example: str = "fig2",
+    *,
+    n: int = 256,
+    m: int = 256,
+    jobs: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("interp", "compiled", "parallel"),
+    pool: str = "thread",
+    repeats: int = 3,
+    include_cache: bool = True,
+    include_solver: bool = True,
+) -> Dict[str, Any]:
+    """Run the full suite; returns the ``BENCH_perf.json``-shaped document."""
+    records = bench_backends(
+        example, n=n, m=m, jobs=jobs, backends=backends, pool=pool, repeats=repeats
+    )
+    if include_cache:
+        records += bench_fusion_cache(example)
+    if include_solver:
+        records += bench_solvers()
+    return records_to_json(records)
+
+
+def records_to_json(records: Sequence[BenchRecord]) -> Dict[str, Any]:
+    import os
+
+    from repro.codegen.pycompile import kernel_cache_info
+    from repro.perf.memo import fusion_cache, retiming_cache
+
+    return {
+        "schema": "repro-bench-perf/1",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpuCount": os.cpu_count(),
+        },
+        "caches": {
+            "fusion": fusion_cache().cache_info().to_dict(),
+            "retiming": retiming_cache().cache_info().to_dict(),
+            "kernels": kernel_cache_info().to_dict(),
+        },
+        "benchmarks": [r.to_dict() for r in records],
+    }
+
+
+def render_records_text(doc: Dict[str, Any]) -> str:
+    """A fixed-width table of a :func:`records_to_json` document."""
+    headers = ["name", "backend", "jobs", "n x m", "median", "err", "speedup"]
+    rows: List[List[str]] = []
+    for r in doc["benchmarks"]:
+        size = f"{r['n']}x{r['m']}" if "n" in r else "-"
+        rows.append(
+            [
+                r["name"],
+                r["backend"],
+                str(r.get("jobs", "-")),
+                size,
+                f"{r['medianSeconds'] * 1e3:.2f} ms",
+                f"{r['errSeconds'] * 1e3:.2f} ms",
+                str(r.get("speedupVsInterp", r.get("speedupVsSolver", "-"))),
+            ]
+        )
+    widths = [max(len(h), *(len(row[k]) for row in rows)) if rows else len(h)
+              for k, h in enumerate(headers)]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "-+-".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    caches = doc.get("caches", {})
+    if caches:
+        lines.append("")
+        for name, info in caches.items():
+            lines.append(
+                f"cache {name}: {info['hits']} hits / {info['misses']} misses "
+                f"/ {info['evictions']} evictions (size {info['currsize']})"
+            )
+    return "\n".join(lines)
+
+
+def write_json(doc: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -92,6 +92,24 @@ class Budget:
         remaining = self.remaining_ms()
         return remaining is not None and remaining <= 0
 
+    @property
+    def is_limiting(self) -> bool:
+        """Whether any cap is set.
+
+        A limiting budget makes the query about resource consumption, not
+        just the answer -- the memo caches (:mod:`repro.perf.memo`) refuse
+        to serve such queries so capped probes still measure real work.
+        """
+        return any(
+            cap is not None
+            for cap in (
+                self.deadline_ms,
+                self.max_nodes,
+                self.max_edges,
+                self.max_relaxation_rounds,
+            )
+        )
+
     # ------------------------------------------------------------------ #
     # checks (raise BudgetExceededError)
     # ------------------------------------------------------------------ #

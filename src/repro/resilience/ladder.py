@@ -43,6 +43,7 @@ from repro.fusion.legal import legal_fusion_retiming
 from repro.graph.analysis import is_acyclic
 from repro.graph.legality import check_legal
 from repro.graph.mldg import MLDG
+from repro.perf.memo import cached_retiming, cached_schedule_retiming
 from repro.resilience import faults
 from repro.resilience.budget import Budget, BudgetExceededError
 from repro.resilience.partition import PartitionedFusion, greedy_partition, validate_partition
@@ -403,23 +404,48 @@ def _run_rung(
     hyperplane: Optional[IVec] = None
     notes: List[str] = []
 
+    # The solver calls are memoized by canonical structure (repro.perf.memo):
+    # a structural repeat skips the constraint solving but every gate below
+    # still runs against the true graph.  Limiting budgets and active fault
+    # injectors bypass the cache, so probes and chaos tests see real work.
     if rung is Rung.DOALL:
         if is_acyclic(g_alg):
-            r = acyclic_parallel_retiming(g_alg, budget=budget)
+            r = cached_retiming(
+                "acyclic",
+                g_alg,
+                lambda: acyclic_parallel_retiming(g_alg, budget=budget),
+                budget=budget,
+            )
             notes.append("Algorithm 3 (acyclic DOALL fusion)")
         else:
-            r = cyclic_parallel_retiming(g_alg, budget=budget)
+            r = cached_retiming(
+                "cyclic",
+                g_alg,
+                lambda: cyclic_parallel_retiming(g_alg, budget=budget),
+                budget=budget,
+            )
             notes.append("Algorithm 4 (cyclic DOALL fusion)")
         r = faults.pass_through("retiming", r)
         schedule = ROW_SCHEDULE
     elif rung is Rung.HYPERPLANE:
-        hp = hyperplane_parallel_fusion(g_alg, budget=budget)
-        r = faults.pass_through("retiming", hp.retiming)
-        schedule = faults.pass_through("schedule", hp.schedule)
+        def _hyperplane() -> Tuple[Retiming, IVec]:
+            hp = hyperplane_parallel_fusion(g_alg, budget=budget)
+            return hp.retiming, hp.schedule
+
+        hp_r, hp_s = cached_schedule_retiming(
+            "hyperplane", g_alg, _hyperplane, budget=budget
+        )
+        r = faults.pass_through("retiming", hp_r)
+        schedule = faults.pass_through("schedule", hp_s)
         hyperplane = hyperplane_for_schedule(schedule)
         notes.append("Algorithm 5 (hyperplane/wavefront fusion)")
     else:  # Rung.LEGAL_FUSION
-        r = legal_fusion_retiming(g_alg, budget=budget)
+        r = cached_retiming(
+            "legal",
+            g_alg,
+            lambda: legal_fusion_retiming(g_alg, budget=budget),
+            budget=budget,
+        )
         r = faults.pass_through("retiming", r)
         notes.append("Algorithm 2 (LLOFRA, serial fused loop)")
 

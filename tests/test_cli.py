@@ -380,3 +380,114 @@ class TestLint:
         via_format = capsys.readouterr().out
         assert main(["analyze", fig2_file, "--json"]) == 0
         assert capsys.readouterr().out == via_format
+
+
+class TestRunBackend:
+    """``run --backend`` executes the fused program after fusing it."""
+
+    def test_backend_parallel_verified(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "run", fig2_file, "--backend", "parallel", "--jobs", "2",
+                    "--size", "16,16", "--no-emit",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend=parallel" in out
+        assert "jobs=2" in out
+        assert "bit-identical to interpreter" in out
+
+    def test_backend_compiled_json(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "run", fig2_file, "--backend", "compiled",
+                    "--size", "12,12", "--format", "json", "--no-emit",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["backend"] == "compiled"
+        assert payload["execution"]["n"] == 12
+        assert payload["execution"]["verified"] == "bit-identical to interpreter"
+
+    def test_backend_interp_times_only(self, fig2_file, capsys):
+        assert (
+            main(
+                ["run", fig2_file, "--backend", "interp", "--size", "8,8",
+                 "--format", "json", "--no-emit"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["execution"]["backend"] == "interp"
+        assert "verified" not in payload["execution"]
+
+    def test_backend_with_resilient_is_usage_error(self, fig2_file, capsys):
+        assert main(["run", fig2_file, "--resilient", "--backend", "interp"]) == 2
+        assert "--backend" in capsys.readouterr().err
+
+
+class TestBench:
+    """The performance harness subcommand."""
+
+    def test_bench_json_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--size", "12,12", "--jobs", "1,2", "--repeats", "1",
+                    "--no-solver-bench", "--no-cache-bench", "--format", "json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-bench-perf/1"
+        backends = {b["backend"] for b in doc["benchmarks"]}
+        assert {"interp", "compiled"} <= backends
+        assert any(b.startswith("parallel") for b in backends)
+        assert {"fusion", "retiming", "kernels"} <= set(doc["caches"])
+        for record in doc["benchmarks"]:
+            assert record["medianSeconds"] >= 0
+            assert record["repeats"] == 1
+
+    def test_bench_text_table(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--size", "10,10", "--jobs", "1",
+                    "--backends", "interp,parallel", "--repeats", "1",
+                    "--no-solver-bench", "--no-cache-bench",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend" in out and "median" in out
+        assert "parallel-thread" in out
+
+    def test_bench_output_file(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench", "--size", "10,10", "--jobs", "1", "--repeats", "1",
+                    "--backends", "interp", "--no-solver-bench",
+                    "--no-cache-bench", "--output", str(path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-bench-perf/1"
+
+    def test_bench_unknown_example_exit_1(self, capsys):
+        assert main(["bench", "--example", "nonexistent"]) == 1
+        assert "unknown bench example" in capsys.readouterr().err
+
+    def test_bench_bad_size_exit_2(self, capsys):
+        assert main(["bench", "--size", "banana"]) == 2

@@ -1,0 +1,172 @@
+"""The parallel execution backends, verified bit-for-bit.
+
+The only acceptable standard for an execution backend in this repo is
+*bit-identity* with the serial interpreter -- there are no reductions, so
+every statement instance computes the same IEEE operations in any legal
+order.  These tests sweep the gallery across serial/doall/hyperplane modes
+and jobs in {1, 2, 4} (thread pool), plus one forked process-pool run over
+POSIX shared memory, and assert exact equality every time.
+"""
+
+import pytest
+
+from repro.codegen.interp import ArrayStore, ExecutionOrderError, run_fused
+from repro.gallery.common import iir2d_code
+from repro.gallery.extended import extended_kernels
+from repro.gallery.paper import figure2_code
+from repro.perf.parallel import (
+    ParallelExecutor,
+    run_parallel,
+    split_range,
+    wavefront_tiles,
+)
+from repro.pipeline import fuse_program
+
+N, M = 17, 23  # deliberately not round, not square, not chunk-aligned
+
+
+def _workloads():
+    """(key, fused program, fusion result) for every runnable gallery code."""
+    sources = {"fig2": figure2_code(), "iir2d": iir2d_code()}
+    for k in extended_kernels():
+        sources[k.key] = k.code
+    out = []
+    for key, src in sorted(sources.items()):
+        res = fuse_program(src)
+        out.append((key, res.fused, res.fusion))
+    return out
+
+
+_WORKLOADS = _workloads()
+_DOALL = [(k, fp, fr) for (k, fp, fr) in _WORKLOADS if fr.is_doall]
+_WAVEFRONT = [(k, fp, fr) for (k, fp, fr) in _WORKLOADS if not fr.is_doall]
+
+
+def _reference(fp, seed=11):
+    store = ArrayStore.for_program(fp.original, N, M, seed=seed)
+    return run_fused(fp, N, M, store=store, mode="serial")
+
+
+class TestRangeHelpers:
+    def test_split_range_partitions_exactly(self):
+        for lo, hi, parts in [(0, 9, 3), (-4, 17, 4), (5, 5, 8), (0, 99, 7)]:
+            chunks = split_range(lo, hi, parts)
+            cells = [j for (a, b) in chunks for j in range(a, b + 1)]
+            assert cells == list(range(lo, hi + 1))
+            sizes = [b - a + 1 for (a, b) in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_split_range_empty_and_oversubscribed(self):
+        assert split_range(3, 2, 4) == []
+        assert len(split_range(0, 1, 16)) == 2  # never more chunks than cells
+
+    def test_wavefront_tiles_cover_cells(self):
+        cells = [(i, i) for i in range(10)]
+        tiles = wavefront_tiles(cells, 3)
+        assert [c for t in tiles for c in t] == cells
+        assert max(len(t) for t in tiles) == 3
+
+
+class TestDoallBackend:
+    @pytest.mark.parametrize("key,fp,fr", _DOALL, ids=[k for k, *_ in _DOALL])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_bit_identical_across_jobs(self, key, fp, fr, jobs):
+        ref = _reference(fp)
+        got = ArrayStore.for_program(fp.original, N, M, seed=11)
+        with ParallelExecutor(jobs=jobs) as ex:
+            ex.run(fp, N, M, store=got, mode="doall")
+        assert ref.equal(got)
+
+    def test_jobs_do_not_change_results(self):
+        # all job counts agree with each other, not just with the reference
+        _key, fp, _fr = _DOALL[0]
+        outs = []
+        for jobs in (1, 2, 3, 4, 7):
+            store = ArrayStore.for_program(fp.original, N, M, seed=5)
+            run_parallel(fp, N, M, store=store, jobs=jobs)
+            outs.append(store)
+        assert all(outs[0].equal(o) for o in outs[1:])
+
+    def test_process_pool_bit_identical(self):
+        _key, fp, _fr = _DOALL[0]
+        ref = _reference(fp)
+        got = ArrayStore.for_program(fp.original, N, M, seed=11)
+        try:
+            run_parallel(fp, N, M, store=got, jobs=2, pool="process")
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            pytest.skip(f"shared memory unavailable in this sandbox: {exc}")
+        assert ref.equal(got)
+
+    def test_non_doall_fusion_is_rejected(self):
+        if not _WAVEFRONT:  # pragma: no cover - gallery always has one
+            pytest.skip("no hyperplane workload in the gallery")
+        _key, fp, _fr = _WAVEFRONT[0]
+        with ParallelExecutor(jobs=2) as ex:
+            with pytest.raises(ExecutionOrderError):
+                ex.run(fp, N, M, mode="doall")
+
+
+class TestWavefrontBackend:
+    @pytest.mark.parametrize(
+        "key,fp,fr", _WAVEFRONT, ids=[k for k, *_ in _WAVEFRONT]
+    )
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_bit_identical_across_jobs(self, key, fp, fr, jobs):
+        ref = _reference(fp)
+        got = ArrayStore.for_program(fp.original, N, M, seed=11)
+        with ParallelExecutor(jobs=jobs, tile=16) as ex:
+            ex.run(fp, N, M, store=got, mode="hyperplane", schedule=fr.schedule)
+        assert ref.equal(got)
+
+    def test_tile_size_never_affects_values(self):
+        _key, fp, fr = _WAVEFRONT[0]
+        ref = _reference(fp)
+        for tile in (1, 7, 64, 10_000):
+            got = ArrayStore.for_program(fp.original, N, M, seed=11)
+            run_parallel(
+                fp, N, M, store=got, jobs=2, tile=tile,
+                mode="hyperplane", schedule=fr.schedule,
+            )
+            assert ref.equal(got)
+
+    def test_schedule_required(self):
+        _key, fp, _fr = _WAVEFRONT[0]
+        with ParallelExecutor() as ex:
+            with pytest.raises(ExecutionOrderError):
+                ex.run(fp, N, M, mode="hyperplane")
+
+
+class TestExecutorSurface:
+    def test_mode_auto_detection(self):
+        _key, fp, fr = _DOALL[0]
+        ref = _reference(fp)
+        got = ArrayStore.for_program(fp.original, N, M, seed=11)
+        with ParallelExecutor(jobs=2) as ex:
+            ex.run(fp, N, M, store=got)  # doall detected from the fusion
+        assert ref.equal(got)
+
+    def test_serial_mode_delegates_to_interpreter(self):
+        _key, fp, _fr = _DOALL[0]
+        ref = _reference(fp)
+        got = ArrayStore.for_program(fp.original, N, M, seed=11)
+        run_parallel(fp, N, M, store=got, mode="serial")
+        assert ref.equal(got)
+
+    def test_allocates_store_when_omitted(self):
+        _key, fp, _fr = _DOALL[0]
+        ref = _reference(fp, seed=0)
+        with ParallelExecutor(jobs=2) as ex:
+            got = ex.run(fp, N, M, seed=0)
+        assert ref.equal(got)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(pool="fibers")
+        with pytest.raises(ValueError):
+            ParallelExecutor(tile=0)
+        _key, fp, _fr = _DOALL[0]
+        with ParallelExecutor() as ex:
+            with pytest.raises(ExecutionOrderError):
+                ex.run(fp, N, M, mode="speculative")

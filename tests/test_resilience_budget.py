@@ -90,21 +90,50 @@ class TestBellmanFordGuard:
         result = scalar_bellman_ford(nodes, edges, src)
         assert result.feasible
         assert result.dist["x49"] == -50
-        # edge order fights propagation: one node per round
+
+    def test_adversarial_chain_needs_full_rounds_classically(self):
+        # the round-based reference still exhibits the worst case the cap
+        # defends against: edge order fights propagation, one node per round
+        nodes, edges, src = _adversarial_chain(50)
+        result = scalar_bellman_ford(nodes, edges, src, algorithm="rounds")
+        assert result.feasible
+        assert result.dist["x49"] == -50
         assert result.rounds >= 49
+
+    def test_worklist_immune_to_adversarial_edge_order(self):
+        # the SLF worklist follows propagation order, not edge-list order,
+        # so the same chain converges in O(1) rounds' worth of pops
+        nodes, edges, src = _adversarial_chain(50)
+        result = scalar_bellman_ford(nodes, edges, src)
+        assert result.feasible
+        assert result.rounds <= 3
 
     def test_adversarial_chain_trips_round_cap(self):
         nodes, edges, src = _adversarial_chain(50)
         with pytest.raises(BudgetExceededError) as exc:
-            scalar_bellman_ford(nodes, edges, src, max_rounds=3)
+            scalar_bellman_ford(nodes, edges, src, max_rounds=3, algorithm="rounds")
         assert exc.value.resource == "relaxation-rounds"
         assert exc.value.limit == 3
+
+    def test_zero_cap_refuses_work_on_both_algorithms(self):
+        # a cap of 0 must trip before any relaxation regardless of algorithm
+        nodes, edges, src = _adversarial_chain(10)
+        for algorithm in ("slf", "rounds"):
+            with pytest.raises(BudgetExceededError) as exc:
+                scalar_bellman_ford(
+                    nodes, edges, src, max_rounds=0, algorithm=algorithm
+                )
+            assert exc.value.resource == "relaxation-rounds"
 
     def test_budget_cap_equivalent_to_max_rounds(self):
         nodes, edges, src = _adversarial_chain(50)
         with pytest.raises(BudgetExceededError):
             scalar_bellman_ford(
-                nodes, edges, src, budget=Budget(max_relaxation_rounds=3)
+                nodes,
+                edges,
+                src,
+                budget=Budget(max_relaxation_rounds=3),
+                algorithm="rounds",
             )
 
     def test_fast_graph_stabilizes_early(self):
@@ -135,10 +164,16 @@ class TestBellmanFordGuard:
         w = ExtVec((0, -1))
         edges = [(f"x{i - 1}" if i else "s", f"x{i}", w) for i in range(n)]
         edges.reverse()
-        ok = vector_bellman_ford(nodes, edges, "s", dim=2)
+        ok = vector_bellman_ford(nodes, edges, "s", dim=2, algorithm="rounds")
         assert ok.feasible and ok.rounds >= n - 1
+        fast = vector_bellman_ford(nodes, edges, "s", dim=2)
+        assert fast.feasible and fast.dist == ok.dist
         with pytest.raises(BudgetExceededError):
-            vector_bellman_ford(nodes, edges, "s", dim=2, max_rounds=2)
+            vector_bellman_ford(
+                nodes, edges, "s", dim=2, max_rounds=2, algorithm="rounds"
+            )
+        with pytest.raises(BudgetExceededError):
+            vector_bellman_ford(nodes, edges, "s", dim=2, max_rounds=0)
 
 
 class TestBudgetThreading:
