@@ -36,6 +36,24 @@ def test_smoke_backends(report, perf_record):
     perf_record(records)
 
 
+def test_smoke_solver_metrics_archived(report, perf_record):
+    """Fast tier: BENCH_perf.json carries the observability counters.
+
+    The ``metrics`` key is additive to schema ``repro-bench-perf/1``: the
+    solver work done while benchmarking (relaxation rounds, worklist pops)
+    is archived alongside the timings, so a perf regression can be checked
+    against "did the algorithm do more work" without re-running.
+    """
+    records = bench_solvers(chain=30, repeats=1)
+    perf_record(records)
+    doc = records_to_json(records)
+    assert doc["schema"] == "repro-bench-perf/1"
+    counters = doc["metrics"]["counters"]
+    assert counters.get("solver.bellman_ford.calls", 0) > 0
+    assert counters.get("solver.bellman_ford.rounds", 0) > 0
+    assert counters.get("solver.bellman_ford.pops", 0) > 0
+
+
 @pytest.mark.perf
 def test_perf_doall_backends(report, perf_record):
     """DOALL example (fig2) at full size across every backend."""

@@ -8,9 +8,14 @@ Main subcommands::
     repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient,
                                        # --backend interp|compiled|parallel)
     repro-fuse bench                   # perf harness (text/json, BENCH_perf shape)
+    repro-fuse stats                   # dump the observability metrics registry
     repro-fuse demo     fig2           # run a gallery example end to end
 
-``python -m repro.cli`` works identically.
+``python -m repro.cli`` works identically.  ``fuse``, ``run`` and ``bench``
+accept ``--trace PATH --trace-format text|json|chrome`` to export a span
+trace of the invocation, and ``--metrics PATH`` to persist the metrics
+registry (render it later with ``repro-fuse stats --input PATH``); see
+docs/OBSERVABILITY.md.
 
 Exit codes: ``analyze``/``fuse``/``run``/``demo``/``report`` return 0 on
 success, 1 on input errors (parse/validation/fusion/budget) and 2 on usage
@@ -18,6 +23,8 @@ errors.  ``run --format json`` always prints a JSON document -- a result
 report on success, an error report (``{"error": ...}``) on failure.
 ``lint`` follows the linter convention instead: 0 = clean (notes allowed),
 1 = warnings only, 2 = errors or an unreadable/unparseable input.
+``stats`` exits 1 when the registry has nothing to report (so CI smoke
+checks catch silently-uninstrumented builds).
 """
 
 from __future__ import annotations
@@ -26,13 +33,16 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.baselines import direct_fusion
 from repro.codegen import apply_fusion, emit_fused_program
 from repro.depend import dependence_table, describe_dependencies, extract_mldg
+from repro.formats import DOT, JSON, SARIF, TEXT, add_format_argument
 from repro.fusion import FusionError, Strategy, fuse
 from repro.graph import mldg_to_dot, mldg_to_json
 from repro.loopir import ParseError, ValidationError, parse_program
 from repro.machine import profile_fusion, unfused_profile
+from repro.obs import TRACE_FORMATS
 from repro.resilience.budget import BudgetExceededError as _BudgetExceededError
 
 __all__ = ["main", "build_arg_parser"]
@@ -46,6 +56,30 @@ _DEMOS = {
 }
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability options shared by ``fuse``, ``run`` and ``bench``."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="collect a span trace of this invocation and write it to PATH",
+    )
+    add_format_argument(
+        group,
+        list(TRACE_FORMATS),
+        default=JSON,
+        flag="--trace-format",
+        help_suffix="chrome output loads at chrome://tracing or ui.perfetto.dev",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry (repro-stats/1 JSON) to PATH on exit",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fuse",
@@ -56,11 +90,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser("analyze", help="dependence analysis of a DSL program")
     p_an.add_argument("file", help="loop DSL source file ('-' for stdin)")
-    p_an.add_argument(
-        "--format",
-        choices=["text", "json", "dot", "sarif"],
+    add_format_argument(
+        p_an,
+        [TEXT, JSON, DOT, SARIF],
         default=None,
-        help="output format (default: text; sarif emits lint diagnostics)",
+        help_suffix="sarif emits lint diagnostics",
     )
     p_an.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     p_an.add_argument("--json", action="store_true", help="emit MLDG JSON")
@@ -69,12 +103,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "lint", help="static diagnostics (model, legality, hygiene rules)"
     )
     p_li.add_argument("file", help="loop DSL source file ('-' for stdin)")
-    p_li.add_argument(
-        "--format",
-        choices=["text", "json", "sarif"],
-        default="text",
-        help="output format (default: text)",
-    )
+    add_format_argument(p_li, [TEXT, JSON, SARIF])
 
     p_fu = sub.add_parser("fuse", help="fuse a DSL program with full parallelism")
     p_fu.add_argument("file", help="loop DSL source file ('-' for stdin)")
@@ -111,6 +140,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="compile_kernel",
         help="print the compiled Python/numpy kernel for the fused program",
     )
+    _add_trace_arguments(p_fu)
 
     p_run = sub.add_parser(
         "run",
@@ -149,12 +179,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=["none", "partition", "legal-only", "hyperplane", "doall"],
         help="weakest acceptable ladder rung with --resilient (default: none)",
     )
-    p_run.add_argument(
-        "--format",
-        choices=["text", "json"],
-        default="text",
-        help="output format (default: text)",
-    )
+    add_format_argument(p_run, [TEXT, JSON])
     p_run.add_argument("--no-emit", action="store_true", help="skip code emission")
     p_run.add_argument(
         "--backend",
@@ -177,6 +202,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="64,64",
         help="iteration-space size for --backend execution (default 64,64)",
     )
+    _add_trace_arguments(p_run)
 
     p_bench = sub.add_parser(
         "bench", help="performance harness (backends, memo caches, solvers)"
@@ -214,14 +240,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-solver-bench", action="store_true",
         help="skip the Bellman-Ford SLF-vs-rounds benchmark",
     )
-    p_bench.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="output format (default: text)",
-    )
+    add_format_argument(p_bench, [TEXT, JSON])
     p_bench.add_argument(
         "--output", metavar="PATH", default=None,
         help="also write the JSON document to PATH",
     )
+    _add_trace_arguments(p_bench)
+
+    p_st = sub.add_parser(
+        "stats", help="dump the observability metrics registry (repro-stats/1)"
+    )
+    p_st.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="optional loop DSL source ('-' for stdin): run the instrumented "
+        "pipeline and one fused execution on it first, so the registry has "
+        "solver/cache/execution activity to report",
+    )
+    p_st.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="render a repro-stats/1 JSON document previously written with "
+        "--metrics instead of this process's registry",
+    )
+    p_st.add_argument(
+        "--size", metavar="N,M", default="16,16",
+        help="iteration-space size for the instrumented execution (default 16,16)",
+    )
+    add_format_argument(p_st, [TEXT, JSON])
 
     p_demo = sub.add_parser("demo", help="run a gallery example")
     p_demo.add_argument("name", choices=sorted(_DEMOS), help="example name")
@@ -583,6 +631,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_workload(path: str, n: int, m: int) -> None:
+    """Run the instrumented pipeline on ``path`` to populate the registry.
+
+    Each stage runs twice where that exercises a cache (fusion memo, kernel
+    cache), then the fused program executes once interpreted and once
+    compiled -- so the stats report shows non-zero solver, cache and
+    execution counters from one self-contained invocation.
+    """
+    from repro.codegen.interp import ArrayStore, run_fused
+    from repro.codegen.pycompile import compile_fused
+    from repro.pipeline import fuse_program
+
+    source = _read_source(path)
+    out = fuse_program(source)
+    fuse_program(source)  # structural repeat -> fusion-cache hit
+    if out.fused is None:
+        return
+    run_fused(out.fused, n, m, store=ArrayStore.for_program(out.nest, n, m, seed=0))
+    compile_fused(out.fused)
+    kernel = compile_fused(out.fused)  # repeat -> kernel-cache hit
+    kernel(ArrayStore.for_program(out.nest, n, m, seed=0), n, m)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            doc = _json.load(fh)
+    else:
+        if args.file is not None:
+            try:
+                n, m = _parse_size(args.size)
+            except ValueError:
+                print(
+                    f"bad --size value {args.size!r}; expected N,M",
+                    file=sys.stderr,
+                )
+                return 2
+            _stats_workload(args.file, n, m)
+        # judge emptiness before the cache snapshot: the snapshot gauges
+        # exist even in a process that did no instrumented work
+        empty = obs.default_registry().empty
+        obs.snapshot_caches()
+        doc = obs.stats_document()
+    if args.format == "json":
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(obs.render_stats_text(doc))
+    if args.input is not None:
+        metrics = doc.get("metrics", {})
+        empty = not any(
+            metrics.get(kind) for kind in ("counters", "gauges", "histograms")
+        )
+    return 1 if empty else 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.gallery import (
         figure2_mldg,
@@ -612,8 +717,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return _report_fusion(g, result, nest, emit=True, verify=nest is not None)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_arg_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     try:
         if args.command == "analyze":
             return _cmd_analyze(args)
@@ -625,6 +729,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "demo":
             return _cmd_demo(args)
         if args.command == "report":
@@ -641,6 +747,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 2
+
+
+def _write_observability(args: argparse.Namespace, tracer) -> None:
+    """Persist the trace and/or metrics files requested on the command line.
+
+    Runs on every exit path (including handled errors), so a traced
+    invocation that degrades or fails still leaves its partial trace.
+    """
+    trace_path = getattr(args, "trace", None)
+    if tracer is not None and trace_path:
+        obs.write_trace(tracer, trace_path, getattr(args, "trace_format", "json"))
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        import json as _json
+
+        obs.snapshot_caches()
+        doc = obs.stats_document()
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    tracer = obs.Tracer() if getattr(args, "trace", None) else None
+    try:
+        if tracer is not None:
+            with obs.tracing(tracer):
+                return _dispatch(args)
+        return _dispatch(args)
+    finally:
+        _write_observability(args, tracer)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.fused import FusedProgram
 from repro.loopir.ast_nodes import (
     ArrayRef,
@@ -189,11 +190,13 @@ def run_original(
     """
     if store is None:
         store = ArrayStore.for_program(nest, n, m, seed=seed)
-    for i in range(n + 1):
-        for loop in nest.loops:
-            for j in range(m + 1):
-                for stmt in loop.statements:
-                    _exec_statement(stmt, store, i, j)
+    obs.counter("exec.interp.runs").inc()
+    with obs.trace_span("exec.interp.run_original", n=n, m=m):
+        for i in range(n + 1):
+            for loop in nest.loops:
+                for j in range(m + 1):
+                    for stmt in loop.statements:
+                        _exec_statement(stmt, store, i, j)
     return store
 
 
@@ -236,36 +239,40 @@ def run_fused(
     lo_j, hi_j = fp.full_inner_range(m)
     rng = random.Random(order_seed)
 
-    if mode == "serial":
-        for i in range(lo_i, hi_i + 1):
-            for j in range(lo_j, hi_j + 1):
-                _fused_instance(fp, store, i, j, n, m)
-        return store
+    obs.counter("exec.interp.runs").inc()
+    with obs.trace_span("exec.interp.run_fused", mode=mode, n=n, m=m):
+        if mode == "serial":
+            for i in range(lo_i, hi_i + 1):
+                for j in range(lo_j, hi_j + 1):
+                    _fused_instance(fp, store, i, j, n, m)
+            return store
 
-    if mode == "doall":
-        # The ascending base list is row-invariant; copying it per row feeds
-        # shuffle the same input (and thus the same draws) as rebuilding it,
-        # so results for a given order_seed are unchanged.
-        base_js = list(range(lo_j, hi_j + 1))
-        for i in range(lo_i, hi_i + 1):
-            js = base_js.copy()
-            rng.shuffle(js)
-            for j in js:
-                _fused_instance(fp, store, i, j, n, m)
-        return store
+        if mode == "doall":
+            # The ascending base list is row-invariant; copying it per row feeds
+            # shuffle the same input (and thus the same draws) as rebuilding it,
+            # so results for a given order_seed are unchanged.
+            base_js = list(range(lo_j, hi_j + 1))
+            for i in range(lo_i, hi_i + 1):
+                js = base_js.copy()
+                rng.shuffle(js)
+                for j in js:
+                    _fused_instance(fp, store, i, j, n, m)
+            return store
 
-    if mode == "hyperplane":
-        if schedule is None:
-            raise ExecutionOrderError("hyperplane mode needs a schedule vector")
-        phases: Dict[int, List[Tuple[int, int]]] = {}
-        for i in range(lo_i, hi_i + 1):
-            for j in range(lo_j, hi_j + 1):
-                phases.setdefault(schedule[0] * i + schedule[1] * j, []).append((i, j))
-        for t in sorted(phases):
-            cells = phases[t]
-            rng.shuffle(cells)
-            for (i, j) in cells:
-                _fused_instance(fp, store, i, j, n, m)
-        return store
+        if mode == "hyperplane":
+            if schedule is None:
+                raise ExecutionOrderError("hyperplane mode needs a schedule vector")
+            phases: Dict[int, List[Tuple[int, int]]] = {}
+            for i in range(lo_i, hi_i + 1):
+                for j in range(lo_j, hi_j + 1):
+                    phases.setdefault(
+                        schedule[0] * i + schedule[1] * j, []
+                    ).append((i, j))
+            for t in sorted(phases):
+                cells = phases[t]
+                rng.shuffle(cells)
+                for (i, j) in cells:
+                    _fused_instance(fp, store, i, j, n, m)
+            return store
 
     raise ExecutionOrderError(f"unknown execution mode {mode!r}")

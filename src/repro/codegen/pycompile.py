@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.codegen.fused import FusedProgram
 from repro.codegen.interp import ArrayStore
 from repro.loopir.ast_nodes import ArrayRef, Assignment, BinOp, Const, Expr, LoopNest, UnaryOp
@@ -146,15 +147,19 @@ def _origins_of(store_probe: ArrayStore) -> Dict[str, tuple]:
 
 def _finalize(em: _Emitter, names: Dict[str, tuple]) -> CompiledKernel:
     source = em.source()
+    reg = obs.default_registry()
     cached = _KERNEL_CACHE.get(source)
     if cached is not None:
+        reg.counter("kernel.cache.hits").inc()
         return cached
-    namespace: Dict[str, object] = {}
-    exec(compile(source, "<repro.codegen.pycompile>", "exec"), namespace)
-    kernel = namespace["kernel"]
-    kernel.source = source  # type: ignore[attr-defined]
-    kernel.cache_info = kernel_cache_info  # type: ignore[attr-defined]
-    _KERNEL_CACHE.put(source, kernel)
+    reg.counter("kernel.cache.misses").inc()
+    with obs.trace_span("codegen.compile_kernel", source_lines=source.count("\n") + 1):
+        namespace: Dict[str, object] = {}
+        exec(compile(source, "<repro.codegen.pycompile>", "exec"), namespace)
+        kernel = namespace["kernel"]
+        kernel.source = source  # type: ignore[attr-defined]
+        kernel.cache_info = kernel_cache_info  # type: ignore[attr-defined]
+        _KERNEL_CACHE.put(source, kernel)
     return kernel  # type: ignore[return-value]
 
 

@@ -44,6 +44,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.resilience.budget import Budget, BudgetExceededError
 
 __all__ = [
@@ -81,13 +82,17 @@ class BellmanFordResult(Generic[Node, W]):
     hold the (meaningless beyond diagnosis) state at detection time.
     ``rounds`` counts the relaxation rounds actually executed -- for the
     worklist algorithm, one round is ``|V|`` vertex examinations (useful to
-    confirm how little work benign graphs need).
+    confirm how little work benign graphs need).  ``pops`` counts vertex
+    examinations directly: actual worklist pops for ``"slf"``, and the
+    equivalent ``rounds * |V|`` for the classic sweeps, so the two
+    algorithms report work in the same unit.
     """
 
     dist: Dict[Node, W]
     pred: Dict[Node, Optional[Node]]
     negative_cycle: Optional[List[Node]]
     rounds: int = field(default=0, compare=False)
+    pops: int = field(default=0, compare=False)
 
     @property
     def feasible(self) -> bool:
@@ -183,7 +188,9 @@ def _round_based(
             "bellman-ford invariant violated: an improving edge survived a "
             "stabilised relaxation round (non-transitive weight ordering?)"
         )
-        return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
+        return BellmanFordResult(
+            dist=dist, pred=pred, negative_cycle=None, rounds=rounds, pops=rounds * n
+        )
 
     improving = _improving_edge(dist, edges, top)
     if improving is not None:
@@ -191,9 +198,13 @@ def _round_based(
         u, v = improving
         pred[v] = u
         cycle = _trace_cycle(pred, v, n)
-        return BellmanFordResult(dist=dist, pred=pred, negative_cycle=cycle, rounds=rounds)
+        return BellmanFordResult(
+            dist=dist, pred=pred, negative_cycle=cycle, rounds=rounds, pops=rounds * n
+        )
 
-    return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
+    return BellmanFordResult(
+        dist=dist, pred=pred, negative_cycle=None, rounds=rounds, pops=rounds * n
+    )
 
 
 def _slf_worklist(
@@ -273,7 +284,9 @@ def _slf_worklist(
         "(non-transitive weight ordering?)"
     )
     rounds = -(-pops // n_eff)  # ceil: partial final batches count as a round
-    return BellmanFordResult(dist=dist, pred=pred, negative_cycle=None, rounds=rounds)
+    return BellmanFordResult(
+        dist=dist, pred=pred, negative_cycle=None, rounds=rounds, pops=pops
+    )
 
 
 def bellman_ford(
@@ -322,7 +335,29 @@ def bellman_ford(
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
     cap = _combined_cap(max_rounds, budget)
     solve = _slf_worklist if algorithm == "slf" else _round_based
-    return solve(nodes, edges, source, zero=zero, top=top, cap=cap, budget=budget)
+    reg = obs.default_registry()
+    reg.counter("solver.bellman_ford.calls").inc()
+    with obs.trace_span(
+        "solver.bellman_ford",
+        algorithm=algorithm,
+        nodes=len(nodes),
+        edges=len(edges),
+    ) as sp:
+        try:
+            result = solve(nodes, edges, source, zero=zero, top=top, cap=cap, budget=budget)
+        except BudgetExceededError:
+            reg.counter("solver.bellman_ford.budget_exceeded").inc()
+            sp.set(outcome="budget-exceeded")
+            raise
+        reg.counter("solver.bellman_ford.rounds").inc(result.rounds)
+        reg.counter("solver.bellman_ford.pops").inc(result.pops)
+        if cap is not None:
+            # budget consumption: rounds actually spent under an active cap
+            reg.counter("solver.budget.rounds_consumed").inc(result.rounds)
+        if result.negative_cycle is not None:
+            reg.counter("solver.bellman_ford.negative_cycles").inc()
+        sp.set(rounds=result.rounds, pops=result.pops, feasible=result.feasible)
+    return result
 
 
 def scalar_bellman_ford(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro import obs
 from repro.constraints.bellman_ford import BellmanFordResult, bellman_ford
 from repro.resilience.budget import Budget
 from repro.vectors import ExtVec, IVec
@@ -63,16 +64,18 @@ def vector_bellman_ford(
         if w.dim != dim:
             raise ValueError(f"edge {u}->{v} weight {w} has wrong dimension")
         norm_edges.append((u, v, w))
-    return bellman_ford(
-        nodes,
-        norm_edges,
-        source,
-        zero=ExtVec([0] * dim),
-        top=ExtVec.top(dim),
-        max_rounds=max_rounds,
-        budget=budget,
-        algorithm=algorithm,
-    )
+    obs.counter("solver.vector_bellman_ford.calls").inc()
+    with obs.trace_span("solver.vector_bellman_ford", dim=dim, algorithm=algorithm):
+        return bellman_ford(
+            nodes,
+            norm_edges,
+            source,
+            zero=ExtVec([0] * dim),
+            top=ExtVec.top(dim),
+            max_rounds=max_rounds,
+            budget=budget,
+            algorithm=algorithm,
+        )
 
 
 def solve_distances_as_ivecs(

@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.fusion.acyclic import acyclic_parallel_retiming
 from repro.fusion.cyclic import cyclic_parallel_retiming
 from repro.fusion.errors import FusionError, IllegalMLDGError, NoParallelRetimingError
@@ -199,17 +200,37 @@ def fuse(
         budget.start()
         budget.check_graph(g.num_nodes, g.num_edges, "fuse entry")
 
-    memo_ok = memoization_applicable(budget)
-    if memo_ok:
-        key = (strategy.value, canonical_mldg_key(g))
-        cached = fusion_cache().get(key)
-        if cached is not None:
-            return _rehydrate(g, cached)
+    reg = obs.default_registry()
+    reg.counter("fusion.fuse.calls").inc()
+    with obs.trace_span(
+        "fusion.fuse",
+        strategy=strategy.value,
+        nodes=g.num_nodes,
+        edges=g.num_edges,
+    ) as sp:
+        memo_ok = memoization_applicable(budget)
+        if memo_ok:
+            key = (strategy.value, canonical_mldg_key(g))
+            cached = fusion_cache().get(key)
+            if cached is not None:
+                reg.counter("fusion.cache.hits").inc()
+                sp.set(cache="hit")
+                result = _rehydrate(g, cached)
+                reg.counter(f"fusion.strategy.{result.strategy.value}").inc()
+                sp.set(strategy_used=result.strategy.value)
+                return result
+            reg.counter("fusion.cache.misses").inc()
+            sp.set(cache="miss")
+        else:
+            reg.counter("fusion.cache.bypassed").inc()
+            sp.set(cache="bypassed")
 
-    result = _fuse_uncached(g, strategy, budget)
-    if memo_ok:
-        fusion_cache().put(key, _dehydrate(result))
-    return result
+        result = _fuse_uncached(g, strategy, budget)
+        if memo_ok:
+            fusion_cache().put(key, _dehydrate(result))
+        reg.counter(f"fusion.strategy.{result.strategy.value}").inc()
+        sp.set(strategy_used=result.strategy.value)
+        return result
 
 
 def _fuse_uncached(

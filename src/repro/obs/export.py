@@ -1,0 +1,133 @@
+"""Trace exporters: text tree, JSON (``repro-trace/1``), Chrome trace events.
+
+Three renderings of one :class:`~repro.obs.tracer.Tracer`:
+
+* ``text`` -- an indented tree with wall/CPU durations and attributes, for
+  terminals;
+* ``json`` -- schema ``repro-trace/1``: the flat span table with parent
+  links, microsecond offsets from the trace epoch, and the trace id;
+* ``chrome`` -- the Chrome trace-event format (``{"traceEvents": [...]}``
+  of complete ``"ph": "X"`` events).  Load the file at ``chrome://tracing``
+  or https://ui.perfetto.dev to get a zoomable per-thread flame chart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_FORMATS",
+    "trace_to_dict",
+    "render_trace_text",
+    "render_trace_json",
+    "render_trace_chrome",
+    "render_trace",
+    "write_trace",
+]
+
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Formats accepted by :func:`render_trace` (and the CLI ``--trace-format``).
+TRACE_FORMATS = ("text", "json", "chrome")
+
+
+def _span_to_dict(span: Span, epoch: float) -> Dict[str, Any]:
+    return {
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "startUs": round((span.start_wall - epoch) * 1e6, 1),
+        "durUs": round(span.wall_s * 1e6, 1),
+        "cpuUs": round(span.cpu_s * 1e6, 1),
+        "thread": span.thread_id,
+        "detail": span.detail,
+        "attributes": dict(span.attributes),
+    }
+
+
+def trace_to_dict(tracer: Tracer) -> Dict[str, Any]:
+    """The ``repro-trace/1`` document for ``tracer``'s spans."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "traceId": tracer.trace_id,
+        "spans": [_span_to_dict(s, tracer.epoch_wall) for s in tracer.spans()],
+    }
+
+
+def render_trace_json(tracer: Tracer) -> str:
+    return json.dumps(trace_to_dict(tracer), indent=2)
+
+
+def render_trace_chrome(tracer: Tracer) -> str:
+    """Chrome trace-event JSON (complete events, microsecond timestamps)."""
+    events: List[Dict[str, Any]] = []
+    for span in tracer.spans():
+        events.append(
+            {
+                "name": span.name,
+                "cat": "detail" if span.detail else "repro",
+                "ph": "X",
+                "ts": round((span.start_wall - tracer.epoch_wall) * 1e6, 1),
+                "dur": round(span.wall_s * 1e6, 1),
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": dict(span.attributes),
+            }
+        )
+    return json.dumps(
+        {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"traceId": tracer.trace_id, "schema": TRACE_SCHEMA},
+        },
+        indent=2,
+    )
+
+
+def render_trace_text(tracer: Tracer) -> str:
+    """An indented span tree with durations and attributes."""
+    spans = tracer.spans()
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines = [f"trace {tracer.trace_id} ({len(spans)} spans)"]
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = ", ".join(f"{k}={v}" for k, v in span.attributes.items())
+        line = (
+            f"{'  ' * depth}{span.name}  "
+            f"[wall {span.wall_s * 1e3:.3f} ms, cpu {span.cpu_s * 1e3:.3f} ms]"
+        )
+        if attrs:
+            line += f"  {{{attrs}}}"
+        lines.append(line)
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_trace(tracer: Tracer, fmt: str = "json") -> str:
+    """Render ``tracer`` in one of :data:`TRACE_FORMATS`."""
+    if fmt == "text":
+        return render_trace_text(tracer)
+    if fmt == "json":
+        return render_trace_json(tracer)
+    if fmt == "chrome":
+        return render_trace_chrome(tracer)
+    raise ValueError(f"unknown trace format {fmt!r}; choose from {TRACE_FORMATS}")
+
+
+def write_trace(tracer: Tracer, path: str, fmt: str = "json") -> None:
+    """Render and write the trace to ``path``."""
+    text = render_trace(tracer, fmt)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.write("\n")

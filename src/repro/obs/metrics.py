@@ -1,0 +1,241 @@
+"""Counters, gauges and histograms behind a process-wide default registry.
+
+Unlike tracing (off by default), metrics are **always on**: instrumented
+code increments counters unconditionally, because a dict lookup plus an
+integer add is cheap at the granularity instrumented here (per solver
+call, per cache probe, per execution run -- never per iteration).  The
+default registry is process-wide, injectable and resettable, so tests
+isolate themselves with :func:`use_registry`::
+
+    with use_registry() as reg:
+        fuse(g)
+        assert reg.counter("solver.bellman_ford.calls").value > 0
+
+Metric names are dotted lowercase paths (``solver.bellman_ford.rounds``,
+``fusion.cache.hits``); the full taxonomy lives in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "use_registry",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing value (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge for ups and downs")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: Number) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A streaming summary: count, sum, min, max (thread-safe).
+
+    Deliberately bucket-free -- the consumers here want totals and
+    extremes, and a fixed-memory summary keeps ``observe`` O(1) with no
+    tuning knob to misconfigure.
+    """
+
+    __slots__ = ("_count", "_lock", "_max", "_min", "_sum")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            self._min = v if self._min is None else min(self._min, v)
+            self._max = v if self._max is None else max(self._max, v)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            mean = (self._sum / self._count) if self._count else 0.0
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": mean,
+            }
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram()
+            return h
+
+    def reset(self) -> None:
+        """Drop every metric (names and values)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    @property
+    def empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._histograms)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: counters[k].value for k in sorted(counters)},
+            "gauges": {k: gauges[k].value for k in sorted(gauges)},
+            "histograms": {k: histograms[k].to_dict() for k in sorted(histograms)},
+        }
+
+    def render_text(self) -> str:
+        """An aligned, sorted, human-readable dump."""
+        doc = self.to_dict()
+        rows = [(name, str(value)) for name, value in doc["counters"].items()]
+        rows += [(name, str(value)) for name, value in doc["gauges"].items()]
+        rows += [
+            (name, f"count={h['count']} sum={h['sum']:.6g} "
+                   f"min={h['min']} max={h['max']} mean={h['mean']:.6g}")
+            for name, h in doc["histograms"].items()
+        ]
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name.ljust(width)}  {value}" for name, value in sorted(rows))
+
+
+_default = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry all library instrumentation writes to."""
+    return _default
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _default
+    with _registry_lock:
+        previous = _default
+        _default = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Route default-registry writes to a (fresh, unless given) registry."""
+    reg = registry if registry is not None else MetricsRegistry()
+    previous = set_default_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_default_registry(previous)
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``default_registry().counter(name)``."""
+    return _default.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Shorthand for ``default_registry().gauge(name)``."""
+    return _default.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Shorthand for ``default_registry().histogram(name)``."""
+    return _default.histogram(name)

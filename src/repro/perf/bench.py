@@ -332,6 +332,7 @@ def run_bench_suite(
 def records_to_json(records: Sequence[BenchRecord]) -> Dict[str, Any]:
     import os
 
+    from repro import obs
     from repro.codegen.pycompile import kernel_cache_info
     from repro.perf.memo import fusion_cache, retiming_cache
 
@@ -347,6 +348,10 @@ def records_to_json(records: Sequence[BenchRecord]) -> Dict[str, Any]:
             "retiming": retiming_cache().cache_info().to_dict(),
             "kernels": kernel_cache_info().to_dict(),
         },
+        # additive since repro.obs: solver/cache/execution counters observed
+        # while the benchmarked code ran (relaxation rounds, worklist pops,
+        # chunk counts, ...); readers of repro-bench-perf/1 may ignore it
+        "metrics": obs.default_registry().to_dict(),
         "benchmarks": [r.to_dict() for r in records],
     }
 

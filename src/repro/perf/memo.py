@@ -39,6 +39,7 @@ from typing import (
     TypeVar,
 )
 
+from repro import obs
 from repro.graph.mldg import MLDG
 from repro.resilience.budget import Budget
 from repro.retiming.retiming import Retiming
@@ -248,14 +249,18 @@ def cached_retiming(
     names.  Callers are expected to re-run their verification gates on the
     returned retiming -- the cache removes solver work, not checking.
     """
+    reg = obs.default_registry()
     if not memoization_applicable(budget):
+        reg.counter("retiming.cache.bypassed").inc()
         return compute()
     key = (label, canonical_mldg_key(g))
     shifts = _RETIMING_CACHE.get(key)
     if shifts is not None:
+        reg.counter("retiming.cache.hits").inc()
         return Retiming(
             {name: IVec(*shift) for name, shift in zip(g.nodes, shifts)}, dim=g.dim
         )
+    reg.counter("retiming.cache.misses").inc()
     r = compute()
     _RETIMING_CACHE.put(key, tuple(tuple(r[name]) for name in g.nodes))
     return r
@@ -273,12 +278,15 @@ def cached_schedule_retiming(
     ``compute()`` returns ``(retiming, schedule)`` where the schedule is an
     integer vector; both are stored name-free and rebound on a hit.
     """
+    reg = obs.default_registry()
     if not memoization_applicable(budget):
+        reg.counter("retiming.cache.bypassed").inc()
         return compute()
     key = (label, canonical_mldg_key(g))
     entry = _RETIMING_CACHE.get(key)
     if entry is not None:
         shifts, sched = entry
+        reg.counter("retiming.cache.hits").inc()
         return (
             Retiming(
                 {name: IVec(*shift) for name, shift in zip(g.nodes, shifts)},
@@ -286,6 +294,7 @@ def cached_schedule_retiming(
             ),
             IVec(*sched),
         )
+    reg.counter("retiming.cache.misses").inc()
     r, s = compute()
     _RETIMING_CACHE.put(
         key, (tuple(tuple(r[name]) for name in g.nodes), tuple(s))

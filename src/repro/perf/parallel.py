@@ -39,9 +39,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.fused import FusedProgram
 from repro.codegen.interp import ArrayStore, ExecutionOrderError, _exec_statement
 from repro.loopir.ast_nodes import ArrayRef, Assignment, BinOp, Const, Expr, UnaryOp
+from repro.obs.tracer import SpanLike
 from repro.retiming.verify import is_doall_after_fusion
 from repro.vectors import IVec
 
@@ -168,6 +170,25 @@ def _exec_doall_chunk(
             _exec_row_slice(stmt, arrays, origins, oi, a, b)
 
 
+def _chunk_task(
+    parent: SpanLike,
+    body: Tuple[Tuple[int, int, Tuple[Assignment, ...]], ...],
+    arrays: Dict[str, np.ndarray],
+    origins: Dict[str, Tuple[int, int]],
+    i: int,
+    j_lo: int,
+    j_hi: int,
+    n: int,
+    m: int,
+) -> None:
+    """One chunk wrapped in a ``detail`` span (pool workers have no ambient
+    span stack, so the submitting span is passed explicitly as the parent)."""
+    with obs.trace_span(
+        "exec.parallel.chunk", parent=parent, detail=True, i=i, j_lo=j_lo, j_hi=j_hi
+    ):
+        _exec_doall_chunk(body, arrays, origins, i, j_lo, j_hi, n, m)
+
+
 def _exec_cells(
     body: Tuple[Tuple[int, int, Tuple[Assignment, ...]], ...],
     store: ArrayStore,
@@ -182,6 +203,22 @@ def _exec_cells(
             if 0 <= oi <= n and 0 <= oj <= m:
                 for stmt in statements:
                     _exec_statement(stmt, store, oi, oj)
+
+
+def _tile_task(
+    parent: SpanLike,
+    body: Tuple[Tuple[int, int, Tuple[Assignment, ...]], ...],
+    store: ArrayStore,
+    cells: Sequence[Tuple[int, int]],
+    n: int,
+    m: int,
+    t: int,
+) -> None:
+    """One wavefront tile wrapped in a ``detail`` span (see :func:`_chunk_task`)."""
+    with obs.trace_span(
+        "exec.parallel.tile", parent=parent, detail=True, t=t, cells=len(cells)
+    ):
+        _exec_cells(body, store, cells, n, m)
 
 
 # ------------------------------------------------------------------ #
@@ -334,22 +371,26 @@ class ParallelExecutor:
             else:
                 mode = "serial"
 
-        if mode == "doall":
-            if not is_doall_after_fusion(fp.retimed_mldg):
-                raise ExecutionOrderError(
-                    "parallel doall execution requested for a non-DOALL fusion"
-                )
-            self._run_doall(fp, store, n, m)
-            return store
-        if mode == "hyperplane":
-            if schedule is None:
-                raise ExecutionOrderError("hyperplane mode needs a schedule vector")
-            self._run_wavefront(fp, store, n, m, schedule)
-            return store
-        if mode == "serial":
-            from repro.codegen.interp import run_fused
+        obs.counter("exec.parallel.runs").inc()
+        with obs.trace_span(
+            "exec.parallel.run", mode=mode, jobs=self.jobs, pool=self.pool
+        ):
+            if mode == "doall":
+                if not is_doall_after_fusion(fp.retimed_mldg):
+                    raise ExecutionOrderError(
+                        "parallel doall execution requested for a non-DOALL fusion"
+                    )
+                self._run_doall(fp, store, n, m)
+                return store
+            if mode == "hyperplane":
+                if schedule is None:
+                    raise ExecutionOrderError("hyperplane mode needs a schedule vector")
+                self._run_wavefront(fp, store, n, m, schedule)
+                return store
+            if mode == "serial":
+                from repro.codegen.interp import run_fused
 
-            return run_fused(fp, n, m, store=store, mode="serial")
+                return run_fused(fp, n, m, store=store, mode="serial")
         raise ExecutionOrderError(f"unknown execution mode {mode!r}")
 
     # -- DOALL ------------------------------------------------------ #
@@ -361,29 +402,38 @@ class ParallelExecutor:
         lo_i, hi_i = fp.full_outer_range(n)
         lo_j, hi_j = fp.full_inner_range(m)
         chunks = split_range(lo_j, hi_j, self.jobs)
+        rows = max(0, hi_i - lo_i + 1)
 
-        if self.jobs == 1 or len(chunks) <= 1:
-            for i in range(lo_i, hi_i + 1):
-                for (j_lo, j_hi) in chunks:
-                    _exec_doall_chunk(body, arrays, origins, i, j_lo, j_hi, n, m)
-            return
+        reg = obs.default_registry()
+        reg.counter("exec.parallel.rows").inc(rows)
+        reg.counter("exec.parallel.chunks").inc(rows * len(chunks))
+        with obs.trace_span(
+            "exec.parallel.doall", rows=rows, chunks_per_row=len(chunks)
+        ) as sp:
+            if self.jobs == 1 or len(chunks) <= 1:
+                for i in range(lo_i, hi_i + 1):
+                    for (j_lo, j_hi) in chunks:
+                        _chunk_task(sp, body, arrays, origins, i, j_lo, j_hi, n, m)
+                return
 
-        if self.pool == "process":
-            self._run_doall_processes(
-                body, arrays, origins, chunks, lo_i, hi_i, n, m
-            )
-            return
-
-        pool = self._thread_pool()
-        for i in range(lo_i, hi_i + 1):
-            futures = [
-                pool.submit(
-                    _exec_doall_chunk, body, arrays, origins, i, j_lo, j_hi, n, m
+            if self.pool == "process":
+                # forked workers cannot reach the parent's tracer; chunk
+                # counters above still account for the submitted work
+                self._run_doall_processes(
+                    body, arrays, origins, chunks, lo_i, hi_i, n, m
                 )
-                for (j_lo, j_hi) in chunks
-            ]
-            for f in futures:  # barrier between rows; re-raise worker errors
-                f.result()
+                return
+
+            pool = self._thread_pool()
+            for i in range(lo_i, hi_i + 1):
+                futures = [
+                    pool.submit(
+                        _chunk_task, sp, body, arrays, origins, i, j_lo, j_hi, n, m
+                    )
+                    for (j_lo, j_hi) in chunks
+                ]
+                for f in futures:  # barrier between rows; re-raise worker errors
+                    f.result()
 
     def _run_doall_processes(
         self, body, arrays, origins, chunks, lo_i, hi_i, n, m
@@ -429,26 +479,35 @@ class ParallelExecutor:
                 phases.setdefault(t_row, []).append((i, j))
                 t_row += s1
 
-        if self.jobs == 1 or self.pool == "process":
-            # Scalar wavefront work is dominated by Python bytecode, which
-            # forked workers cannot share cheaply per tile; run tiles inline
-            # (identical results -- tiling never affects values).
-            for t in sorted(phases):
-                for cells in wavefront_tiles(phases[t], self.tile):
-                    _exec_cells(body, store, cells, n, m)
-            return
+        reg = obs.default_registry()
+        reg.counter("exec.parallel.wavefronts").inc(len(phases))
+        with obs.trace_span(
+            "exec.parallel.wavefront", wavefronts=len(phases), tile=self.tile
+        ) as sp:
+            if self.jobs == 1 or self.pool == "process":
+                # Scalar wavefront work is dominated by Python bytecode, which
+                # forked workers cannot share cheaply per tile; run tiles inline
+                # (identical results -- tiling never affects values).
+                for t in sorted(phases):
+                    tiles = wavefront_tiles(phases[t], self.tile)
+                    reg.counter("exec.parallel.tiles").inc(len(tiles))
+                    for cells in tiles:
+                        _tile_task(sp, body, store, cells, n, m, t)
+                return
 
-        pool = self._thread_pool()
-        for t in sorted(phases):
-            tiles = wavefront_tiles(phases[t], self.tile)
-            if len(tiles) == 1:
-                _exec_cells(body, store, tiles[0], n, m)
-                continue
-            futures = [
-                pool.submit(_exec_cells, body, store, cells, n, m) for cells in tiles
-            ]
-            for f in futures:  # barrier between wavefronts
-                f.result()
+            pool = self._thread_pool()
+            for t in sorted(phases):
+                tiles = wavefront_tiles(phases[t], self.tile)
+                reg.counter("exec.parallel.tiles").inc(len(tiles))
+                if len(tiles) == 1:
+                    _tile_task(sp, body, store, tiles[0], n, m, t)
+                    continue
+                futures = [
+                    pool.submit(_tile_task, sp, body, store, cells, n, m, t)
+                    for cells in tiles
+                ]
+                for f in futures:  # barrier between wavefronts
+                    f.result()
 
 
 def run_parallel(

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from repro import obs
 from repro.codegen import apply_fusion, emit_fused_program
 from repro.codegen.fused import DeadlockError, FusedProgram
 from repro.depend import extract_mldg
@@ -76,23 +77,29 @@ def fuse_program(
     :func:`repro.resilience.fuse_program_resilient` for degradation
     instead of an error).
     """
-    nest = parse_program(source) if isinstance(source, str) else source
-    findings = model_findings(nest)
-    if findings:
-        # the structured gate: same messages validate_program raised, plus
-        # codes/spans for tooling
-        raise ValidationError([f.message for f in findings], findings=findings)
-    g = extract_mldg(nest, check=False)
-    result = fuse(g, strategy=strategy, budget=budget)
-    diagnostics = lint_nest(
-        nest, source=source if isinstance(source, str) else None
-    ).diagnostics
-    notes: List[str] = list(result.notes)
-    try:
-        fused = apply_fusion(nest, result.retiming, mldg=g)
-    except DeadlockError as exc:
-        fused = None
-        notes.append(f"no fused body order exists: {exc}")
+    with obs.trace_span("pipeline.fuse_program"):
+        with obs.trace_span("pipeline.parse"):
+            nest = parse_program(source) if isinstance(source, str) else source
+            findings = model_findings(nest)
+            if findings:
+                # the structured gate: same messages validate_program raised,
+                # plus codes/spans for tooling
+                raise ValidationError(
+                    [f.message for f in findings], findings=findings
+                )
+        with obs.trace_span("pipeline.extract"):
+            g = extract_mldg(nest, check=False)
+        result = fuse(g, strategy=strategy, budget=budget)
+        diagnostics = lint_nest(
+            nest, source=source if isinstance(source, str) else None
+        ).diagnostics
+        notes: List[str] = list(result.notes)
+        with obs.trace_span("pipeline.codegen"):
+            try:
+                fused = apply_fusion(nest, result.retiming, mldg=g)
+            except DeadlockError as exc:
+                fused = None
+                notes.append(f"no fused body order exists: {exc}")
     return PipelineResult(
         nest=nest,
         mldg=g,

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.codegen.fused import DeadlockError
 from repro.constraints import InfeasibleSystemError
 from repro.fusion.acyclic import acyclic_parallel_retiming
@@ -211,6 +212,11 @@ def fuse_resilient(
         min_rung = rung_from_label(min_rung)
     budget = (budget or Budget()).start()
     report = RecoveryReport(budget=budget)
+    tracer = obs.current_tracer()
+    if tracer.active:
+        report.trace_id = tracer.trace_id
+    reg = obs.default_registry()
+    reg.counter("resilience.ladder.runs").inc()
     t_start = time.perf_counter()
 
     oversize: Optional[BudgetExceededError] = None
@@ -232,10 +238,78 @@ def fuse_resilient(
     box = tuple(int(b) for b in bounds) if bounds is not None else (4,) * g.dim
 
     result: Optional[ResilientFusionResult] = None
-    for rung in _DESCENT:
-        if rung < min_rung:
-            break
-        attempt = _attempt_rung(
+    with obs.trace_span(
+        "resilience.ladder",
+        nodes=g.num_nodes,
+        edges=g.num_edges,
+        min_rung=min_rung.label,
+    ) as ladder_span:
+        for rung in _DESCENT:
+            if rung < min_rung:
+                break
+            attempt = _attempt_rung(
+                g,
+                rung,
+                report,
+                budget=budget,
+                oversize=oversize,
+                verify_execution=verify_execution,
+                box=box,
+                gate=gate,
+            )
+            if attempt.status == "ok":
+                result = getattr(attempt, "_result")
+                result.notes = list(attempt.notes)
+                report.final_rung = rung
+                break
+
+        report.total_ms = (time.perf_counter() - t_start) * 1000.0
+        if result is None:
+            reg.counter(f"resilience.diagnostic.{RS004}").inc()
+            ladder_span.set(outcome="exhausted")
+            report.record(
+                RungAttempt(
+                    rung=min_rung,
+                    status="rejected",
+                    message="no rung at or above min_rung succeeded",
+                    diagnostics=[
+                        rung_diagnostic(
+                            RS004,
+                            f"ladder exhausted: no strategy at or above "
+                            f"{min_rung.label!r} produced a verified result",
+                            error=True,
+                        )
+                    ],
+                )
+            )
+            raise ResilienceError(
+                f"resilient fusion failed: no strategy at or above rung "
+                f"{min_rung.label!r} produced a verified result",
+                report,
+            )
+        reg.counter(f"resilience.final_rung.{report.final_rung.label}").inc()
+        ladder_span.set(final_rung=report.final_rung.label)
+    result.report = report
+    report.parallelism = result.parallelism.value
+    return result
+
+
+def _attempt_rung(
+    g: MLDG,
+    rung: Rung,
+    report: RecoveryReport,
+    *,
+    budget: Budget,
+    oversize: Optional[BudgetExceededError],
+    verify_execution: bool,
+    box: Tuple[int, ...],
+    gate: Optional[Gate],
+) -> RungAttempt:
+    """Span- and counter-wrapped :func:`_attempt_rung_inner`."""
+    reg = obs.default_registry()
+    reg.counter(f"resilience.rung.{rung.label}").inc()
+    with obs.trace_span(f"resilience.rung.{rung.label}") as sp:
+        attempt = _attempt_rung_inner(
             g,
             rung,
             report,
@@ -245,40 +319,14 @@ def fuse_resilient(
             box=box,
             gate=gate,
         )
-        if attempt.status == "ok":
-            result = getattr(attempt, "_result")
-            result.notes = list(attempt.notes)
-            report.final_rung = rung
-            break
-
-    report.total_ms = (time.perf_counter() - t_start) * 1000.0
-    if result is None:
-        report.record(
-            RungAttempt(
-                rung=min_rung,
-                status="rejected",
-                message="no rung at or above min_rung succeeded",
-                diagnostics=[
-                    rung_diagnostic(
-                        RS004,
-                        f"ladder exhausted: no strategy at or above "
-                        f"{min_rung.label!r} produced a verified result",
-                        error=True,
-                    )
-                ],
-            )
-        )
-        raise ResilienceError(
-            f"resilient fusion failed: no strategy at or above rung "
-            f"{min_rung.label!r} produced a verified result",
-            report,
-        )
-    result.report = report
-    report.parallelism = result.parallelism.value
-    return result
+        reg.counter(f"resilience.rung.{rung.label}.{attempt.status}").inc()
+        for diag in attempt.diagnostics:
+            reg.counter(f"resilience.diagnostic.{diag.code}").inc()
+        sp.set(status=attempt.status)
+    return attempt
 
 
-def _attempt_rung(
+def _attempt_rung_inner(
     g: MLDG,
     rung: Rung,
     report: RecoveryReport,

@@ -21,6 +21,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.codegen import ArrayStore, apply_fusion, emit_fused_program, run_fused, run_original
 from repro.codegen.fused import DeadlockError, FusedProgram, _zero_dependence_order
 from repro.depend import extract_mldg
@@ -286,24 +287,29 @@ def fuse_program_resilient(
     rung at or above ``min_rung`` survives verification.  Every other
     failure mode degrades and is accounted for in the recovery report.
     """
-    nest = parse_program(source) if isinstance(source, str) else source
-    findings = model_findings(nest)
-    if findings:
-        raise ValidationError([f.message for f in findings], findings=findings)
-    g = extract_mldg(nest, check=False)
+    with obs.trace_span("pipeline.fuse_program_resilient"):
+        with obs.trace_span("pipeline.parse"):
+            nest = parse_program(source) if isinstance(source, str) else source
+            findings = model_findings(nest)
+            if findings:
+                raise ValidationError(
+                    [f.message for f in findings], findings=findings
+                )
+        with obs.trace_span("pipeline.extract"):
+            g = extract_mldg(nest, check=False)
 
-    gate = _ProgramGate(nest, g)
-    resilient = fuse_resilient(
-        g,
-        budget=budget,
-        min_rung=min_rung,
-        verify_execution=verify_execution,
-        bounds=bounds,
-        gate=gate,
-    )
-    diagnostics = lint_nest(
-        nest, source=source if isinstance(source, str) else None
-    ).diagnostics
+        gate = _ProgramGate(nest, g)
+        resilient = fuse_resilient(
+            g,
+            budget=budget,
+            min_rung=min_rung,
+            verify_execution=verify_execution,
+            bounds=bounds,
+            gate=gate,
+        )
+        diagnostics = lint_nest(
+            nest, source=source if isinstance(source, str) else None
+        ).diagnostics
 
     artifact = resilient.artifact
     fused = artifact if isinstance(artifact, FusedProgram) else None

@@ -121,6 +121,9 @@ class RecoveryReport:
     total_ms: float = 0.0
     budget: Optional[Budget] = None
     notes: List[str] = field(default_factory=list)
+    #: The :class:`repro.obs.Tracer` trace id when the descent ran under an
+    #: active tracer, so a report can be joined with its exported trace.
+    trace_id: Optional[str] = None
 
     def record(self, attempt: RungAttempt) -> RungAttempt:
         self.attempts.append(attempt)
@@ -148,6 +151,7 @@ class RecoveryReport:
             "budget": self.budget.to_dict() if self.budget is not None else None,
             "attempts": [a.to_dict() for a in self.attempts],
             "notes": list(self.notes),
+            "traceId": self.trace_id,
         }
 
     def describe(self) -> str:

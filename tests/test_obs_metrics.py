@@ -1,0 +1,137 @@
+"""Unit tests for repro.obs counters, gauges, histograms and the registry."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, default_registry, use_registry
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = MetricsRegistry().counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+    def test_histogram_stats(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.count == 0
+        for v in (1.0, 2.0, 6.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(9.0)
+        assert d["min"] == 1.0 and d["max"] == 6.0
+        assert d["mean"] == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_len_and_empty(self):
+        reg = MetricsRegistry()
+        assert reg.empty and len(reg) == 0
+        reg.counter("a").inc()
+        reg.gauge("b").set(1)
+        assert not reg.empty and len(reg) == 2
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.empty and len(reg) == 0
+        # instruments created before reset are detached, not rewound
+        assert reg.counter("a").value == 0
+
+    def test_to_dict_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("b.two").inc(2)
+        reg.counter("a.one").inc()
+        reg.gauge("g").set(3.5)
+        reg.histogram("h").observe(1.0)
+        d = reg.to_dict()
+        assert set(d) == {"counters", "gauges", "histograms"}
+        assert list(d["counters"]) == ["a.one", "b.two"]
+        assert d["counters"]["b.two"] == 2
+        assert d["gauges"]["g"] == 3.5
+        assert d["histograms"]["h"]["count"] == 1
+
+    def test_render_text(self):
+        reg = MetricsRegistry()
+        reg.counter("solver.calls").inc(3)
+        text = reg.render_text()
+        assert "solver.calls" in text and "3" in text
+        assert "no metrics" in MetricsRegistry().render_text()
+
+
+class TestDefaultRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        before = default_registry()
+        with use_registry() as reg:
+            assert default_registry() is reg
+            assert reg is not before
+            obs.counter("scoped").inc()
+            assert reg.counter("scoped").value == 1
+        assert default_registry() is before
+        assert "scoped" not in before.to_dict()["counters"]
+
+    def test_use_registry_accepts_explicit_registry(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as reg:
+            assert reg is mine
+            assert default_registry() is mine
+
+    def test_use_registry_restores_on_error(self):
+        before = default_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError("boom")
+        assert default_registry() is before
+
+    def test_shorthands_resolve_at_call_time(self):
+        with use_registry() as reg:
+            obs.counter("c").inc()
+            obs.gauge("g").set(2)
+            obs.histogram("h").observe(0.5)
+            assert reg.counter("c").value == 1
+            assert reg.gauge("g").value == 2
+            assert reg.histogram("h").count == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 1000
+
+        def work():
+            c = reg.counter("shared")
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert reg.counter("shared").value == n_threads * per_thread

@@ -1,0 +1,264 @@
+"""Unit tests for repro.obs spans, the active-tracer plumbing and exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    TRACE_FORMATS,
+    TRACE_SCHEMA,
+    NoopSpan,
+    Tracer,
+    current_tracer,
+    render_trace,
+    render_trace_chrome,
+    render_trace_json,
+    render_trace_text,
+    trace_span,
+    trace_to_dict,
+    tracing,
+    tree_shape,
+    write_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpans:
+    def test_nesting_links_parent(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        outer, inner = t.spans()
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner.name == "inner" and inner.parent_id == outer.span_id
+
+    def test_siblings_share_parent(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        root, a, b = t.spans()
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_timings_populated_on_close(self):
+        t = Tracer()
+        with t.span("work") as sp:
+            assert sp.end_wall is None
+            assert sp.wall_s == 0.0  # open span reads as zero
+        assert sp.end_wall is not None and sp.end_cpu is not None
+        assert sp.wall_s >= 0.0 and sp.cpu_s >= 0.0
+
+    def test_attributes_from_kwargs_and_set(self):
+        t = Tracer()
+        with t.span("s", nodes=4) as sp:
+            sp.set(outcome="ok").set(rounds=2)
+        assert sp.attributes == {"nodes": 4, "outcome": "ok", "rounds": 2}
+
+    def test_span_ids_unique_and_increasing(self):
+        t = Tracer()
+        for k in range(5):
+            with t.span(f"s{k}"):
+                pass
+        ids = [s.span_id for s in t.spans()]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_explicit_parent_across_threads(self):
+        t = Tracer()
+        with t.span("root") as root:
+            def work():
+                # a worker thread has no ambient stack: without parent= the
+                # span would become a root
+                with t.span("child", parent=root):
+                    pass
+
+            th = threading.Thread(target=work)
+            th.start()
+            th.join()
+        child = next(s for s in t.spans() if s.name == "child")
+        assert child.parent_id == root.span_id
+        assert child.thread_id != root.thread_id
+
+    def test_worker_span_without_parent_is_a_root(self):
+        t = Tracer()
+        with t.span("root"):
+            def work():
+                with t.span("orphan"):
+                    pass
+
+            th = threading.Thread(target=work)
+            th.start()
+            th.join()
+        orphan = next(s for s in t.spans() if s.name == "orphan")
+        assert orphan.parent_id is None
+
+    def test_detail_flag(self):
+        t = Tracer()
+        with t.span("chunk", detail=True):
+            pass
+        assert t.spans()[0].detail is True
+
+    def test_len(self):
+        t = Tracer()
+        assert len(t) == 0
+        with t.span("a"):
+            pass
+        assert len(t) == 1
+
+
+class TestActiveTracer:
+    def test_default_is_noop(self):
+        assert current_tracer() is NOOP_TRACER
+        assert not NOOP_TRACER.active
+
+    def test_trace_span_noop_yields_noop_span(self):
+        with trace_span("anything", key="value") as sp:
+            assert isinstance(sp, NoopSpan)
+            assert sp.set(more="attrs") is sp  # chainable, drops everything
+
+    def test_tracing_installs_and_restores(self):
+        with tracing() as t:
+            assert current_tracer() is t
+            assert t.active
+            with trace_span("captured"):
+                pass
+        assert current_tracer() is NOOP_TRACER
+        assert [s.name for s in t.spans()] == ["captured"]
+
+    def test_tracing_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert current_tracer() is NOOP_TRACER
+
+    def test_nested_tracing_restores_outer(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+    def test_trace_ids_distinct(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+    def test_noop_tracer_records_nothing(self):
+        with NOOP_TRACER.span("x"):
+            pass
+        assert NOOP_TRACER.spans() == [] and len(NOOP_TRACER) == 0
+
+
+class TestTreeShape:
+    def _forest(self, order):
+        t = Tracer()
+        with t.span("root"):
+            for name in order:
+                with t.span(name):
+                    pass
+        return t
+
+    def test_shape_ignores_sibling_order(self):
+        assert tree_shape(self._forest(["a", "b"])) == tree_shape(
+            self._forest(["b", "a"])
+        )
+
+    def test_shape_counts_multiplicity(self):
+        assert tree_shape(self._forest(["a", "a"])) != tree_shape(
+            self._forest(["a"])
+        )
+
+    def test_detail_excluded_by_default(self):
+        t = Tracer()
+        with t.span("run"):
+            with t.span("chunk", detail=True):
+                pass
+        assert tree_shape(t) == (("run", ()),)
+        assert tree_shape(t, include_detail=True) == (
+            ("run", (("chunk", ()),)),
+        )
+
+    def test_accepts_span_lists(self):
+        t = self._forest(["a"])
+        assert tree_shape(t.spans()) == tree_shape(t)
+
+
+class TestExporters:
+    def _traced(self):
+        t = Tracer()
+        with t.span("outer", nodes=3):
+            with t.span("inner", detail=True):
+                pass
+        return t
+
+    def test_json_document(self):
+        t = self._traced()
+        doc = json.loads(render_trace_json(t))
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["traceId"] == t.trace_id
+        assert [s["name"] for s in doc["spans"]] == ["outer", "inner"]
+        outer, inner = doc["spans"]
+        assert inner["parent"] == outer["id"]
+        assert inner["detail"] is True
+        assert outer["attributes"] == {"nodes": 3}
+        for span in doc["spans"]:
+            assert span["durUs"] >= 0 and span["startUs"] >= 0
+
+    def test_chrome_document(self):
+        t = self._traced()
+        doc = json.loads(render_trace_chrome(t))
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for e in events:
+            assert e["ph"] == "X"
+            assert isinstance(e["ts"], (int, float))
+            assert isinstance(e["dur"], (int, float))
+            assert e["pid"] == 1 and isinstance(e["tid"], int)
+        assert events[1]["cat"] == "detail"
+        assert doc["otherData"]["traceId"] == t.trace_id
+
+    def test_text_tree(self):
+        text = render_trace_text(self._traced())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert lines[1].startswith("outer")
+        assert lines[2].startswith("  inner")  # nested -> indented
+        assert "nodes=3" in lines[1]
+
+    def test_render_trace_dispatch(self):
+        t = self._traced()
+        for fmt in TRACE_FORMATS:
+            assert render_trace(t, fmt)
+        with pytest.raises(ValueError, match="unknown trace format"):
+            render_trace(t, "yaml")
+
+    def test_write_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(self._traced(), str(path), "json")
+        assert json.loads(path.read_text())["schema"] == TRACE_SCHEMA
+
+    def test_trace_to_dict_roundtrips_spans(self):
+        t = self._traced()
+        assert len(trace_to_dict(t)["spans"]) == len(t.spans())
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_all_recorded(self):
+        t = Tracer()
+        n_threads, per_thread = 8, 50
+
+        def work(k):
+            for i in range(per_thread):
+                with t.span(f"t{k}", detail=True):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(k,)) for k in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = t.spans()
+        assert len(spans) == n_threads * per_thread
+        assert len({s.span_id for s in spans}) == len(spans)
