@@ -35,6 +35,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.transforms``  unimodular interchange/reversal/skew, wavefront map
 ``repro.viz``         iteration-space and wavefront text renderings
 ``repro.pipeline``    one-call fuse_program / fuse_and_verify
+``repro.core``        Session + PassManager pipeline, batch compilation
 ``repro.experiments`` programmatic regeneration of every evaluation table
 ====================  ====================================================
 """
@@ -67,6 +68,17 @@ from repro.fusion import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # Session pulls in repro.core lazily (PEP 562): repro.core imports the
+    # pipeline stages, which import back into this package at module level.
+    if name == "Session":
+        from repro.core.session import Session
+
+        return Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "IVec",
     "ExtVec",
@@ -77,6 +89,7 @@ __all__ = [
     "fuse_program",
     "fuse_and_verify",
     "PipelineResult",
+    "Session",
     "FusionResult",
     "FusionError",
     "Strategy",

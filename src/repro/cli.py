@@ -7,6 +7,8 @@ Main subcommands::
     repro-fuse fuse     program.loop   # retime + fuse + emit code
     repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient,
                                        # --backend interp|compiled|parallel)
+    repro-fuse batch    a.loop b.loop  # compile many programs concurrently
+                                       # (one Session, --jobs workers)
     repro-fuse bench                   # perf harness (text/json, BENCH_perf shape)
     repro-fuse stats                   # dump the observability metrics registry
     repro-fuse demo     fig2           # run a gallery example end to end
@@ -17,14 +19,18 @@ trace of the invocation, and ``--metrics PATH`` to persist the metrics
 registry (render it later with ``repro-fuse stats --input PATH``); see
 docs/OBSERVABILITY.md.
 
-Exit codes: ``analyze``/``fuse``/``run``/``demo``/``report`` return 0 on
-success, 1 on input errors (parse/validation/fusion/budget) and 2 on usage
-errors.  ``run --format json`` always prints a JSON document -- a result
-report on success, an error report (``{"error": ...}``) on failure.
-``lint`` follows the linter convention instead: 0 = clean (notes allowed),
-1 = warnings only, 2 = errors or an unreadable/unparseable input.
-``stats`` exits 1 when the registry has nothing to report (so CI smoke
-checks catch silently-uninstrumented builds).
+Exit codes follow the single shared table in
+:class:`repro.core.ExitCode` (documented in docs/DIAGNOSTICS.md):
+``analyze``/``fuse``/``run``/``demo``/``report`` return 0 (``OK``) on
+success, 1 (``FAILURE``) on input errors (parse/validation/fusion/budget)
+and 2 (``USAGE``) on usage errors.  ``run --format json`` always prints a
+JSON document -- a result report on success, an error report
+(``{"error": ...}``) on failure.  ``batch`` returns 0 only when *every*
+program compiled.  ``lint`` maps the same codes onto the linter
+convention: 0 = clean (notes allowed), 1 = warnings only, 2 = errors or
+an unreadable/unparseable input.  ``stats`` exits 1 when the registry has
+nothing to report (so CI smoke checks catch silently-uninstrumented
+builds).
 """
 
 from __future__ import annotations
@@ -33,8 +39,9 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
-from repro import obs
+from repro import __version__, obs
 from repro.baselines import direct_fusion
+from repro.core.codes import ExitCode
 from repro.codegen import apply_fusion, emit_fused_program
 from repro.depend import dependence_table, describe_dependencies, extract_mldg
 from repro.formats import DOT, JSON, SARIF, TEXT, add_format_argument
@@ -85,6 +92,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="repro-fuse",
         description="Polynomial-time nested loop fusion with full parallelism "
         "(Sha/O'Neil/Passos, ICPP 1996)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -204,6 +214,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arguments(p_run)
 
+    p_ba = sub.add_parser(
+        "batch",
+        help="compile many programs concurrently under one session",
+    )
+    p_ba.add_argument(
+        "files", nargs="+", help="loop DSL source files (one program each)"
+    )
+    p_ba.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker-thread count (default 4; 1 = serial)",
+    )
+    p_ba.add_argument(
+        "--strategy",
+        default="auto",
+        choices=[s.value for s in Strategy],
+        help="fusion strategy for every program (default: auto)",
+    )
+    p_ba.add_argument(
+        "--resilient",
+        action="store_true",
+        help="compile through the degradation ladder instead of the "
+        "strict pipeline",
+    )
+    p_ba.add_argument(
+        "--min-rung",
+        default="none",
+        choices=["none", "partition", "legal-only", "hyperplane", "doall"],
+        help="weakest acceptable ladder rung with --resilient (default: none)",
+    )
+    p_ba.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-program wall-clock budget in milliseconds",
+    )
+    add_format_argument(p_ba, [TEXT, JSON])
+    _add_trace_arguments(p_ba)
+
     p_bench = sub.add_parser(
         "bench", help="performance harness (backends, memo caches, solvers)"
     )
@@ -298,16 +350,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         path = "<stdin>" if args.file == "-" else args.file
         print(render_sarif(lint_source(source, path=path)))
-        return 0
+        return ExitCode.OK
     nest = parse_program(source)
     records = dependence_table(nest)
     g = extract_mldg(nest, check=False)
     if fmt == "dot":
         print(mldg_to_dot(g))
-        return 0
+        return ExitCode.OK
     if fmt == "json":
         print(mldg_to_json(g))
-        return 0
+        return ExitCode.OK
     from repro.graph import mldg_stats
 
     print(g.describe())
@@ -318,7 +370,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     outcome = direct_fusion(g)
     print()
     print(f"direct fusion: {outcome.describe()}")
-    return 0
+    return ExitCode.OK
 
 
 def _report_fusion(
@@ -351,7 +403,7 @@ def _report_fusion(
             + ("ALL EQUIVALENT" if ok else "MISMATCH")
         )
         if not ok:
-            return 1
+            return ExitCode.FAILURE
     if iterspace:
         from repro.viz import format_hyperplane_grid, format_iteration_space
 
@@ -383,14 +435,14 @@ def _report_fusion(
             n, m, p = (int(x) for x in profile.split(","))
         except ValueError:
             print(f"bad --profile value {profile!r}; expected N,M,P", file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
         before = unfused_profile(g, n, m)
         after = profile_fusion(result, n, m)
         print()
         print(f"machine simulation (n={n}, m={m}, P={p}):")
         print(f"  unfused: {before.sync_count} syncs, T(P)={before.parallel_time(p, sync_cost=10)}")
         print(f"  fused  : {after.sync_count} syncs, T(P)={after.parallel_time(p, sync_cost=10)}")
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -402,7 +454,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         source = _read_source(args.file)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     path = "<stdin>" if args.file == "-" else args.file
     result = lint_source(source, path=path)
     if args.format == "json":
@@ -411,7 +463,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_sarif(result))
     else:
         print(result.render_text())
-    return result.exit_code
+    # the linter convention maps onto the shared table: 0 clean, 1 warnings,
+    # 2 errors (docs/DIAGNOSTICS.md)
+    return ExitCode(result.exit_code)
 
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
@@ -521,7 +575,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.backend is not None and args.resilient:
         print("error: --backend is not available with --resilient", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     budget = Budget(
         deadline_ms=args.deadline_ms,
         max_nodes=args.max_nodes,
@@ -539,7 +593,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 if args.no_emit:
                     doc.pop("emitted", None)
                 print(_json.dumps(doc, indent=2))
-                return 0
+                return ExitCode.OK
             print(result.report.describe())
             for note in result.notes:
                 print(f"note: {note}")
@@ -547,7 +601,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print()
                 print("! ===== emitted program =====")
                 print(result.emitted_code())
-            return 0
+            return ExitCode.OK
         out = fuse_program(source, budget=budget)
         execution = (
             _execute_backend(out, args) if args.backend is not None else None
@@ -566,7 +620,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if not args.no_emit and out.fused is not None:
                 doc["emitted"] = emit_fused_program(out.fused)
             print(_json.dumps(doc, indent=2))
-            return 0
+            return ExitCode.OK
         print(out.fusion.summary())
         if execution is not None:
             parts = [f"backend={execution['backend']}"]
@@ -584,13 +638,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(emit_fused_program(out.fused))
             else:
                 print(format_program(out.nest))
-        return 0
+        return ExitCode.OK
     except (ParseError, ValidationError, FusionError, BudgetExceededError, OSError) as exc:
         if args.format == "json":
             print(_json.dumps(_run_error_dict(exc), indent=2))
         else:
             print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return ExitCode.FAILURE
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from repro.core.session import Session, SessionOptions
+    from repro.resilience.budget import Budget
+
+    try:
+        programs = [
+            (os.path.basename(path) or path, _read_source(path))
+            for path in args.files
+        ]
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.FAILURE
+    budget = (
+        Budget(deadline_ms=args.deadline_ms)
+        if args.deadline_ms is not None
+        else None
+    )
+    # when --trace installed an ambient tracer, hand it to the session so
+    # per-program child tracers (and trace ids) are minted for the batch
+    ambient = obs.current_tracer()
+    session = Session(
+        options=SessionOptions(min_rung=args.min_rung, jobs=args.jobs),
+        budget=budget,
+        tracer=ambient if getattr(ambient, "active", False) else None,
+    )
+    report = session.fuse_many(
+        programs,
+        jobs=args.jobs,
+        strategy=args.strategy,
+        resilient=args.resilient,
+    )
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return ExitCode.OK if report.ok else ExitCode.FAILURE
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -605,7 +700,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"bad --size/--jobs value; expected N,M and J1,J2,...", file=sys.stderr
         )
-        return 2
+        return ExitCode.USAGE
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     try:
         doc = run_bench_suite(
@@ -621,14 +716,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:  # unknown example name etc.
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return ExitCode.FAILURE
     if args.output:
         write_json(doc, args.output)
     if args.format == "json":
         print(_json.dumps(doc, indent=2))
     else:
         print(render_records_text(doc))
-    return 0
+    return ExitCode.OK
 
 
 def _stats_workload(path: str, n: int, m: int) -> None:
@@ -669,7 +764,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     f"bad --size value {args.size!r}; expected N,M",
                     file=sys.stderr,
                 )
-                return 2
+                return ExitCode.USAGE
             _stats_workload(args.file, n, m)
         # judge emptiness before the cache snapshot: the snapshot gauges
         # exist even in a process that did no instrumented work
@@ -685,7 +780,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         empty = not any(
             metrics.get(kind) for kind in ("counters", "gauges", "histograms")
         )
-    return 1 if empty else 0
+    return ExitCode.FAILURE if empty else ExitCode.OK
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -727,6 +822,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             return _cmd_fuse(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "stats":
@@ -740,13 +837,13 @@ def _dispatch(args: argparse.Namespace) -> int:
                 n, m = (int(x) for x in args.size.split(","))
             except ValueError:
                 print(f"bad --size value {args.size!r}; expected N,M", file=sys.stderr)
-                return 2
+                return ExitCode.USAGE
             print(full_report(n, m))
-            return 0
+            return ExitCode.OK
     except (ParseError, ValidationError, FusionError, _BudgetExceededError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    return 2
+        return ExitCode.FAILURE
+    return ExitCode.USAGE
 
 
 def _write_observability(args: argparse.Namespace, tracer) -> None:

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List
 from repro import obs
 from repro.codegen.fused import FusedProgram
 from repro.codegen.interp import ArrayStore
+from repro.core.context import current_session
 from repro.loopir.ast_nodes import ArrayRef, Assignment, BinOp, Const, Expr, LoopNest, UnaryOp
 from repro.perf.memo import CacheInfo, MemoCache
 from repro.retiming.verify import is_doall_after_fusion
@@ -44,6 +45,7 @@ __all__ = [
     "compile_original",
     "compile_fused",
     "CompiledKernel",
+    "kernel_cache",
     "kernel_cache_info",
     "clear_kernel_cache",
 ]
@@ -57,13 +59,27 @@ CompiledKernel = Callable[[ArrayStore, int, int], None]
 _KERNEL_CACHE = MemoCache(maxsize=128)
 
 
+def kernel_cache() -> MemoCache:
+    """The compiled-kernel cache.
+
+    Session-scoped when the active :class:`repro.core.Session` carries a
+    private kernel cache; the process-wide default otherwise.
+    """
+    session = current_session()
+    if session is not None and session.caches.kernels is not None:
+        return session.caches.kernels
+    return _KERNEL_CACHE
+
+
 def kernel_cache_info() -> CacheInfo:
     """Hit/miss/eviction statistics of the compiled-kernel cache."""
-    return _KERNEL_CACHE.cache_info()
+    return kernel_cache().cache_info()
 
 
 def clear_kernel_cache() -> None:
-    """Drop all cached kernels and reset the statistics."""
+    """Drop all cached kernels and reset the statistics (session-scoped
+    cache when one is active, plus the process-wide default)."""
+    kernel_cache().clear()
     _KERNEL_CACHE.clear()
 
 
@@ -148,7 +164,8 @@ def _origins_of(store_probe: ArrayStore) -> Dict[str, tuple]:
 def _finalize(em: _Emitter, names: Dict[str, tuple]) -> CompiledKernel:
     source = em.source()
     reg = obs.default_registry()
-    cached = _KERNEL_CACHE.get(source)
+    cache = kernel_cache()
+    cached = cache.get(source)
     if cached is not None:
         reg.counter("kernel.cache.hits").inc()
         return cached
@@ -159,7 +176,7 @@ def _finalize(em: _Emitter, names: Dict[str, tuple]) -> CompiledKernel:
         kernel = namespace["kernel"]
         kernel.source = source  # type: ignore[attr-defined]
         kernel.cache_info = kernel_cache_info  # type: ignore[attr-defined]
-        _KERNEL_CACHE.put(source, kernel)
+        cache.put(source, kernel)
     return kernel  # type: ignore[return-value]
 
 

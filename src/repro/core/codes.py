@@ -1,0 +1,36 @@
+"""The one exit-code table shared by every ``repro-fuse`` subcommand.
+
+Before this module, ``lint`` and ``run`` each defined their exit codes
+independently; the table below is now the single authority (documented in
+docs/DIAGNOSTICS.md):
+
+====  ==============================================================
+code  meaning
+====  ==============================================================
+0     success (for ``lint``: clean, note-severity findings allowed)
+1     input failure: parse/validation/fusion/budget errors, a batch
+      with at least one failed program, an empty stats registry --
+      or, for ``lint``, warning-severity findings only
+2     usage error (bad flags or flag values; argparse errors), or,
+      for ``lint``, error-severity findings / unreadable input
+====  ==============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExitCode"]
+
+
+class ExitCode(enum.IntEnum):
+    """Process exit codes for the ``repro-fuse`` CLI."""
+
+    #: Success.  For ``lint``: no diagnostics above note severity.
+    OK = 0
+    #: The input (or one program of a batch) failed; for ``lint``:
+    #: warning-severity findings.
+    FAILURE = 1
+    #: The invocation itself was malformed; for ``lint``: error-severity
+    #: findings or an unreadable/unparseable input.
+    USAGE = 2

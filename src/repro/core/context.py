@@ -1,0 +1,46 @@
+"""The ambient-session mechanism.
+
+A :class:`~repro.core.session.Session` is *activated* for a dynamic scope
+(:meth:`Session.activate`); while active, the cross-cutting services that
+used to be module globals -- the fusion/retiming memo caches, the compiled
+kernel cache -- resolve through the session first and fall back to the
+process-wide defaults.  The low-level consumers (:mod:`repro.perf.memo`,
+:mod:`repro.codegen.pycompile`, :mod:`repro.resilience.ladder`) import only
+this module, which depends on nothing else in :mod:`repro`, so there are no
+import cycles.
+
+The scope is a :class:`contextvars.ContextVar`: nested activations restore
+correctly and worker threads start *clean* (a fresh thread sees no active
+session until it activates one), which is exactly the isolation
+``Session.fuse_many`` workers need.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.session import Session
+
+__all__ = ["current_session", "session_scope"]
+
+_CURRENT: ContextVar[Optional["Session"]] = ContextVar(
+    "repro_current_session", default=None
+)
+
+
+def current_session() -> Optional["Session"]:
+    """The :class:`Session` active in this context, or ``None``."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def session_scope(session: "Session") -> Iterator["Session"]:
+    """Make ``session`` the ambient session for the block (re-entrant)."""
+    token = _CURRENT.set(session)
+    try:
+        yield session
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,120 @@
+"""The pass manager: uniform execution envelope for pipeline passes.
+
+A :class:`PassManager` runs a sequence of :class:`~repro.core.passes.Pass`
+objects over one :class:`~repro.core.passes.Artifact`, giving every pass
+the same treatment:
+
+* a trace span (the pass's ``span_name``, so the historical ``pipeline.*``
+  span tree is preserved),
+* ``core.pass.<name>.runs`` / ``.errors`` counters and a
+  ``core.pass.<name>.ms`` histogram in the active metrics registry,
+* uniform error-to-diagnostic conversion: a raising pass still propagates
+  its typed exception unchanged (the public API contract), but the
+  failure is first recorded on the session as a structured
+  :class:`~repro.lint.diagnostics.Diagnostic` -- the exception's own
+  diagnostics/findings when it carries them, a generic ``PM001`` record
+  otherwise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro import obs
+from repro.core.passes import Artifact, Pass
+from repro.lint.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import Session
+
+__all__ = ["PassManager", "diagnostics_from_exception", "PM001"]
+
+#: Diagnostic code for a pass failure with no structured diagnostics of
+#: its own (see docs/DIAGNOSTICS.md).
+PM001 = "PM001"
+
+
+def diagnostics_from_exception(
+    exc: BaseException, *, pass_name: str
+) -> List[Diagnostic]:
+    """The uniform error-to-diagnostic conversion used by the manager.
+
+    Exceptions that already carry structured records --
+    ``ValidationError.findings``, ``IllegalMLDGError.diagnostics``,
+    ``ResilienceError.report`` diagnostics -- contribute those; anything
+    else becomes one generic ``PM001`` error record naming the pass.
+    """
+    diags: List[Diagnostic] = list(getattr(exc, "diagnostics", None) or [])
+    findings = getattr(exc, "findings", None)
+    if findings:
+        from repro.lint.engine import diagnostics_from_model_findings
+
+        diags.extend(diagnostics_from_model_findings(list(findings)))
+    if not diags:
+        diags = [
+            Diagnostic(
+                code=PM001,
+                severity=Severity.ERROR,
+                message=f"pass {pass_name!r} failed: "
+                f"{type(exc).__name__}: {exc}",
+            )
+        ]
+    return diags
+
+
+class PassManager:
+    """Run registered passes over an artifact under one session."""
+
+    def __init__(self, passes: Iterable[Pass], *, name: str = "pipeline") -> None:
+        self.name = name
+        self._passes: Tuple[Pass, ...] = tuple(passes)
+        names = [p.name for p in self._passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pass names in manager {name!r}: {names}")
+
+    @property
+    def passes(self) -> Tuple[Pass, ...]:
+        return self._passes
+
+    @property
+    def pass_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self._passes)
+
+    def replacing(self, **substitutions: Pass) -> "PassManager":
+        """A manager with named passes substituted (pipeline variants)."""
+        unknown = set(substitutions) - set(self.pass_names)
+        if unknown:
+            raise KeyError(f"no passes named {sorted(unknown)} in {self.name!r}")
+        return PassManager(
+            (substitutions.get(p.name, p) for p in self._passes), name=self.name
+        )
+
+    def run(self, artifact: Artifact, session: "Session") -> Artifact:
+        """Run every pass in order; the first failing pass aborts the run.
+
+        The failing pass's exception propagates unchanged (callers keep
+        their typed-error contract); the failure is recorded on the
+        session first.
+        """
+        for p in self._passes:
+            self._run_pass(p, artifact, session)
+        return artifact
+
+    def _run_pass(self, p: Pass, artifact: Artifact, session: "Session") -> None:
+        reg = obs.default_registry()
+        t0 = time.perf_counter()
+        with obs.trace_span(p.span_name):
+            try:
+                p.run(artifact, session)
+            except Exception as exc:
+                reg.counter(f"core.pass.{p.name}.errors").inc()
+                session.extend_diagnostics(
+                    diagnostics_from_exception(exc, pass_name=p.name)
+                )
+                raise
+            finally:
+                reg.counter(f"core.pass.{p.name}.runs").inc()
+                reg.histogram(f"core.pass.{p.name}.ms").observe(
+                    (time.perf_counter() - t0) * 1000.0
+                )

@@ -27,17 +27,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro import obs
-from repro.fusion.acyclic import acyclic_parallel_retiming
-from repro.fusion.cyclic import cyclic_parallel_retiming
-from repro.fusion.errors import FusionError, IllegalMLDGError, NoParallelRetimingError
-from repro.fusion.hyperplane import hyperplane_parallel_fusion
-from repro.fusion.legal import legal_fusion_retiming
-from repro.graph.analysis import is_acyclic
-from repro.graph.legality import check_legal, is_fusion_legal
+from repro.fusion.errors import FusionError, IllegalMLDGError
+from repro.graph.legality import check_legal
 from repro.graph.mldg import MLDG
 from repro.perf.memo import canonical_mldg_key, fusion_cache, memoization_applicable
 from repro.resilience.budget import Budget
-from repro.retiming import ROW_SCHEDULE, Retiming, hyperplane_for_schedule
+from repro.retiming import Retiming
 from repro.retiming.verify import RetimingVerification, verify_retiming
 from repro.vectors import IVec
 
@@ -233,10 +228,33 @@ def fuse(
         return result
 
 
+def _make_result(
+    g: MLDG,
+    r: Retiming,
+    strategy_name: str,
+    *,
+    schedule: IVec,
+    hyperplane: Optional[IVec],
+    notes: Optional[List[str]] = None,
+) -> FusionResult:
+    """The ``make_result`` callback handed to the strategy passes: binds
+    the string strategy name back to the enum and verifies via :func:`_result`."""
+    return _result(
+        g, r, Strategy(strategy_name),
+        schedule=schedule, hyperplane=hyperplane, notes=notes,
+    )
+
+
 def _fuse_uncached(
     g: MLDG, strategy: Strategy, budget: Optional[Budget]
 ) -> FusionResult:
-    """The strategy dispatch behind :func:`fuse` (no memoization)."""
+    """The strategy dispatch behind :func:`fuse` (no memoization).
+
+    Legality is checked here once; the algorithms themselves dispatch
+    through the registered strategy passes (:mod:`repro.core.strategies`),
+    each of which returns through :func:`_make_result` so the verification
+    gate still guards every exit.
+    """
     report = check_legal(g)
     if not report.legal:
         # structured diagnostics ride along so callers see codes and spans
@@ -246,60 +264,10 @@ def _fuse_uncached(
             report.violations, diagnostics=diagnostics_from_legality(report)
         )
 
-    if strategy is Strategy.DIRECT:
-        if not is_fusion_legal(g):
-            from repro.lint.engine import LintContext
-            from repro.lint.registry import get_rule
+    # Function-local import: repro.core.strategies imports the algorithm
+    # modules, which sit beside this driver in the package graph.
+    from repro.core.strategies import run_strategy
 
-            diags = list(get_rule("LF201").run(LintContext(mldg=g)))
-            raise FusionError(
-                "direct fusion is illegal: fusion-preventing dependencies exist "
-                "(use LLOFRA or a parallel strategy)",
-                diagnostics=diags,
-            )
-        r = Retiming.zero(dim=g.dim)
-        return _result(
-            g, r, Strategy.DIRECT, schedule=ROW_SCHEDULE, hyperplane=None,
-            notes=["no retiming applied"],
-        )
-
-    if strategy is Strategy.LEGAL_ONLY:
-        r = legal_fusion_retiming(g, check=False, budget=budget)
-        return _result(g, r, Strategy.LEGAL_ONLY, schedule=ROW_SCHEDULE, hyperplane=None)
-
-    if strategy is Strategy.ACYCLIC:
-        r = acyclic_parallel_retiming(g, check=False, budget=budget)
-        return _result(g, r, Strategy.ACYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
-
-    if strategy is Strategy.CYCLIC:
-        r = cyclic_parallel_retiming(g, check=False, budget=budget)
-        return _result(g, r, Strategy.CYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
-
-    if strategy is Strategy.HYPERPLANE:
-        hp = hyperplane_parallel_fusion(g, check=False, budget=budget)
-        return _result(
-            g,
-            hp.retiming,
-            Strategy.HYPERPLANE,
-            schedule=hp.schedule,
-            hyperplane=hp.hyperplane,
-        )
-
-    # AUTO
-    if is_acyclic(g):
-        r = acyclic_parallel_retiming(g, check=False, budget=budget)
-        return _result(g, r, Strategy.ACYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
-    try:
-        r = cyclic_parallel_retiming(g, check=False, budget=budget)
-        return _result(g, r, Strategy.CYCLIC, schedule=ROW_SCHEDULE, hyperplane=None)
-    except NoParallelRetimingError as exc:
-        hp = hyperplane_parallel_fusion(g, check=False, budget=budget)
-        return _result(
-            g,
-            hp.retiming,
-            Strategy.HYPERPLANE,
-            schedule=hp.schedule,
-            hyperplane=hp.hyperplane,
-            notes=[f"Theorem 4.2 conditions failed ({exc.phase} phase); "
-                   "fell back to hyperplane parallelism"],
-        )
+    result = run_strategy(g, strategy.value, _make_result, budget=budget)
+    assert isinstance(result, FusionResult)
+    return result

@@ -49,6 +49,7 @@ from repro.obs.metrics import (
     default_registry,
     gauge,
     histogram,
+    overriding_registry,
     set_default_registry,
     use_registry,
 )
@@ -59,6 +60,7 @@ from repro.obs.tracer import (
     Span,
     Tracer,
     current_tracer,
+    overriding_tracer,
     set_tracer,
     trace_span,
     tracing,
@@ -73,6 +75,7 @@ __all__ = [
     "NoopTracer",
     "NOOP_TRACER",
     "current_tracer",
+    "overriding_tracer",
     "set_tracer",
     "tracing",
     "trace_span",
@@ -83,6 +86,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "overriding_registry",
     "set_default_registry",
     "use_registry",
     "counter",

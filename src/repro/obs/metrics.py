@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Dict, Iterator, Optional, Union
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "overriding_registry",
     "set_default_registry",
     "use_registry",
     "counter",
@@ -200,10 +202,35 @@ class MetricsRegistry:
 _default = MetricsRegistry()
 _registry_lock = threading.Lock()
 
+#: Context-local override consulted before the process-wide registry, so a
+#: :class:`repro.core.Session` can own its metrics without affecting other
+#: threads (unlike :func:`use_registry`, which swaps the global).
+_registry_override: "ContextVar[Optional[MetricsRegistry]]" = ContextVar(
+    "repro_registry_override", default=None
+)
+
 
 def default_registry() -> MetricsRegistry:
-    """The process-wide registry all library instrumentation writes to."""
-    return _default
+    """The registry library instrumentation writes to: the context-local
+    override when one is set (session-scoped metrics), else the
+    process-wide default."""
+    override = _registry_override.get()
+    return override if override is not None else _default
+
+
+@contextmanager
+def overriding_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route this context's metrics to ``registry`` (other threads unaffected).
+
+    The override is a :class:`contextvars.ContextVar`: concurrent sessions
+    in different threads each see only their own registry, and fresh worker
+    threads start with no override.
+    """
+    token = _registry_override.set(registry)
+    try:
+        yield registry
+    finally:
+        _registry_override.reset(token)
 
 
 def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:

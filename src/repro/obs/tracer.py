@@ -32,6 +32,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Any, ContextManager, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -45,6 +46,7 @@ __all__ = [
     "SpanLike",
     "TracerLike",
     "current_tracer",
+    "overriding_tracer",
     "set_tracer",
     "tracing",
     "trace_span",
@@ -246,10 +248,36 @@ TracerLike = Union[Tracer, NoopTracer]
 _active_tracer: TracerLike = NOOP_TRACER
 _active_lock = threading.Lock()
 
+#: Context-local override consulted before the process-wide tracer, so a
+#: :class:`repro.core.Session` (or a batch worker compiling one program)
+#: can scope its tracer without touching other threads' tracing.
+_tracer_override: "ContextVar[Optional[TracerLike]]" = ContextVar(
+    "repro_tracer_override", default=None
+)
+
 
 def current_tracer() -> TracerLike:
-    """The process-wide active tracer (:data:`NOOP_TRACER` by default)."""
-    return _active_tracer
+    """The active tracer: the context-local override when one is set
+    (session-scoped tracing), else the process-wide tracer
+    (:data:`NOOP_TRACER` by default)."""
+    override = _tracer_override.get()
+    return override if override is not None else _active_tracer
+
+
+@contextmanager
+def overriding_tracer(tracer: TracerLike) -> Iterator[TracerLike]:
+    """Route this context's spans to ``tracer`` (other threads unaffected).
+
+    Unlike :func:`tracing`/:func:`set_tracer`, which swap the process-wide
+    tracer, the override is a :class:`contextvars.ContextVar`: concurrent
+    sessions in different threads each see only their own tracer, and a
+    fresh worker thread starts with no override.
+    """
+    token = _tracer_override.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _tracer_override.reset(token)
 
 
 def set_tracer(tracer: TracerLike) -> TracerLike:
@@ -285,7 +313,7 @@ def trace_span(
     tracer is active it returns a shared no-op context manager, so the
     instrumented hot paths stay overhead-free and bit-identical.
     """
-    return _active_tracer.span(name, parent=parent, detail=detail, **attributes)
+    return current_tracer().span(name, parent=parent, detail=detail, **attributes)
 
 
 def tree_shape(

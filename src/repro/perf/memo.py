@@ -40,6 +40,7 @@ from typing import (
 )
 
 from repro import obs
+from repro.core.context import current_session
 from repro.graph.mldg import MLDG
 from repro.resilience.budget import Budget
 from repro.retiming.retiming import Retiming
@@ -195,16 +196,34 @@ _RETIMING_CACHE = MemoCache(maxsize=512)
 
 
 def fusion_cache() -> MemoCache:
-    """The process-wide cache of whole fusion outcomes."""
+    """The cache of whole fusion outcomes.
+
+    When a :class:`repro.core.Session` with private caches is active in
+    this context, its fusion cache; otherwise the process-wide default.
+    """
+    session = current_session()
+    if session is not None and session.caches.fusion is not None:
+        return session.caches.fusion
     return _FUSION_CACHE
 
 
 def retiming_cache() -> MemoCache:
-    """The process-wide cache of per-strategy retimings (ladder hot path)."""
+    """The cache of per-strategy retimings (ladder hot path).
+
+    Session-scoped when the active :class:`repro.core.Session` carries a
+    private retiming cache; the process-wide default otherwise.
+    """
+    session = current_session()
+    if session is not None and session.caches.retiming is not None:
+        return session.caches.retiming
     return _RETIMING_CACHE
 
 
 def clear_all_caches() -> None:
+    """Clear the caches visible from this context (session-scoped ones
+    when a session with private caches is active, plus the globals)."""
+    fusion_cache().clear()
+    retiming_cache().clear()
     _FUSION_CACHE.clear()
     _RETIMING_CACHE.clear()
 
@@ -253,8 +272,9 @@ def cached_retiming(
     if not memoization_applicable(budget):
         reg.counter("retiming.cache.bypassed").inc()
         return compute()
+    cache = retiming_cache()
     key = (label, canonical_mldg_key(g))
-    shifts = _RETIMING_CACHE.get(key)
+    shifts = cache.get(key)
     if shifts is not None:
         reg.counter("retiming.cache.hits").inc()
         return Retiming(
@@ -262,7 +282,7 @@ def cached_retiming(
         )
     reg.counter("retiming.cache.misses").inc()
     r = compute()
-    _RETIMING_CACHE.put(key, tuple(tuple(r[name]) for name in g.nodes))
+    cache.put(key, tuple(tuple(r[name]) for name in g.nodes))
     return r
 
 
@@ -282,8 +302,9 @@ def cached_schedule_retiming(
     if not memoization_applicable(budget):
         reg.counter("retiming.cache.bypassed").inc()
         return compute()
+    cache = retiming_cache()
     key = (label, canonical_mldg_key(g))
-    entry = _RETIMING_CACHE.get(key)
+    entry = cache.get(key)
     if entry is not None:
         shifts, sched = entry
         reg.counter("retiming.cache.hits").inc()
@@ -296,7 +317,7 @@ def cached_schedule_retiming(
         )
     reg.counter("retiming.cache.misses").inc()
     r, s = compute()
-    _RETIMING_CACHE.put(
+    cache.put(
         key, (tuple(tuple(r[name]) for name in g.nodes), tuple(s))
     )
     return r, s

@@ -1,10 +1,13 @@
 """One-call source-to-parallel pipeline.
 
-:func:`fuse_program` chains lint -> parse -> validate -> extract -> fuse ->
-codegen and returns everything a caller typically wants in one object;
-:func:`fuse_and_verify` additionally executes the transformation against
-the original program.  The CLI and the examples are thin wrappers over
-these.
+:func:`fuse_program` runs the strict pass sequence (parse -> validate ->
+lint -> extract-mldg -> legality -> fuse -> verify-retiming -> codegen)
+through an ephemeral :class:`repro.core.Session` and returns everything a
+caller typically wants in one object; :func:`fuse_and_verify` additionally
+executes the transformation against the original program.  The CLI and
+the examples are thin wrappers over these; callers wanting persistent
+caches, session-scoped observability or batch compilation should hold a
+:class:`repro.core.Session` directly (docs/ARCHITECTURE.md).
 
 Fusion is *gated* on error-severity static diagnostics: a program that
 violates the §1 model raises :class:`~repro.loopir.ValidationError` carrying
@@ -19,16 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from repro import obs
-from repro.codegen import apply_fusion, emit_fused_program
+from repro.codegen import emit_fused_program
 from repro.codegen.fused import DeadlockError, FusedProgram
-from repro.depend import extract_mldg
-from repro.fusion import FusionResult, Strategy, fuse
+from repro.fusion import FusionResult, Strategy
 from repro.graph.mldg import MLDG
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.engine import lint_nest
-from repro.loopir import LoopNest, parse_program
-from repro.loopir.validate import ValidationError, model_findings
+from repro.loopir import LoopNest
 from repro.resilience.budget import Budget
 
 __all__ = ["PipelineResult", "fuse_program", "fuse_and_verify"]
@@ -76,38 +75,15 @@ def fuse_program(
     :class:`~repro.resilience.budget.BudgetExceededError` (use
     :func:`repro.resilience.fuse_program_resilient` for degradation
     instead of an error).
+
+    This is a thin shim over an ephemeral :class:`repro.core.Session`
+    sharing the process-wide caches and observability -- behavior and
+    output are identical to the historical inline pipeline (the golden
+    shim tests hold it to that).
     """
-    with obs.trace_span("pipeline.fuse_program"):
-        with obs.trace_span("pipeline.parse"):
-            nest = parse_program(source) if isinstance(source, str) else source
-            findings = model_findings(nest)
-            if findings:
-                # the structured gate: same messages validate_program raised,
-                # plus codes/spans for tooling
-                raise ValidationError(
-                    [f.message for f in findings], findings=findings
-                )
-        with obs.trace_span("pipeline.extract"):
-            g = extract_mldg(nest, check=False)
-        result = fuse(g, strategy=strategy, budget=budget)
-        diagnostics = lint_nest(
-            nest, source=source if isinstance(source, str) else None
-        ).diagnostics
-        notes: List[str] = list(result.notes)
-        with obs.trace_span("pipeline.codegen"):
-            try:
-                fused = apply_fusion(nest, result.retiming, mldg=g)
-            except DeadlockError as exc:
-                fused = None
-                notes.append(f"no fused body order exists: {exc}")
-    return PipelineResult(
-        nest=nest,
-        mldg=g,
-        fusion=result,
-        fused=fused,
-        notes=notes,
-        diagnostics=diagnostics,
-    )
+    from repro.core.session import Session
+
+    return Session(budget=budget).fuse_program(source, strategy=strategy)
 
 
 def fuse_and_verify(

@@ -78,6 +78,22 @@ Gate = Callable[..., Tuple[Any, List[str]]]
 _DESCENT = (Rung.DOALL, Rung.HYPERPLANE, Rung.LEGAL_FUSION, Rung.PARTITION, Rung.ORIGINAL)
 
 
+def _descent() -> Tuple[Rung, ...]:
+    """The rung sequence to walk, strongest-first.
+
+    The active :class:`repro.core.Session` may select a ladder variant
+    (``SessionOptions.ladder``); otherwise the full built-in descent.
+    """
+    from repro.core.context import current_session
+
+    session = current_session()
+    if session is not None:
+        labels = session.ladder_descent()
+        if labels is not None:
+            return tuple(rung_from_label(label) for label in labels)
+    return _DESCENT
+
+
 class ResilienceError(FusionError):
     """The ladder came to rest below the caller's ``min_rung``.
 
@@ -244,7 +260,7 @@ def fuse_resilient(
         edges=g.num_edges,
         min_rung=min_rung.label,
     ) as ladder_span:
-        for rung in _DESCENT:
+        for rung in _descent():
             if rung < min_rung:
                 break
             attempt = _attempt_rung(

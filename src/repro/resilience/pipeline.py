@@ -21,29 +21,21 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro import obs
 from repro.codegen import ArrayStore, apply_fusion, emit_fused_program, run_fused, run_original
 from repro.codegen.fused import DeadlockError, FusedProgram, _zero_dependence_order
-from repro.depend import extract_mldg
 from repro.graph.mldg import MLDG
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.engine import lint_nest
-from repro.loopir import LoopNest, parse_program
+from repro.loopir import LoopNest
 from repro.loopir.ast_nodes import InnerLoop
 from repro.loopir.printer import format_program
-from repro.loopir.validate import ValidationError, model_findings
 from repro.resilience import faults
 from repro.resilience.budget import Budget
-from repro.resilience.ladder import (
-    ResilientFusionResult,
-    RungRejected,
-    fuse_resilient,
-)
+from repro.resilience.ladder import ResilientFusionResult, RungRejected
 from repro.resilience.report import RecoveryReport, Rung
 from repro.retiming import Retiming
 from repro.vectors import IVec
 
-__all__ = ["ResilientPipelineResult", "fuse_program_resilient"]
+__all__ = ["ResilientPipelineResult", "fuse_program_resilient", "program_gate"]
 
 #: Concrete (n, m) sizes and seeds for the bit-exact equivalence gate.
 _EQUIV_SIZES: Tuple[Tuple[int, int], ...] = ((6, 5),)
@@ -269,6 +261,15 @@ class _ProgramGate:
         return None
 
 
+def program_gate(nest: LoopNest, g: MLDG) -> _ProgramGate:
+    """The per-rung program-level verification gate for ``nest``/``g``.
+
+    Public factory consumed by the core pipeline's resilient fuse pass
+    (:class:`repro.core.passes.ResilientFusePass`).
+    """
+    return _ProgramGate(nest, g)
+
+
 def fuse_program_resilient(
     source: Union[str, LoopNest],
     *,
@@ -286,44 +287,16 @@ def fuse_program_resilient(
     graphs, and :class:`~repro.resilience.ladder.ResilienceError` when no
     rung at or above ``min_rung`` survives verification.  Every other
     failure mode degrades and is accounted for in the recovery report.
+
+    This is a thin shim over an ephemeral :class:`repro.core.Session`
+    sharing the process-wide caches and observability -- behavior and
+    output are identical to the historical inline pipeline.
     """
-    with obs.trace_span("pipeline.fuse_program_resilient"):
-        with obs.trace_span("pipeline.parse"):
-            nest = parse_program(source) if isinstance(source, str) else source
-            findings = model_findings(nest)
-            if findings:
-                raise ValidationError(
-                    [f.message for f in findings], findings=findings
-                )
-        with obs.trace_span("pipeline.extract"):
-            g = extract_mldg(nest, check=False)
+    from repro.core.session import Session
 
-        gate = _ProgramGate(nest, g)
-        resilient = fuse_resilient(
-            g,
-            budget=budget,
-            min_rung=min_rung,
-            verify_execution=verify_execution,
-            bounds=bounds,
-            gate=gate,
-        )
-        diagnostics = lint_nest(
-            nest, source=source if isinstance(source, str) else None
-        ).diagnostics
-
-    artifact = resilient.artifact
-    fused = artifact if isinstance(artifact, FusedProgram) else None
-    partitioned = (
-        artifact
-        if resilient.rung is Rung.PARTITION and isinstance(artifact, LoopNest)
-        else None
-    )
-    return ResilientPipelineResult(
-        nest=nest,
-        mldg=g,
-        resilient=resilient,
-        fused=fused,
-        partitioned=partitioned,
-        notes=list(resilient.notes),
-        diagnostics=diagnostics,
+    return Session(budget=budget).fuse_program_resilient(
+        source,
+        min_rung=min_rung,
+        verify_execution=verify_execution,
+        bounds=bounds,
     )

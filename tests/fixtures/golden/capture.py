@@ -1,0 +1,106 @@
+"""Regenerate the golden shim fixtures (run from the repo root).
+
+Captures the text/JSON outputs of the public entry points -- `fuse_program`
+summaries + emitted code, `repro-fuse fuse` text, `repro-fuse run --format
+json` and `repro-fuse run --resilient --format json` (timing fields
+normalized) -- across the gallery programs, so the shim tests can assert
+byte-identical behavior across refactors of the pipeline internals.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+from contextlib import redirect_stdout
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def normalize_timings(obj):
+    """Strip wall-clock fields (the only nondeterministic values) in place."""
+    if isinstance(obj, dict):
+        return {
+            k: normalize_timings(v)
+            for k, v in obj.items()
+            if k not in ("wallMs", "totalMs", "elapsedMs", "traceId")
+        }
+    if isinstance(obj, list):
+        return [normalize_timings(v) for v in obj]
+    return obj
+
+
+def programs():
+    from repro.gallery.common import iir2d_code
+    from repro.gallery.paper import figure2_code
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(HERE)))
+    out = {
+        "fig2": figure2_code(),
+        "iir2d": iir2d_code(),
+    }
+    for name in ("fig2", "iir2d", "fusion_preventing"):
+        path = os.path.join(root, "examples", f"{name}.loop")
+        with open(path, "r", encoding="utf-8") as fh:
+            out[f"example_{name}"] = fh.read()
+    return out
+
+
+def _cli(argv):
+    from repro.cli import main
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        try:
+            code = main(argv)
+        except SystemExit as exc:  # argparse usage errors
+            code = int(exc.code or 0)
+    return code, buf.getvalue()
+
+
+def capture_one(name, source):
+    from repro.fusion.errors import FusionError
+    from repro.pipeline import fuse_program
+
+    records = {}
+    try:
+        out = fuse_program(source)
+        records["summary.txt"] = out.fusion.summary() + "\n"
+        records["emitted.txt"] = out.emitted_code() + "\n"
+        records["diagnostics.json"] = (
+            json.dumps([d.to_dict() for d in out.diagnostics], indent=2) + "\n"
+        )
+    except FusionError as exc:
+        records["error.txt"] = f"{type(exc).__name__}: {exc}\n"
+
+    path = os.path.join(HERE, f"{name}.loop")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(source)
+
+    code, text = _cli(["fuse", path])
+    records["cli_fuse.txt"] = f"exit={code}\n{text}"
+    code, text = _cli(["run", path, "--format", "json"])
+    records["cli_run.json"] = f"exit={code}\n{text}"
+    code, text = _cli(["run", path, "--resilient", "--format", "json"])
+    doc = normalize_timings(json.loads(text))
+    records["cli_run_resilient.json"] = (
+        f"exit={code}\n" + json.dumps(doc, indent=2) + "\n"
+    )
+    return records
+
+
+def main():
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(HERE))), "src"))
+    for name, source in programs().items():
+        outdir = os.path.join(HERE, name)
+        os.makedirs(outdir, exist_ok=True)
+        for fname, content in capture_one(name, source).items():
+            with open(os.path.join(outdir, fname), "w", encoding="utf-8") as fh:
+                fh.write(content)
+        print(f"captured {name}")
+
+
+if __name__ == "__main__":
+    main()

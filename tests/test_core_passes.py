@@ -1,0 +1,129 @@
+"""PassManager and pass-inventory behavior (repro.core.manager/passes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.manager import PM001, PassManager, diagnostics_from_exception
+from repro.core.passes import (
+    Artifact,
+    FusePass,
+    Pass,
+    resilient_passes,
+    strict_passes,
+)
+from repro.core.session import Session
+from repro.gallery.paper import figure2_code
+from repro.lint.diagnostics import Severity
+from repro.loopir import ValidationError
+
+
+class _BoomPass(Pass):
+    name = "fuse"
+    span_name = "pipeline.fuse"
+
+    def run(self, artifact, session):
+        raise ValueError("synthetic stage failure")
+
+
+def test_strict_pass_sequence():
+    assert tuple(p.name for p in strict_passes()) == (
+        "parse",
+        "validate",
+        "lint",
+        "extract-mldg",
+        "legality",
+        "fuse",
+        "verify-retiming",
+        "codegen",
+    )
+
+
+def test_resilient_pass_sequence_has_no_legality_pass():
+    names = tuple(p.name for p in resilient_passes())
+    assert names == ("parse", "validate", "lint", "extract-mldg", "resilient-fuse")
+    assert "legality" not in names  # the ladder owns legality per rung
+
+
+def test_duplicate_pass_names_rejected():
+    with pytest.raises(ValueError, match="duplicate pass names"):
+        PassManager([FusePass(), FusePass()])
+
+
+def test_replacing_substitutes_by_name():
+    pm = PassManager(strict_passes(), name="strict")
+    variant = pm.replacing(fuse=_BoomPass())
+    assert variant.pass_names == pm.pass_names
+    assert isinstance(
+        variant.passes[pm.pass_names.index("fuse")], _BoomPass
+    )
+    # the original manager is untouched
+    assert isinstance(pm.passes[pm.pass_names.index("fuse")], FusePass)
+
+
+def test_replacing_unknown_name_raises():
+    pm = PassManager(strict_passes(), name="strict")
+    with pytest.raises(KeyError, match="no passes named"):
+        pm.replacing(nonsense=_BoomPass())
+
+
+def test_failing_pass_records_pm001_and_reraises():
+    session = Session()
+    pm = PassManager(strict_passes(), name="strict").replacing(fuse=_BoomPass())
+    artifact = Artifact(source=figure2_code())
+    with pytest.raises(ValueError, match="synthetic stage failure"):
+        pm.run(artifact, session)
+    diags = [d for d in session.diagnostics if d.code == PM001]
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "'fuse'" in diags[0].message
+    assert "ValueError" in diags[0].message
+
+
+def test_validation_error_contributes_findings_not_pm001():
+    session = Session()
+    # a future-iteration read violates the §1 model and must gate fusion
+    bad = figure2_code().replace(
+        "a[i][j] = e[i-2][j-1]", "a[i][j] = e[i+1][j]"
+    )
+    assert bad != figure2_code()
+    with pytest.raises(ValidationError):
+        session.fuse_program(bad)
+    assert session.diagnostics, "validation failure must leave diagnostics"
+    assert all(d.code != PM001 for d in session.diagnostics)
+
+
+def test_diagnostics_from_exception_prefers_attached_diagnostics():
+    exc = ValueError("bare")
+    diags = diagnostics_from_exception(exc, pass_name="codegen")
+    assert [d.code for d in diags] == [PM001]
+
+
+def test_pass_metrics_recorded_uniformly():
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        Session().fuse_program(figure2_code())
+    for name in (
+        "parse",
+        "validate",
+        "lint",
+        "extract-mldg",
+        "legality",
+        "fuse",
+        "verify-retiming",
+        "codegen",
+    ):
+        assert registry.counter(f"core.pass.{name}.runs").value == 1
+        assert registry.histogram(f"core.pass.{name}.ms").count == 1
+
+
+def test_error_counter_bumped_on_failure():
+    registry = obs.MetricsRegistry()
+    pm = PassManager(strict_passes(), name="strict").replacing(fuse=_BoomPass())
+    with obs.use_registry(registry):
+        with pytest.raises(ValueError):
+            pm.run(Artifact(source=figure2_code()), Session())
+    assert registry.counter("core.pass.fuse.errors").value == 1
+    # passes after the failing one never ran
+    assert registry.counter("core.pass.codegen.runs").value == 0

@@ -1,0 +1,165 @@
+"""Golden shim tests: the legacy entry points are pinned to fixtures.
+
+The fixtures under ``tests/fixtures/golden/`` were captured from the
+pipeline *before* it was refactored onto the Session + PassManager core
+(``tests/fixtures/golden/capture.py`` regenerates them).  These tests
+re-run the same public surfaces -- ``fuse_program`` summaries, emitted
+code, diagnostics, and the ``repro-fuse fuse`` / ``run`` / ``run
+--resilient`` CLI outputs -- and require the outputs to match, so any
+behavioral drift in the thin wrappers is a test failure, not a silent
+change.
+
+Comparison rules: plain-text records must match byte for byte.  JSON
+records are parsed and compared structurally after stripping wall-clock
+fields -- the seed pipeline's resilient retiming serialization was
+already sensitive to hash randomization in dict key *order* (verified
+against the pre-refactor tree), and structural equality is exactly the
+order-insensitive contract the byte form cannot express.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import json
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+GOLDEN = os.path.join(HERE, "fixtures", "golden")
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_capture", os.path.join(GOLDEN, "capture.py")
+)
+assert _spec is not None and _spec.loader is not None
+_capture = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_capture)
+
+normalize_timings = _capture.normalize_timings
+
+PROGRAMS = sorted(
+    name for name in os.listdir(GOLDEN)
+    if os.path.isdir(os.path.join(GOLDEN, name))
+)
+
+
+def _split_exit(text: str):
+    """``exit=N`` first line (when present) + the payload."""
+    if text.startswith("exit="):
+        head, _, rest = text.partition("\n")
+        return int(head[len("exit="):]), rest
+    return None, text
+
+
+def _cli(argv):
+    from repro.cli import main
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        try:
+            code = main(argv)
+        except SystemExit as exc:
+            code = int(exc.code or 0)
+    return int(code), buf.getvalue()
+
+
+def _assert_matches(fixture_path: str, got_text: str) -> None:
+    with open(fixture_path, "r", encoding="utf-8") as fh:
+        want_text = fh.read()
+    want_code, want_payload = _split_exit(want_text)
+    got_code, got_payload = _split_exit(got_text)
+    assert got_code == want_code, (
+        f"{os.path.basename(fixture_path)}: exit code {got_code} != {want_code}"
+    )
+    if fixture_path.endswith(".json"):
+        want = normalize_timings(json.loads(want_payload))
+        got = normalize_timings(json.loads(got_payload))
+        assert got == want, f"{os.path.basename(fixture_path)} drifted"
+    else:
+        assert got_payload == want_payload, (
+            f"{os.path.basename(fixture_path)} drifted"
+        )
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return {
+        name: open(
+            os.path.join(GOLDEN, f"{name}.loop"), "r", encoding="utf-8"
+        ).read()
+        for name in PROGRAMS
+    }
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_fuse_program_shim_matches_golden(name, sources):
+    from repro.pipeline import fuse_program
+
+    outdir = os.path.join(GOLDEN, name)
+    out = fuse_program(sources[name])
+    _assert_matches(
+        os.path.join(outdir, "summary.txt"), out.fusion.summary() + "\n"
+    )
+    _assert_matches(
+        os.path.join(outdir, "emitted.txt"), out.emitted_code() + "\n"
+    )
+    _assert_matches(
+        os.path.join(outdir, "diagnostics.json"),
+        json.dumps([d.to_dict() for d in out.diagnostics], indent=2) + "\n",
+    )
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_cli_fuse_shim_matches_golden(name):
+    path = os.path.join(GOLDEN, f"{name}.loop")
+    code, text = _cli(["fuse", path])
+    _assert_matches(
+        os.path.join(GOLDEN, name, "cli_fuse.txt"), f"exit={code}\n{text}"
+    )
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_cli_run_json_shim_matches_golden(name):
+    path = os.path.join(GOLDEN, f"{name}.loop")
+    code, text = _cli(["run", path, "--format", "json"])
+    _assert_matches(
+        os.path.join(GOLDEN, name, "cli_run.json"), f"exit={code}\n{text}"
+    )
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_cli_run_resilient_shim_matches_golden(name):
+    path = os.path.join(GOLDEN, f"{name}.loop")
+    code, text = _cli(["run", path, "--resilient", "--format", "json"])
+    _assert_matches(
+        os.path.join(GOLDEN, name, "cli_run_resilient.json"),
+        f"exit={code}\n{text}",
+    )
+
+
+def test_fuse_program_resilient_shim_signature_unchanged():
+    """The wrapper keeps the historical signature and exception types."""
+    import inspect
+
+    from repro.resilience.pipeline import fuse_program_resilient
+
+    params = inspect.signature(fuse_program_resilient).parameters
+    assert list(params) == [
+        "source", "budget", "min_rung", "verify_execution", "bounds",
+    ]
+    assert all(
+        p.kind is inspect.Parameter.KEYWORD_ONLY
+        for n, p in params.items()
+        if n != "source"
+    )
+
+
+def test_fuse_program_shim_signature_unchanged():
+    import inspect
+
+    from repro.pipeline import fuse_program
+
+    params = inspect.signature(fuse_program).parameters
+    assert list(params) == ["source", "strategy", "budget"]
