@@ -1,0 +1,107 @@
+"""``repro.analysis`` -- the dataflow & dependence-test engine.
+
+The semantic layer above the syntactic extraction in :mod:`repro.depend`:
+
+* **affine abstraction** (:mod:`~repro.analysis.affine`): subscripts as
+  ``coeff * index + offset`` with a sound ``UNKNOWN`` top element;
+* **iteration domains** (:mod:`~repro.analysis.domain`): the ``[0, n] x
+  [0, m]`` box, concrete when the DSL declares numeric bounds;
+* **dependence tests** (:mod:`~repro.analysis.tests`): GCD and Banerjee
+  bounds tests classifying each candidate dependence *must* / *may* /
+  *provably-absent*, every verdict a machine-checkable
+  :class:`~repro.analysis.tests.DependenceEvidence` certificate;
+* **dataflow** (:mod:`~repro.analysis.dataflow`): reaching definitions,
+  liveness, and per-array access-interval hulls over the nest body;
+* **the driver** (:mod:`~repro.analysis.engine`): one
+  :class:`~repro.analysis.engine.AnalysisReport` per nest, consumed by the
+  ``repro-fuse analyze`` CLI, the LF4xx lint rules
+  (:mod:`~repro.analysis.rules`), and the MLDG edge-pruning pass
+  (:mod:`~repro.analysis.prune` -- imported separately, as it builds on
+  :mod:`repro.core`).
+
+See docs/ANALYSIS.md.
+"""
+
+from repro.analysis.affine import (
+    UNKNOWN,
+    AffineAccess,
+    AffineSubscript,
+    Unknown,
+    affine_access,
+)
+from repro.analysis.dataflow import (
+    ArrayRegion,
+    Liveness,
+    ReachingDefinitions,
+    access_regions,
+    liveness,
+    reaching_definitions,
+    statement_sites,
+)
+from repro.analysis.domain import (
+    Interval,
+    IterationDomain,
+    domain_of_nest,
+    subscript_interval,
+)
+from repro.analysis.engine import (
+    ANALYSIS_SCHEMA,
+    AnalysisReport,
+    ClassifiedDependence,
+    analyze_nest,
+    analyze_source,
+    classify_record,
+)
+from repro.analysis.rules import ANALYSIS_RULE_CODES
+from repro.analysis.tests import (
+    SCAN_CAP,
+    DependenceEvidence,
+    DimensionEquation,
+    Verdict,
+    banerjee_test,
+    classify,
+    enumerate_conflicts,
+    gcd_test,
+    verify_evidence,
+)
+
+__all__ = [
+    # affine
+    "AffineSubscript",
+    "AffineAccess",
+    "Unknown",
+    "UNKNOWN",
+    "affine_access",
+    # domain
+    "Interval",
+    "IterationDomain",
+    "domain_of_nest",
+    "subscript_interval",
+    # tests
+    "Verdict",
+    "DimensionEquation",
+    "DependenceEvidence",
+    "gcd_test",
+    "banerjee_test",
+    "classify",
+    "enumerate_conflicts",
+    "verify_evidence",
+    "SCAN_CAP",
+    # dataflow
+    "ArrayRegion",
+    "Liveness",
+    "ReachingDefinitions",
+    "access_regions",
+    "liveness",
+    "reaching_definitions",
+    "statement_sites",
+    # engine
+    "ANALYSIS_SCHEMA",
+    "AnalysisReport",
+    "ClassifiedDependence",
+    "analyze_nest",
+    "analyze_source",
+    "classify_record",
+    # rules
+    "ANALYSIS_RULE_CODES",
+]

@@ -1,0 +1,118 @@
+"""Affine subscript abstraction over LoopIR array references.
+
+The program model's accesses are *uniform*: ``a[i + c1][j + c2]``.  The
+analysis layer abstracts one subscript dimension as the affine form
+``coeff * index + offset`` so the dependence tests (:mod:`repro.analysis.tests`)
+are stated -- and unit-tested -- for the general strided case
+``a[c1*i + o1][c2*j + o2]`` even though the parser only produces
+``coeff == 1`` today.  Anything the abstraction cannot express (a future
+gather subscript ``a[idx[j]]``, a coupled subscript ``a[i+j]``) maps to the
+sound top element :data:`UNKNOWN`: the tests then answer *may* and nothing
+downstream is allowed to prune.
+
+Lifting is total: :func:`affine_access` never fails, it degrades to
+:data:`UNKNOWN` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.loopir.ast_nodes import ArrayRef, SourceSpan
+from repro.vectors import IVec
+
+__all__ = [
+    "AffineSubscript",
+    "AffineAccess",
+    "Unknown",
+    "UNKNOWN",
+    "affine_access",
+]
+
+
+@dataclass(frozen=True)
+class AffineSubscript:
+    """One subscript dimension: ``coeff * index + offset``.
+
+    ``coeff == 0`` denotes a constant subscript (the index does not appear);
+    the parser's uniform accesses always have ``coeff == 1``.
+    """
+
+    coeff: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.coeff < 0:
+            # Negative strides never arise from the DSL; keeping the domain
+            # non-negative keeps the Banerjee bounds below two-sided.
+            raise ValueError(f"negative subscript coefficient {self.coeff}")
+
+    def value(self, index: int) -> int:
+        """The array coordinate this subscript touches at ``index``."""
+        return self.coeff * index + self.offset
+
+    def describe(self, index_name: str) -> str:
+        if self.coeff == 0:
+            return str(self.offset)
+        head = index_name if self.coeff == 1 else f"{self.coeff}*{index_name}"
+        if self.offset == 0:
+            return head
+        return f"{head}{self.offset:+d}"
+
+
+class Unknown:
+    """The top element: a subscript (or whole access) the abstraction cannot
+    express.  Every dependence test answers *may* for it."""
+
+    _instance: Optional["Unknown"] = None
+
+    def __new__(cls) -> "Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+
+#: The singleton top element.
+UNKNOWN = Unknown()
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """An array access as one affine subscript per nest dimension."""
+
+    array: str
+    subscripts: Tuple[AffineSubscript, ...]
+    span: Optional[SourceSpan] = None
+
+    @property
+    def dim(self) -> int:
+        return len(self.subscripts)
+
+    def cell(self, iteration: IVec) -> IVec:
+        """The array cell touched at ``iteration``."""
+        return IVec([s.value(iteration[k]) for k, s in enumerate(self.subscripts)])
+
+    def describe(self, index_names: Tuple[str, ...]) -> str:
+        parts = "".join(
+            f"[{s.describe(index_names[k])}]" for k, s in enumerate(self.subscripts)
+        )
+        return f"{self.array}{parts}"
+
+
+def affine_access(ref: ArrayRef) -> Union[AffineAccess, Unknown]:
+    """Lift a LoopIR :class:`ArrayRef` into the affine abstraction.
+
+    Uniform accesses (the only kind the current IR can hold) lift exactly,
+    with ``coeff == 1`` per dimension.  A reference whose shape falls outside
+    the abstraction returns :data:`UNKNOWN` rather than raising, so callers
+    stay sound in the presence of future non-affine subscripts.
+    """
+    try:
+        subs = tuple(AffineSubscript(coeff=1, offset=int(off)) for off in ref.offset)
+    except (TypeError, ValueError):  # pragma: no cover - future-proofing
+        return UNKNOWN
+    return AffineAccess(array=ref.array, subscripts=subs, span=ref.span)

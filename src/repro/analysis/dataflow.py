@@ -1,0 +1,240 @@
+"""Classic dataflow analyses over a nest's statement sequence.
+
+The program model executes the inner-loop bodies as one statement sequence
+per outer iteration ``i``; the outer loop adds a back edge from the last
+statement to the first.  That gives a ring-shaped flow graph over which the
+standard union/worklist analyses run:
+
+* **Reaching definitions** -- which writes reach each statement, both in
+  steady state (with the back edge) and on the *first* outer iteration
+  (without it).  A read whose array has no first-iteration reaching
+  definition consumes seeded initial memory at ``i = 0``.
+* **Liveness** -- which arrays still have a pending read after each
+  statement (exit-live set empty: liveness *within* the nest; the LF301
+  hygiene rule already covers never-read arrays).
+* **Access intervals** -- the per-dimension hull of cells each array reads
+  and writes over the iteration domain, the basis of the out-of-domain
+  (halo) read diagnostic LF403.
+
+Everything is small and exact: the flow graph has one node per statement
+and the lattices are powersets, so the fixpoints converge in a handful of
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.affine import Unknown, affine_access
+from repro.analysis.domain import Interval, IterationDomain, subscript_interval
+from repro.loopir.ast_nodes import Assignment, LoopNest
+
+__all__ = [
+    "StatementSite",
+    "statement_sites",
+    "ReachingDefinitions",
+    "reaching_definitions",
+    "Liveness",
+    "liveness",
+    "ArrayRegion",
+    "access_regions",
+]
+
+
+@dataclass(frozen=True)
+class StatementSite:
+    """One statement with its position in the nest's program order."""
+
+    index: int
+    loop: str
+    stmt: Assignment
+
+
+def statement_sites(nest: LoopNest) -> Tuple[StatementSite, ...]:
+    """Every statement of the nest in program order."""
+    sites: List[StatementSite] = []
+    for lp in nest.loops:
+        for stmt in lp.statements:
+            sites.append(StatementSite(len(sites), lp.label, stmt))
+    return tuple(sites)
+
+
+def _fixpoint(
+    n: int,
+    predecessors: Dict[int, Tuple[int, ...]],
+    gen: Callable[[int], FrozenSet[str]],
+    kill: Callable[[int], FrozenSet[str]],
+) -> Tuple[List[FrozenSet[str]], List[FrozenSet[str]]]:
+    """Union/worklist solver: ``in[k] = U out[p]``, ``out[k] = gen U (in - kill)``.
+
+    Works for any may-analysis once the caller orients ``predecessors``
+    (forward analyses pass flow-graph predecessors, backward ones pass
+    successors).  Returns ``(ins, outs)`` indexed by point.
+    """
+    ins: List[FrozenSet[str]] = [frozenset() for _ in range(n)]
+    outs: List[FrozenSet[str]] = [frozenset() for _ in range(n)]
+    work = list(range(n))
+    while work:
+        k = work.pop()
+        in_k: FrozenSet[str] = frozenset()
+        for p in predecessors[k]:
+            in_k |= outs[p]
+        out_k = gen(k) | (in_k - kill(k))
+        if in_k == ins[k] and out_k == outs[k]:
+            continue
+        ins[k], outs[k] = in_k, out_k
+        for j in range(n):
+            if k in predecessors[j] and j not in work:
+                work.append(j)
+    return ins, outs
+
+
+def _ring_predecessors(n: int, *, back_edge: bool) -> Dict[int, Tuple[int, ...]]:
+    preds: Dict[int, Tuple[int, ...]] = {k: ((k - 1,) if k > 0 else ()) for k in range(n)}
+    if back_edge and n > 0:
+        preds[0] = preds[0] + (n - 1,)
+    return preds
+
+
+@dataclass(frozen=True)
+class ReachingDefinitions:
+    """Which arrays have a reaching write at each statement.
+
+    ``steady`` includes the outer loop's back edge (all iterations after
+    the first); ``first`` models the first outer iteration only.  Each
+    entry is the set of array names whose (unique, single-writer) write
+    reaches the statement's entry.
+    """
+
+    sites: Tuple[StatementSite, ...]
+    steady: Tuple[FrozenSet[str], ...]
+    first: Tuple[FrozenSet[str], ...]
+
+    def reaches_first_iteration(self, index: int, array: str) -> bool:
+        """Whether a write of ``array`` reaches statement ``index`` on the
+        very first outer iteration (textually earlier write)."""
+        return array in self.first[index]
+
+
+def reaching_definitions(nest: LoopNest) -> ReachingDefinitions:
+    sites = statement_sites(nest)
+    n = len(sites)
+
+    def gen(k: int) -> FrozenSet[str]:
+        return frozenset({sites[k].stmt.target.array})
+
+    def kill(k: int) -> FrozenSet[str]:
+        return frozenset()  # single-writer model: a def never kills another
+
+    steady_in, _ = _fixpoint(n, _ring_predecessors(n, back_edge=True), gen, kill)
+    first_in, _ = _fixpoint(n, _ring_predecessors(n, back_edge=False), gen, kill)
+    return ReachingDefinitions(sites, tuple(steady_in), tuple(first_in))
+
+
+@dataclass(frozen=True)
+class Liveness:
+    """Which arrays are live (pending a later read) around each statement.
+
+    Computed with an empty exit-live set, so ``live_out`` answers "does any
+    statement of this nest -- in this or a later outer iteration -- still
+    read the value?".
+    """
+
+    sites: Tuple[StatementSite, ...]
+    live_in: Tuple[FrozenSet[str], ...]
+    live_out: Tuple[FrozenSet[str], ...]
+
+    def write_is_live(self, index: int) -> bool:
+        """Whether statement ``index``'s written array is read afterwards."""
+        return self.sites[index].stmt.target.array in self.live_out[index]
+
+
+def liveness(nest: LoopNest) -> Liveness:
+    sites = statement_sites(nest)
+    n = len(sites)
+
+    def gen(k: int) -> FrozenSet[str]:  # uses
+        return frozenset(r.array for r in sites[k].stmt.reads())
+
+    def kill(k: int) -> FrozenSet[str]:  # defs
+        return frozenset({sites[k].stmt.target.array})
+
+    # Backward analysis: orient the solver along flow-graph *successors*,
+    # so the solver's "in" (gathered over successors) is live-out and its
+    # "out" (gen | in - kill) is live-in.
+    succs: Dict[int, Tuple[int, ...]] = {
+        k: ((k + 1,) if k + 1 < n else ()) for k in range(n)
+    }
+    if n > 0:
+        succs[n - 1] = succs[n - 1] + (0,)
+    solver_ins, solver_outs = _fixpoint(n, succs, gen, kill)
+    return Liveness(
+        sites=sites, live_in=tuple(solver_outs), live_out=tuple(solver_ins)
+    )
+
+
+@dataclass(frozen=True)
+class ArrayRegion:
+    """Per-dimension hulls of the cells an array's accesses touch.
+
+    ``written`` / ``read`` are ``None`` when the array is never written /
+    never read; otherwise one :class:`Interval` per nest dimension.
+    """
+
+    array: str
+    written: Optional[Tuple[Interval, ...]]
+    read: Optional[Tuple[Interval, ...]]
+
+    def read_escapes_written(self) -> Optional[int]:
+        """The first dimension where the read hull leaves the written hull,
+        or ``None`` when every read cell is also written (or data missing)."""
+        if self.written is None or self.read is None:
+            return None
+        for k, (w, r) in enumerate(zip(self.written, self.read)):
+            if not w.contains_interval(r):
+                return k
+        return None
+
+
+def _hull(a: Interval, b: Interval) -> Interval:
+    hi = None if a.hi is None or b.hi is None else max(a.hi, b.hi)
+    return Interval(min(a.lo, b.lo), hi)
+
+
+def access_regions(
+    nest: LoopNest, domain: IterationDomain
+) -> Dict[str, ArrayRegion]:
+    """The read/write hull of every array over the iteration domain.
+
+    Accesses outside the affine abstraction are skipped (their hull is
+    unknowable); arrays whose every access is unknown report ``None`` hulls.
+    """
+    written: Dict[str, Tuple[Interval, ...]] = {}
+    read: Dict[str, Tuple[Interval, ...]] = {}
+
+    def fold(
+        table: Dict[str, Tuple[Interval, ...]], array: str, hull: Tuple[Interval, ...]
+    ) -> None:
+        prev = table.get(array)
+        table[array] = (
+            hull if prev is None else tuple(_hull(p, h) for p, h in zip(prev, hull))
+        )
+
+    for lp in nest.loops:
+        for stmt in lp.statements:
+            refs = [(stmt.target, written)] + [(r, read) for r in stmt.reads()]
+            for ref, table in refs:
+                access = affine_access(ref)
+                if isinstance(access, Unknown):
+                    continue
+                hull = tuple(
+                    subscript_interval(s.coeff, s.offset, domain.intervals[k])
+                    for k, s in enumerate(access.subscripts)
+                )
+                fold(table, ref.array, hull)
+
+    return {
+        array: ArrayRegion(array, written.get(array), read.get(array))
+        for array in sorted(written.keys() | read.keys())
+    }

@@ -1,0 +1,185 @@
+"""Iteration domains and interval arithmetic for the analysis layer.
+
+The program model iterates the box ``0 <= i <= n``, ``0 <= j <= m``
+(inclusive bounds, matching :func:`repro.codegen.interp.run_original`).
+Bounds are *symbolic* names by default (the paper's ``n``/``m``), but the
+DSL also accepts numeric upper bounds (``do i = 0, 6``); the dependence
+tests can only *prove an edge away* on a dimension whose extent is known,
+so :class:`Interval` distinguishes a concrete upper bound from an unbounded
+(symbolic) one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.loopir.ast_nodes import LoopNest
+from repro.vectors import IVec
+
+__all__ = [
+    "Interval",
+    "IterationDomain",
+    "domain_of_nest",
+    "subscript_interval",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``; ``hi is None`` = unbounded above."""
+
+    lo: int
+    hi: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+    @property
+    def extent(self) -> Optional[int]:
+        """``hi - lo`` for bounded intervals, ``None`` otherwise."""
+        return None if self.hi is None else self.hi - self.lo
+
+    def contains(self, value: int) -> bool:
+        return value >= self.lo and (self.hi is None or value <= self.hi)
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether every point of ``other`` lies inside this interval.
+
+        An unbounded ``other`` fits only inside an unbounded interval; two
+        unbounded intervals compare on their lower ends (both run to the
+        same symbolic upper bound).
+        """
+        if other.lo < self.lo:
+            return False
+        if other.hi is None:
+            return self.hi is None
+        return self.hi is None or other.hi <= self.hi
+
+    def iterate(self, *, cap: int) -> Iterator[int]:
+        """All points of the interval; unbounded intervals probe ``cap`` points."""
+        hi = self.hi if self.hi is not None else self.lo + cap - 1
+        return iter(range(self.lo, hi + 1))
+
+    def describe(self, symbol: Optional[str] = None) -> str:
+        hi = symbol if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {hi}]"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lo": self.lo, "hi": self.hi}
+
+
+@dataclass(frozen=True)
+class IterationDomain:
+    """The iteration box of a nest: one :class:`Interval` per index.
+
+    ``bound_names`` keeps the source-level bound spellings (``n``/``m`` or
+    the numeric literal) for reporting.
+    """
+
+    intervals: Tuple[Interval, ...]
+    index_names: Tuple[str, ...]
+    bound_names: Tuple[str, ...]
+
+    @property
+    def dim(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether every dimension has a concrete (numeric) upper bound."""
+        return all(iv.bounded for iv in self.intervals)
+
+    def size(self) -> Optional[int]:
+        """Number of iterations for fully bounded domains, else ``None``."""
+        total = 1
+        for iv in self.intervals:
+            if iv.extent is None:
+                return None
+            total *= iv.extent + 1
+        return total
+
+    def contains(self, iteration: IVec) -> bool:
+        return all(iv.contains(iteration[k]) for k, iv in enumerate(self.intervals))
+
+    def iterations(self, *, cap: int = 64) -> Iterator[IVec]:
+        """Every iteration point (row-major); unbounded axes probe ``cap``."""
+
+        def rec(k: int, prefix: Tuple[int, ...]) -> Iterator[IVec]:
+            if k == self.dim:
+                yield IVec(prefix)
+                return
+            for v in self.intervals[k].iterate(cap=cap):
+                yield from rec(k + 1, prefix + (v,))
+
+        return rec(0, ())
+
+    def concretized(self, *, probe: int) -> "IterationDomain":
+        """The domain with every unbounded axis capped at ``lo + probe``.
+
+        Used by the enumeration-based certificate checker to turn a symbolic
+        domain into a finite one it can sweep.
+        """
+        return IterationDomain(
+            intervals=tuple(
+                iv if iv.bounded else Interval(iv.lo, iv.lo + probe)
+                for iv in self.intervals
+            ),
+            index_names=self.index_names,
+            bound_names=self.bound_names,
+        )
+
+    def describe(self) -> str:
+        return " x ".join(
+            f"{self.index_names[k]} in {iv.describe(self.bound_names[k])}"
+            for k, iv in enumerate(self.intervals)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "indexNames": list(self.index_names),
+            "boundNames": list(self.bound_names),
+            "intervals": [iv.to_dict() for iv in self.intervals],
+        }
+
+
+def _bound_interval(bound: str) -> Interval:
+    """``"6"`` -> ``[0, 6]``; a symbolic bound name -> ``[0, unbounded)``."""
+    try:
+        return Interval(0, int(bound))
+    except ValueError:
+        return Interval(0, None)
+
+
+def domain_of_nest(nest: LoopNest) -> IterationDomain:
+    """The iteration domain a nest declares.
+
+    Numeric upper bounds become concrete intervals -- the only case in which
+    the Banerjee bounds test can prove a dependence absent; symbolic bounds
+    stay unbounded above (sound for every run size).
+    """
+    bounds = (nest.outer_bound, nest.inner_bound)
+    return IterationDomain(
+        intervals=tuple(_bound_interval(b) for b in bounds),
+        index_names=tuple(nest.index_names),
+        bound_names=bounds,
+    )
+
+
+def subscript_interval(coeff: int, offset: int, domain_interval: Interval) -> Interval:
+    """The interval of array coordinates ``coeff * x + offset`` touches as
+    ``x`` ranges over ``domain_interval`` (``coeff >= 0``)."""
+    if coeff == 0:
+        return Interval(offset, offset)
+    lo = coeff * domain_interval.lo + offset
+    hi = (
+        None
+        if domain_interval.hi is None
+        else coeff * domain_interval.hi + offset
+    )
+    return Interval(lo, hi)

@@ -1,0 +1,196 @@
+"""Analysis-layer lint rules (``LF4xx``).
+
+Importing this module registers the rules in the shared lint registry
+(:mod:`repro.lint.registry`), so suppression comments, exit codes, and the
+SARIF ``tool.driver.rules`` table treat analysis findings exactly like the
+LF1xx--LF3xx rules.  All three rules read the cached
+:class:`~repro.analysis.engine.AnalysisReport` off the
+:class:`~repro.lint.engine.LintContext`:
+
+* **LF401 uninitialized-read** -- a read of a written array whose
+  dependence is *provably absent*: no iteration of the producer ever
+  stores the cell the read loads, so the read only sees seeded initial
+  memory.  Usually a typo'd subscript offset.
+* **LF402 provably-dead-write** -- an array that *is* read syntactically,
+  but every one of its dependences is provably absent: no read ever
+  observes the written values.  The semantic sibling of the syntactic
+  LF301 dead-array rule.
+* **LF403 out-of-domain-read** -- a read whose inferred access interval
+  escapes the array's written hull, so boundary iterations load initial
+  (seed) memory from the halo.  Informational, and only emitted on fully
+  *bounded* (concrete-bound) domains: against symbolic bounds every
+  outer-carried recurrence read escapes at the boundary by construction
+  (the model's accepted halo idiom -- the paper's ``e[i-2][j-1]``), so the
+  rule would fire on virtually every program; with declared numeric bounds
+  the interval is exact and the finding actionable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List
+
+from repro.analysis.affine import AffineSubscript, Unknown, affine_access
+from repro.analysis.domain import IterationDomain, subscript_interval
+from repro.analysis.tests import Verdict
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.engine import LintContext
+
+__all__ = ["ANALYSIS_RULE_CODES"]
+
+#: The analysis-layer codes this module registers.
+ANALYSIS_RULE_CODES = ("LF401", "LF402", "LF403")
+
+
+@rule(
+    "LF401",
+    "uninitialized-read",
+    Severity.WARNING,
+    "analysis",
+    "a read of a written array can never observe the write (the dependence "
+    "is provably absent), so it only sees initial memory",
+)
+def check_uninitialized_read(ctx: "LintContext") -> Iterator[Diagnostic]:
+    report = ctx.analysis()
+    if report is None:
+        return
+    for d in report.by_verdict(Verdict.ABSENT):
+        rec = d.record
+        read = str(rec.ref) if rec.ref is not None else f"a read of '{rec.array}'"
+        span = None
+        if rec.ref is not None and rec.ref.span is not None:
+            span = rec.ref.span
+        yield Diagnostic(
+            code="LF401",
+            severity=Severity.WARNING,
+            message=(
+                f"{read} in loop {rec.dst} never observes the write "
+                f"{rec.producer.target} in loop {rec.src} "
+                f"({d.evidence.test} test: {d.evidence.reason}); the read "
+                "only sees initial memory"
+            ),
+            span=span or rec.consumer.span,
+            hint="check the subscript offsets; if reading initial memory is "
+            "intended, suppress with ! lint: disable=LF401",
+        )
+
+
+@rule(
+    "LF402",
+    "provably-dead-write",
+    Severity.WARNING,
+    "analysis",
+    "an array is read syntactically, but every dependence on its write is "
+    "provably absent: no read ever observes the written values",
+)
+def check_provably_dead_write(ctx: "LintContext") -> Iterator[Diagnostic]:
+    report = ctx.analysis()
+    if report is None:
+        return
+    by_array: Dict[str, List[Verdict]] = {}
+    for d in report.dependences:
+        by_array.setdefault(d.record.array, []).append(d.verdict)
+    for array in sorted(by_array):
+        verdicts = by_array[array]
+        if not all(v is Verdict.ABSENT for v in verdicts):
+            continue
+        # All dependences on this array's write are proven away; anchor the
+        # diagnostic at the writing statement.
+        producer = next(
+            d.record.producer
+            for d in report.dependences
+            if d.record.array == array
+        )
+        src = next(
+            d.record.src for d in report.dependences if d.record.array == array
+        )
+        yield Diagnostic(
+            code="LF402",
+            severity=Severity.WARNING,
+            message=(
+                f"array '{array}' (written in loop {src}) is read, but every "
+                "dependence on the write is provably absent: no read ever "
+                "observes the stored values"
+            ),
+            span=producer.target.span or producer.span,
+            hint="the write is semantically dead unless the array is a "
+            "program output; fix the readers' offsets or delete the store",
+        )
+
+
+def _read_bound_text(
+    sub: AffineSubscript, domain: IterationDomain, dim: int
+) -> str:
+    """The read interval of one subscript over ``domain``, rendered with the
+    symbolic bound name when the dimension is unbounded."""
+    iv = subscript_interval(sub.coeff, sub.offset, domain.intervals[dim])
+    if iv.hi is not None:
+        return f"[{iv.lo}, {iv.hi}]"
+    bound = domain.bound_names[dim]
+    head = bound if sub.coeff == 1 else f"{sub.coeff}*{bound}"
+    hi = head if sub.offset == 0 else f"{head}{sub.offset:+d}"
+    return f"[{iv.lo}, {hi}]"
+
+
+@rule(
+    "LF403",
+    "out-of-domain-read",
+    Severity.INFO,
+    "analysis",
+    "a read's inferred access interval escapes the array's written hull, so "
+    "boundary iterations load initial (seed) memory from the halo",
+)
+def check_out_of_domain_read(ctx: "LintContext") -> Iterator[Diagnostic]:
+    report = ctx.analysis()
+    if report is None:
+        return
+    if not report.domain.bounded:
+        # Symbolic bounds: every recurrence read escapes the hull at the
+        # boundary by construction (the accepted halo idiom); only report
+        # against declared concrete bounds, where the interval is exact.
+        return
+    # Reads that never see the write at all are LF401's finding, not a
+    # boundary effect; skip them here.
+    absent_refs = {
+        id(d.record.ref)
+        for d in report.by_verdict(Verdict.ABSENT)
+        if d.record.ref is not None
+    }
+    for lp in report.nest.loops:
+        for stmt in lp.statements:
+            for ref in stmt.reads():
+                region = report.regions.get(ref.array)
+                if region is None or region.written is None:
+                    continue  # input array: reads of seed data are its job
+                if id(ref) in absent_refs:
+                    continue
+                access = affine_access(ref)
+                if isinstance(access, Unknown):
+                    continue
+                for k, sub in enumerate(access.subscripts):
+                    read_iv = subscript_interval(
+                        sub.coeff, sub.offset, report.domain.intervals[k]
+                    )
+                    if region.written[k].contains_interval(read_iv):
+                        continue
+                    intervals = "".join(
+                        _read_bound_text(s, report.domain, j)
+                        for j, s in enumerate(access.subscripts)
+                    )
+                    yield Diagnostic(
+                        code="LF403",
+                        severity=Severity.INFO,
+                        message=(
+                            f"read {ref} in loop {lp.label} spans "
+                            f"{ref.array}{intervals}, escaping the written "
+                            f"hull in dim {k}: boundary iterations load "
+                            "initial (seed) memory from the halo"
+                        ),
+                        span=ref.span or stmt.span,
+                        hint="halo reads are valid in the program model; "
+                        "widen the producer or suppress with "
+                        "! lint: disable=LF403 if intended",
+                    )
+                    break

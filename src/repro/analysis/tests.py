@@ -1,0 +1,370 @@
+"""GCD and Banerjee dependence tests with machine-checkable certificates.
+
+A candidate dependence pairs a *writer* access with a *reader* access of the
+same array inside one nest.  A producer iteration ``p`` and a consumer
+iteration ``c`` conflict when they touch the same cell:
+
+    ``w_coeff[k] * p[k] + w_off[k]  ==  r_coeff[k] * c[k] + r_off[k]``
+
+for every dimension ``k``.  The model's subscripts are *separable* (each
+dimension mentions only its own index), so the system decomposes into one
+equation per dimension and the tests decide each dimension independently:
+
+* **GCD test** -- the equation has an integer solution at all only when
+  ``gcd(w_coeff, r_coeff)`` divides the constant difference.
+* **Banerjee bounds test** -- over a bounded dimension, the difference
+  expression ranges over a closed interval; if that interval excludes zero
+  no iteration pair can conflict.
+* **Exact scan** -- on concrete domains the surviving equations are swept
+  directly, so every verdict on a fully bounded nest is *exact*: either a
+  concrete witness pair (:data:`Verdict.MUST`) or a proof of absence
+  (:data:`Verdict.ABSENT`).  Unknown subscripts and symbolic domains that
+  the scan cap cannot settle degrade to :data:`Verdict.MAY`.
+
+Every verdict ships as a :class:`DependenceEvidence` certificate carrying
+the equations, the domain, the deciding test, and (for MUST) the witness --
+enough for :func:`verify_evidence` to re-check the claim by brute-force
+enumeration, which the differential test-suite does.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.affine import UNKNOWN, AffineAccess, AffineSubscript, Unknown
+from repro.analysis.domain import Interval, IterationDomain
+from repro.vectors import IVec
+
+__all__ = [
+    "Verdict",
+    "DimensionEquation",
+    "DependenceEvidence",
+    "gcd_test",
+    "banerjee_test",
+    "classify",
+    "enumerate_conflicts",
+    "verify_evidence",
+    "SCAN_CAP",
+]
+
+#: How many points of an unbounded (symbolic) dimension the witness scan
+#: probes before giving up and answering *may*.
+SCAN_CAP = 64
+
+
+class Verdict(enum.Enum):
+    """Outcome of a dependence test."""
+
+    MUST = "must"  #: a concrete witness iteration pair conflicts
+    MAY = "may"  #: cannot decide (unknown subscript / symbolic domain)
+    ABSENT = "absent"  #: provably no iteration pair conflicts
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DimensionEquation:
+    """One dimension of the conflict system:
+    ``writer_coeff * p + writer_offset == reader_coeff * c + reader_offset``."""
+
+    writer_coeff: int
+    writer_offset: int
+    reader_coeff: int
+    reader_offset: int
+
+    @classmethod
+    def of(
+        cls, writer: AffineSubscript, reader: AffineSubscript
+    ) -> "DimensionEquation":
+        return cls(writer.coeff, writer.offset, reader.coeff, reader.offset)
+
+    @property
+    def constant(self) -> int:
+        """The constant difference ``reader_offset - writer_offset``."""
+        return self.reader_offset - self.writer_offset
+
+    def describe(self, index_name: str = "x") -> str:
+        w = AffineSubscript(self.writer_coeff, self.writer_offset)
+        r = AffineSubscript(self.reader_coeff, self.reader_offset)
+        primed = index_name + "'"
+        return f"{w.describe(index_name)} == {r.describe(primed)}"
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "writerCoeff": self.writer_coeff,
+            "writerOffset": self.writer_offset,
+            "readerCoeff": self.reader_coeff,
+            "readerOffset": self.reader_offset,
+        }
+
+
+@dataclass(frozen=True)
+class DependenceEvidence:
+    """A machine-checkable certificate for one dependence verdict.
+
+    ``test`` names the deciding argument: ``"gcd"`` / ``"banerjee"`` /
+    ``"enumerate"`` prove :data:`Verdict.ABSENT`, ``"witness"`` proves
+    :data:`Verdict.MUST`, and ``"unknown-subscript"`` / ``"scan-cap"``
+    explain a :data:`Verdict.MAY`.  ``failing_dim`` points at the dimension
+    the absence proof used; ``witness`` is a ``(producer, consumer)``
+    iteration pair for MUST verdicts.
+    """
+
+    array: str
+    verdict: Verdict
+    test: str
+    reason: str
+    domain: IterationDomain
+    equations: Tuple[DimensionEquation, ...] = ()
+    witness: Optional[Tuple[IVec, IVec]] = None
+    failing_dim: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "array": self.array,
+            "verdict": self.verdict.value,
+            "test": self.test,
+            "reason": self.reason,
+            "domain": self.domain.to_dict(),
+            "equations": [eq.to_dict() for eq in self.equations],
+        }
+        if self.witness is not None:
+            producer, consumer = self.witness
+            payload["witness"] = {
+                "producer": list(producer),
+                "consumer": list(consumer),
+            }
+        if self.failing_dim is not None:
+            payload["failingDim"] = self.failing_dim
+        return payload
+
+
+def gcd_test(writer: AffineSubscript, reader: AffineSubscript) -> bool:
+    """Whether ``writer_coeff * p + w_off == reader_coeff * c + r_off`` has
+    *any* integer solution (bounds ignored).  ``False`` proves absence."""
+    g = math.gcd(writer.coeff, reader.coeff)
+    diff = reader.offset - writer.offset
+    if g == 0:
+        return diff == 0  # both subscripts constant
+    return diff % g == 0
+
+
+def banerjee_test(
+    writer: AffineSubscript, reader: AffineSubscript, interval: Interval
+) -> bool:
+    """Whether ``writer(p) - reader(c)`` can be zero for ``p, c`` in
+    ``interval``.  ``False`` proves absence on that (bounded) dimension."""
+    # f(p, c) = w_coeff*p + w_off - r_coeff*c - r_off is monotone in each
+    # variable (coeffs >= 0), so its range over the box is [lo, hi] with the
+    # endpoints below; an unbounded interval sends an endpoint to +/-inf
+    # whenever the corresponding coefficient is positive.
+    base = writer.coeff * interval.lo + writer.offset - reader.offset
+    hi: Optional[int]
+    lo: Optional[int]
+    if interval.hi is None:
+        hi = None if writer.coeff > 0 else base - reader.coeff * interval.lo
+        lo = None if reader.coeff > 0 else base
+    else:
+        hi = (
+            writer.coeff * interval.hi
+            + writer.offset
+            - reader.offset
+            - reader.coeff * interval.lo
+        )
+        lo = base - reader.coeff * interval.hi
+    if lo is not None and lo > 0:
+        return False
+    if hi is not None and hi < 0:
+        return False
+    return True
+
+
+def _solve_dimension(
+    writer: AffineSubscript,
+    reader: AffineSubscript,
+    interval: Interval,
+    *,
+    cap: int,
+) -> Union[Optional[Tuple[int, int]], Unknown]:
+    """A ``(p, c)`` solution of one dimension's equation inside ``interval``.
+
+    Returns ``None`` when provably no solution exists (exact for bounded
+    intervals), or :data:`UNKNOWN` when the scan cap ran out on an
+    unbounded interval without finding one.
+    """
+    exhaustive = interval.bounded
+    for p in interval.iterate(cap=cap):
+        lhs = writer.value(p)
+        if reader.coeff == 0:
+            if lhs == reader.offset:
+                return (p, interval.lo)
+            continue
+        num = lhs - reader.offset
+        if num % reader.coeff != 0:
+            continue
+        c = num // reader.coeff
+        if interval.contains(c):
+            return (p, c)
+    return None if exhaustive else UNKNOWN
+
+
+def classify(
+    writer: Union[AffineAccess, Unknown],
+    reader: Union[AffineAccess, Unknown],
+    domain: IterationDomain,
+    *,
+    array: Optional[str] = None,
+    cap: int = SCAN_CAP,
+) -> DependenceEvidence:
+    """Classify the candidate dependence between ``writer`` and ``reader``.
+
+    On fully bounded domains the answer is exact (MUST with a witness, or
+    ABSENT with the deciding test); MAY only arises from unknown subscripts
+    or a symbolic dimension the scan cap could not settle.
+    """
+    if isinstance(writer, Unknown) or isinstance(reader, Unknown):
+        return DependenceEvidence(
+            array=array or "?",
+            verdict=Verdict.MAY,
+            test="unknown-subscript",
+            reason="a subscript falls outside the affine abstraction",
+            domain=domain,
+        )
+    name = array or writer.array
+    equations = tuple(
+        DimensionEquation.of(w, r)
+        for w, r in zip(writer.subscripts, reader.subscripts)
+    )
+
+    for k, (w, r) in enumerate(zip(writer.subscripts, reader.subscripts)):
+        if not gcd_test(w, r):
+            g = math.gcd(w.coeff, r.coeff)
+            return DependenceEvidence(
+                array=name,
+                verdict=Verdict.ABSENT,
+                test="gcd",
+                reason=(
+                    f"dim {k}: gcd({w.coeff}, {r.coeff}) = {g} does not divide "
+                    f"{r.offset - w.offset}"
+                ),
+                domain=domain,
+                equations=equations,
+                failing_dim=k,
+            )
+        if not banerjee_test(w, r, domain.intervals[k]):
+            bound = domain.intervals[k].describe(domain.bound_names[k])
+            return DependenceEvidence(
+                array=name,
+                verdict=Verdict.ABSENT,
+                test="banerjee",
+                reason=(
+                    f"dim {k}: {w.describe(domain.index_names[k])} never meets "
+                    f"{r.describe(domain.index_names[k] + chr(39))} over {bound}"
+                ),
+                domain=domain,
+                equations=equations,
+                failing_dim=k,
+            )
+
+    # Both coarse tests pass everywhere: sweep each (separable) dimension.
+    producer: List[int] = []
+    consumer: List[int] = []
+    for k, (w, r) in enumerate(zip(writer.subscripts, reader.subscripts)):
+        solution = _solve_dimension(w, r, domain.intervals[k], cap=cap)
+        if isinstance(solution, Unknown):
+            return DependenceEvidence(
+                array=name,
+                verdict=Verdict.MAY,
+                test="scan-cap",
+                reason=(
+                    f"dim {k} is symbolic and no solution surfaced within the "
+                    f"first {cap} iterations"
+                ),
+                domain=domain,
+                equations=equations,
+                failing_dim=k,
+            )
+        if solution is None:
+            return DependenceEvidence(
+                array=name,
+                verdict=Verdict.ABSENT,
+                test="enumerate",
+                reason=(
+                    f"dim {k}: exhaustive sweep of "
+                    f"{domain.intervals[k].describe()} finds no solution"
+                ),
+                domain=domain,
+                equations=equations,
+                failing_dim=k,
+            )
+        producer.append(solution[0])
+        consumer.append(solution[1])
+
+    witness = (IVec(producer), IVec(consumer))
+    return DependenceEvidence(
+        array=name,
+        verdict=Verdict.MUST,
+        test="witness",
+        reason=(
+            f"iterations {tuple(witness[0])} -> {tuple(witness[1])} touch the "
+            f"same cell of {name}"
+        ),
+        domain=domain,
+        equations=equations,
+        witness=witness,
+    )
+
+
+def enumerate_conflicts(
+    writer: AffineAccess,
+    reader: AffineAccess,
+    domain: IterationDomain,
+    *,
+    cap: int = 16,
+) -> Iterator[Tuple[IVec, IVec]]:
+    """Every ``(producer, consumer)`` iteration pair whose cells coincide,
+    by brute force.  Unbounded axes probe ``cap`` points -- the differential
+    tests use this as the ground truth the analytic verdicts must match."""
+    box = domain.concretized(probe=cap - 1)
+    for p in box.iterations():
+        target = writer.cell(p)
+        for c in box.iterations():
+            if reader.cell(c) == target:
+                yield (p, c)
+
+
+def verify_evidence(
+    evidence: DependenceEvidence,
+    writer: Union[AffineAccess, Unknown],
+    reader: Union[AffineAccess, Unknown],
+    *,
+    probe: int = 12,
+) -> bool:
+    """Re-check a certificate independently of the tests that produced it.
+
+    * MUST -- the witness pair must lie in the domain and touch one cell.
+    * ABSENT -- brute-force enumeration (bounded dims exactly, symbolic
+      dims over a ``probe``-point prefix) must find no conflicting pair.
+    * MAY -- makes no claim; vacuously valid.
+    """
+    if evidence.verdict is Verdict.MAY:
+        return True
+    if isinstance(writer, Unknown) or isinstance(reader, Unknown):
+        return False  # MUST/ABSENT are never justified on unknown accesses
+    if evidence.verdict is Verdict.MUST:
+        if evidence.witness is None:
+            return False
+        producer, consumer = evidence.witness
+        return (
+            evidence.domain.contains(producer)
+            and evidence.domain.contains(consumer)
+            and writer.cell(producer) == reader.cell(consumer)
+        )
+    conflict = next(
+        enumerate_conflicts(writer, reader, evidence.domain, cap=probe), None
+    )
+    return conflict is None

@@ -343,23 +343,37 @@ def _read_source(path: str) -> str:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+
     source = _read_source(args.file)
+    path = "<stdin>" if args.file == "-" else args.file
     fmt = args.format or ("dot" if args.dot else "json" if args.json else "text")
     if fmt == "sarif":
         from repro.lint import lint_source, render_sarif
 
-        path = "<stdin>" if args.file == "-" else args.file
-        print(render_sarif(lint_source(source, path=path)))
-        return ExitCode.OK
+        result = lint_source(source, path=path)
+        print(render_sarif(result))
+        return ExitCode.FAILURE if result.has_errors else ExitCode.OK
     nest = parse_program(source)
     records = dependence_table(nest)
     g = extract_mldg(nest, check=False)
     if fmt == "dot":
         print(mldg_to_dot(g))
         return ExitCode.OK
+    from repro.analysis.engine import analyze_nest
+    from repro.lint import lint_source
+
+    report = analyze_nest(nest, records=records, path=path)
+    # error-severity lint findings (e.g. a must-race) fail the command, so
+    # `repro-fuse analyze` doubles as a CI gate; warnings and notes do not.
+    errors = lint_source(source, path=path).has_errors
     if fmt == "json":
-        print(mldg_to_json(g))
-        return ExitCode.OK
+        # additive superset of the MLDG JSON schema: nodes/edges unchanged,
+        # with the semantic analysis report alongside
+        payload = _json.loads(mldg_to_json(g))
+        payload["analysis"] = report.to_dict()
+        print(_json.dumps(payload, indent=2))
+        return ExitCode.FAILURE if errors else ExitCode.OK
     from repro.graph import mldg_stats
 
     print(g.describe())
@@ -370,7 +384,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     outcome = direct_fusion(g)
     print()
     print(f"direct fusion: {outcome.describe()}")
-    return ExitCode.OK
+    print()
+    print(report.render_text())
+    return ExitCode.FAILURE if errors else ExitCode.OK
 
 
 def _report_fusion(

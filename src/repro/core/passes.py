@@ -32,6 +32,7 @@ from repro.loopir import LoopNest, parse_program
 from repro.loopir.validate import ValidationError, model_findings
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.analysis.prune import PruneResult
     from repro.core.session import Session
     from repro.resilience.ladder import ResilientFusionResult
 
@@ -70,6 +71,7 @@ class Artifact:
     fused: Optional[FusedProgram] = None
     resilient: Optional["ResilientFusionResult"] = None
     partitioned: Optional[LoopNest] = None
+    prune: Optional["PruneResult"] = None
     notes: List[str] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
@@ -253,12 +255,21 @@ class ResilientFusePass(Pass):
 
 
 def strict_passes() -> Tuple[Pass, ...]:
-    """The strict pipeline: any stage failure raises its typed error."""
+    """The strict pipeline: any stage failure raises its typed error.
+
+    Edge pruning sits between extraction and legality so the structural
+    check -- and everything downstream -- sees the already-proven-minimal
+    graph.  (Imported lazily: :mod:`repro.analysis.prune` subclasses
+    :class:`Pass` from this module.)
+    """
+    from repro.analysis.prune import PruneMLDGPass
+
     return (
         ParsePass(),
         ValidatePass(),
         LintPass(),
         ExtractMLDGPass(),
+        PruneMLDGPass(),
         LegalityPass(),
         FusePass(),
         VerifyRetimingPass(),
@@ -273,10 +284,13 @@ def resilient_passes() -> Tuple[Pass, ...]:
     over budget caps can still degrade to the original program without
     paying (or requiring) the structural check.
     """
+    from repro.analysis.prune import PruneMLDGPass
+
     return (
         ParsePass(),
         ValidatePass(),
         LintPass(),
         ExtractMLDGPass(),
+        PruneMLDGPass(),
         ResilientFusePass(),
     )

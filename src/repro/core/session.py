@@ -94,6 +94,11 @@ class SessionOptions:
     ladder: Optional[Union[str, Sequence[str]]] = None
     #: Default worker count for :meth:`Session.fuse_many`.
     jobs: int = 4
+    #: Run the certificate-carrying MLDG edge-pruning pass
+    #: (:mod:`repro.analysis.prune`).  Off: the pipeline compiles the
+    #: fully syntactic graph -- how the equivalence tests compare pruned
+    #: and unpruned output.
+    prune_edges: bool = True
     #: Seeded fault injector active while the session is (chaos testing;
     #: ``repro.resilience.faults``).  Injection is thread-local, so batch
     #: worker threads re-enter it per program.

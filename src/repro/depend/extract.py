@@ -50,7 +50,14 @@ class DependenceRecord:
 
 
 def dependence_table(nest: LoopNest, *, check: bool = True) -> List[DependenceRecord]:
-    """All flow dependencies of the nest (Definition 2.1), one per read.
+    """All flow dependencies of the nest (Definition 2.1).
+
+    One record per *distinct offset* a statement reads an array at: an
+    expression like ``a[i][j-1] + a[i][j-1]`` induces one dependence, not
+    two, while ``a[i][j-1] + a[i][j-2]`` induces two.  Each record's ``ref``
+    is a consuming :class:`~repro.loopir.ast_nodes.ArrayRef`, preferring one
+    that carries a source span so diagnostics (LF204, witness reporting)
+    can always point at the exact read.
 
     With ``check`` (default) the nest is validated against the program model
     first, so the resulting vectors are guaranteed meaningful.
@@ -62,6 +69,7 @@ def dependence_table(nest: LoopNest, *, check: bool = True) -> List[DependenceRe
     records: List[DependenceRecord] = []
     for loop in nest.loops:
         for stmt in loop.statements:
+            seen: Dict[Tuple[str, IVec], int] = {}
             for ref in stmt.reads():
                 if ref.array not in writers:
                     continue
@@ -71,6 +79,24 @@ def dependence_table(nest: LoopNest, *, check: bool = True) -> List[DependenceRe
                     # intra-body same-iteration flow: preserved by statement
                     # order, not an MLDG edge (see module docstring)
                     continue
+                key = (ref.array, ref.offset)
+                if key in seen:
+                    # duplicate read at the same offset: keep one record,
+                    # upgrading its ref if this occurrence has a span and
+                    # the recorded one does not
+                    k = seen[key]
+                    if records[k].ref is not None and records[k].ref.span is None and ref.span is not None:
+                        records[k] = DependenceRecord(
+                            array=ref.array,
+                            src=w_label,
+                            dst=loop.label,
+                            vector=vector,
+                            producer=w_stmt,
+                            consumer=stmt,
+                            ref=ref,
+                        )
+                    continue
+                seen[key] = len(records)
                 records.append(
                     DependenceRecord(
                         array=ref.array,

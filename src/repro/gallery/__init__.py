@@ -25,6 +25,8 @@ from repro.gallery.common import (
     all_section5_examples,
     floyd_steinberg_mldg,
     iir2d_mldg,
+    phantom_dependence_code,
+    phantom_dependence_mldg,
     Section5Example,
 )
 
@@ -39,6 +41,8 @@ __all__ = [
     "figure14_expected_retiming",
     "iir2d_mldg",
     "floyd_steinberg_mldg",
+    "phantom_dependence_code",
+    "phantom_dependence_mldg",
     "Section5Example",
     "all_section5_examples",
     "ExtendedKernel",

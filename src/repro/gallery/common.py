@@ -32,6 +32,8 @@ __all__ = [
     "iir2d_code",
     "floyd_steinberg_mldg",
     "floyd_steinberg_code",
+    "phantom_dependence_code",
+    "phantom_dependence_mldg",
     "Section5Example",
     "all_section5_examples",
 ]
@@ -104,6 +106,51 @@ def floyd_steinberg_code() -> Optional[str]:
     experiments therefore synthesise the fused form directly.
     """
     return None
+
+
+def phantom_dependence_code() -> str:
+    """A nest with *syntactic-but-infeasible* dependences (bounded domain).
+
+    The bounds are concrete (``i in [0, 6]``, ``j in [0, 8]``), so the
+    Banerjee test can decide dependences exactly.  Two reads look like
+    dependences to the syntactic extractor but can never be realised:
+
+    * ``a[i-9][j]`` in loop B -- distance 9 exceeds the outer extent 6, so
+      the ``A -> B`` edge keeps only its genuine ``(0, 1)`` vector;
+    * ``a[i-8][j]`` in loop C -- distance 8, and the only vector of
+      ``A -> C``: the edge-pruning pass removes the edge entirely.
+
+    The showcase program of :mod:`repro.analysis` (docs/ANALYSIS.md); not
+    part of the Section-5 experiment table.
+    """
+    return dedent(
+        """
+        do i = 0, 6
+          doall j = 0, 8        ! loop A
+            a[i][j] = x[i][j]
+          end
+          doall j = 0, 8        ! loop B
+            b[i][j] = a[i][j-1] + a[i-9][j]
+          end
+          doall j = 0, 8        ! loop C
+            c[i][j] = b[i-1][j] + a[i-8][j]
+          end
+        end
+        """
+    ).strip()
+
+
+def phantom_dependence_mldg() -> MLDG:
+    """The *syntactic* MLDG of :func:`phantom_dependence_code` -- i.e. the
+    graph before pruning, with both infeasible vectors still present."""
+    return mldg_from_table(
+        {
+            ("A", "B"): [(0, 1), (9, 0)],
+            ("A", "C"): [(8, 0)],
+            ("B", "C"): [(1, 0)],
+        },
+        nodes=["A", "B", "C"],
+    )
 
 
 @dataclass(frozen=True)

@@ -83,6 +83,30 @@ class MLDG:
         """Delete the edge and all its vectors; raises ``KeyError`` if absent."""
         del self._edges[(src, dst)]
 
+    def remove_dependence(self, src: str, dst: str, *vectors: IVec) -> None:
+        """Remove individual vectors from an edge (the edge-pruning API).
+
+        The edge itself disappears when its last vector goes -- an edge
+        with an empty ``D_L`` would have no lexicographic minimum.  Raises
+        ``KeyError`` if the edge is absent and ``ValueError`` if a vector
+        is not on it: pruning a dependence that was never recorded is a
+        caller bug, not a no-op.
+        """
+        if not vectors:
+            raise ValueError("remove_dependence needs at least one vector")
+        key = (src, dst)
+        existing = self._edges[key]
+        missing = [v for v in vectors if v not in existing]
+        if missing:
+            raise ValueError(
+                f"vectors {missing} are not on edge {src} -> {dst}: {sorted(existing)}"
+            )
+        remaining = existing - frozenset(vectors)
+        if remaining:
+            self._edges[key] = remaining
+        else:
+            del self._edges[key]
+
     # ------------------------------------------------------------------ #
     # inspection
     # ------------------------------------------------------------------ #

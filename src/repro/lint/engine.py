@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis import rules as _analysis_rules  # noqa: F401  (populates the registry)
+from repro.analysis.engine import AnalysisReport, analyze_nest
 from repro.depend.extract import DependenceRecord, dependence_table, extract_mldg, records_by_edge
 from repro.graph.legality import LegalityReport, check_legal
 from repro.graph.mldg import MLDG
@@ -56,6 +58,22 @@ class LintContext:
     _edge_index: Optional[Dict[Tuple[str, str], List[DependenceRecord]]] = field(
         default=None, repr=False
     )
+    _analysis: Optional[AnalysisReport] = field(default=None, repr=False)
+
+    def analysis(self) -> Optional[AnalysisReport]:
+        """The semantic analysis report (LF4xx rules, LF103 witnesses).
+
+        ``None`` without a nest or without a dependence table -- multiple
+        writers (LF101) make the table ambiguous, so the analysis layer
+        stays silent rather than guessing.
+        """
+        if self.nest is None or self.records is None:
+            return None
+        if self._analysis is None:
+            self._analysis = analyze_nest(
+                self.nest, records=self.records, path=self.path
+            )
+        return self._analysis
 
     def model_findings(self) -> List[ModelFinding]:
         if self.nest is None:

@@ -20,15 +20,18 @@ disagree; graph-layer rules build on :mod:`repro.graph.legality` and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro.analysis.tests import Verdict
 from repro.graph.legality import fusion_preventing_vectors, zero_weight_cycle
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.doall import static_doall_races
 from repro.lint.registry import rule
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import AnalysisReport, ClassifiedDependence
     from repro.lint.engine import LintContext
+    from repro.loopir.ast_nodes import SourceSpan
 
 __all__ = ["MODEL_RULE_CODES"]
 
@@ -92,6 +95,28 @@ rule(
 )(_model_checker("LF102"))
 
 
+def _race_evidence(
+    report: "AnalysisReport", span: "Optional[SourceSpan]"
+) -> "Optional[ClassifiedDependence]":
+    """The classified inner-carried self-dependence behind an LF103 finding.
+
+    Matched by the racing read's source span when available, falling back
+    to the first inner-carried self-dependence otherwise.
+    """
+    racy = [
+        d
+        for d in report.dependences
+        if d.record.src == d.record.dst
+        and d.record.vector[0] == 0
+        and any(c != 0 for c in d.record.vector[1:])
+    ]
+    if span is not None:
+        for d in racy:
+            if d.record.ref is not None and d.record.ref.span == span:
+                return d
+    return racy[0] if racy else None
+
+
 @rule(
     "LF103",
     "static-doall-race",
@@ -103,11 +128,51 @@ rule(
 def check_doall_race(ctx: "LintContext") -> Iterator[Diagnostic]:
     """Static complement of ``runtime_doall_violations``.
 
-    With source available, the model analysis pinpoints the racing read;
-    for an abstract MLDG the self-edges are inspected directly.
+    With source available, the model analysis pinpoints the racing read and
+    the dependence tests sharpen the verdict: a *must* race gains a concrete
+    witness iteration pair, and a race that is provably absent within the
+    declared (concrete) bounds downgrades to a warning -- the program-model
+    gate still rejects the loop, but the diagnostic says why it is safe at
+    these bounds.  For an abstract MLDG the self-edges are inspected
+    directly.
     """
     if ctx.nest is not None:
-        yield from _model_checker("LF103")(ctx)
+        report = ctx.analysis()
+        for f in ctx.model_findings():
+            if f.code != "LF103":
+                continue
+            severity = Severity.ERROR
+            message, hint = f.message, f.hint
+            d = _race_evidence(report, f.span) if report is not None else None
+            if d is not None:
+                ev = d.evidence
+                if ev.verdict is Verdict.MUST and ev.witness is not None:
+                    producer, consumer = ev.witness
+                    message += (
+                        f"; must-race witness: iterations {tuple(producer)} "
+                        f"and {tuple(consumer)} touch the same cell of "
+                        f"'{d.record.array}'"
+                    )
+                elif ev.verdict is Verdict.ABSENT:
+                    severity = Severity.WARNING
+                    message += (
+                        f"; may-race downgraded: provably absent over "
+                        f"{ev.domain.describe()} ({ev.test}: {ev.reason})"
+                    )
+                    hint = (
+                        "the program-model gate still rejects claimed-DOALL "
+                        "loops with syntactic inner-carried dependences; fix "
+                        "the offsets to clear LF103 entirely"
+                    )
+                else:
+                    message += "; may-race: the dependence tests cannot decide"
+            yield Diagnostic(
+                code="LF103",
+                severity=severity,
+                message=message,
+                span=f.span,
+                hint=hint,
+            )
         return
     if ctx.mldg is None:
         return

@@ -1,0 +1,73 @@
+"""The affine subscript abstraction (repro.analysis.affine)."""
+
+import pytest
+
+from repro.analysis.affine import (
+    UNKNOWN,
+    AffineAccess,
+    AffineSubscript,
+    Unknown,
+    affine_access,
+)
+from repro.loopir.parser import parse_program
+from repro.vectors import IVec
+
+
+class TestAffineSubscript:
+    def test_value(self):
+        assert AffineSubscript(1, -2).value(5) == 3
+        assert AffineSubscript(3, 1).value(4) == 13
+        assert AffineSubscript(0, 7).value(999) == 7  # constant subscript
+
+    def test_describe(self):
+        assert AffineSubscript(1, 0).describe("i") == "i"
+        assert AffineSubscript(1, 2).describe("i") == "i+2"
+        assert AffineSubscript(1, -9).describe("i") == "i-9"
+        assert AffineSubscript(2, 1).describe("j") == "2*j+1"
+        assert AffineSubscript(0, 4).describe("j") == "4"
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError, match="negative subscript coefficient"):
+            AffineSubscript(-1, 0)
+
+
+class TestUnknown:
+    def test_singleton(self):
+        assert Unknown() is UNKNOWN
+        assert repr(UNKNOWN) == "UNKNOWN"
+
+
+class TestAffineAccess:
+    def test_cell(self):
+        access = AffineAccess(
+            "a", (AffineSubscript(1, -1), AffineSubscript(2, 3))
+        )
+        assert access.dim == 2
+        assert access.cell(IVec([4, 5])) == IVec([3, 13])
+
+    def test_describe(self):
+        access = AffineAccess("a", (AffineSubscript(1, 0), AffineSubscript(1, -2)))
+        assert access.describe(("i", "j")) == "a[i][j-2]"
+
+
+class TestLifting:
+    def test_parsed_refs_lift_exactly(self):
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  doall j = 0, m\n"
+            "    a[i][j] = x[i-1][j+2]\n"
+            "  end\n"
+            "end\n"
+        )
+        stmt = nest.loops[0].statements[0]
+        target = affine_access(stmt.target)
+        assert not isinstance(target, Unknown)
+        assert target.array == "a"
+        assert all(s.coeff == 1 for s in target.subscripts)
+        assert tuple(s.offset for s in target.subscripts) == (0, 0)
+
+        (read,) = stmt.reads()
+        lifted = affine_access(read)
+        assert tuple(s.offset for s in lifted.subscripts) == tuple(read.offset)
+        assert lifted.span is read.span  # diagnostics can still point home
+        assert lifted.cell(IVec([3, 4])) == IVec([2, 6])

@@ -1,0 +1,115 @@
+"""Dataflow fixpoints and access regions (repro.analysis.dataflow), plus
+the iteration-domain model they run over (repro.analysis.domain)."""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    access_regions,
+    liveness,
+    reaching_definitions,
+    statement_sites,
+)
+from repro.analysis.domain import Interval, domain_of_nest, subscript_interval
+from repro.gallery.common import iir2d_code, phantom_dependence_code
+from repro.loopir.parser import parse_program
+from repro.vectors import IVec
+
+
+@pytest.fixture(scope="module")
+def iir():
+    return parse_program(iir2d_code())
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    return parse_program(phantom_dependence_code())
+
+
+class TestDomain:
+    def test_symbolic_bounds_stay_unbounded(self, iir):
+        domain = domain_of_nest(iir)
+        assert not domain.bounded
+        assert domain.size() is None
+        assert domain.describe() == "i in [0, n] x j in [0, m]"
+
+    def test_concrete_bounds_are_exact_and_inclusive(self, phantom):
+        domain = domain_of_nest(phantom)
+        assert domain.bounded
+        assert domain.size() == 7 * 9  # inclusive bounds, like run_original
+        assert domain.contains(IVec([6, 8]))
+        assert not domain.contains(IVec([7, 0]))
+
+    def test_interval_containment(self):
+        assert Interval(0, 6).contains_interval(Interval(1, 5))
+        assert not Interval(0, 6).contains_interval(Interval(-1, 5))
+        assert not Interval(0, 6).contains_interval(Interval(0, None))
+        assert Interval(0, None).contains_interval(Interval(3, None))
+
+    def test_subscript_interval(self):
+        assert subscript_interval(1, -2, Interval(0, 6)) == Interval(-2, 4)
+        assert subscript_interval(0, 5, Interval(0, 6)) == Interval(5, 5)
+        assert subscript_interval(2, 1, Interval(0, None)) == Interval(1, None)
+
+
+class TestReachingDefinitions:
+    def test_program_order_reaches_first_iteration(self, iir):
+        rd = reaching_definitions(iir)
+        sites = statement_sites(iir)
+        assert [s.loop for s in sites] == ["W", "U", "Y"]
+        # U reads w[i][j]: the write of 'w' is textually earlier, so it
+        # already reaches on the very first outer iteration.
+        assert rd.reaches_first_iteration(1, "w")
+        # W reads y[i-1][j-2]: 'y' is written later, so at i = 0 the read
+        # sees seeded memory -- but in steady state the back edge carries it.
+        assert not rd.reaches_first_iteration(0, "y")
+        assert "y" in rd.steady[0]
+
+
+class TestLiveness:
+    def test_consumed_writes_are_live(self, iir):
+        lv = liveness(iir)
+        # w is read by U, u by Y, y by W (next outer iteration): all live.
+        assert all(lv.write_is_live(k) for k in range(3))
+
+    def test_unread_write_is_dead(self):
+        nest = parse_program(
+            "do i = 0, n\n"
+            "  doall j = 0, m\n"
+            "    a[i][j] = x[i][j]\n"
+            "  end\n"
+            "  doall j = 0, m\n"
+            "    b[i][j] = a[i][j]\n"
+            "  end\n"
+            "end\n"
+        )
+        lv = liveness(nest)
+        assert lv.write_is_live(0)  # a feeds b
+        assert not lv.write_is_live(1)  # b feeds nothing
+
+
+class TestAccessRegions:
+    def test_phantom_hulls(self, phantom):
+        regions = access_regions(phantom, domain_of_nest(phantom))
+        a = regions["a"]
+        assert a.written == (Interval(0, 6), Interval(0, 8))
+        # reads: a[i][j-1], a[i-9][j], a[i-8][j]
+        assert a.read == (Interval(-9, 6), Interval(-1, 8))
+        assert a.read_escapes_written() == 0
+
+        x = regions["x"]  # pure input: read but never written
+        assert x.written is None
+        assert x.read_escapes_written() is None
+
+    def test_contained_reads_do_not_escape(self):
+        nest = parse_program(
+            "do i = 0, 4\n"
+            "  doall j = 0, 4\n"
+            "    a[i][j] = x[i][j]\n"
+            "  end\n"
+            "  doall j = 0, 4\n"
+            "    b[i][j] = a[i][j]\n"
+            "  end\n"
+            "end\n"
+        )
+        regions = access_regions(nest, domain_of_nest(nest))
+        assert regions["a"].read_escapes_written() is None

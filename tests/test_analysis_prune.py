@@ -1,0 +1,150 @@
+"""Certificate-carrying MLDG edge pruning (repro.analysis.prune): the
+graph transform, the pipeline pass and its gating, and the golden
+guarantee that pruning never changes execution results."""
+
+import pytest
+
+from repro.analysis.engine import analyze_nest
+from repro.analysis.prune import PruneMLDGPass, prune_mldg
+from repro.analysis.tests import Verdict
+from repro.codegen.interp import ArrayStore, run_original
+from repro.core.passes import Artifact
+from repro.core.session import Session, SessionOptions
+from repro.depend import extract_mldg
+from repro.gallery import phantom_dependence_mldg
+from repro.gallery.common import (
+    all_section5_examples,
+    phantom_dependence_code,
+)
+from repro.graph import mldg_from_table
+from repro.loopir.parser import parse_program
+from repro.resilience.faults import RetimingDrop, inject
+from repro.vectors import IVec
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    return parse_program(phantom_dependence_code())
+
+
+class TestPruneMldg:
+    def test_phantom_edges_are_pruned_with_certificates(self, phantom):
+        g = extract_mldg(phantom)
+        assert g.D("A", "B") == {IVec([0, 1]), IVec([9, 0])}
+        pruned, result = prune_mldg(phantom, g)
+
+        assert pruned.D("A", "B") == {IVec([0, 1])}
+        assert not pruned.has_edge("A", "C")  # last vector gone -> edge gone
+        assert pruned.D("B", "C") == {IVec([1, 0])}
+        assert result.removed_vector_count == 2
+        assert result.removed_edges == (("A", "C"),)
+        for p in result.pruned:
+            assert p.evidence.verdict is Verdict.ABSENT
+            assert p.evidence.test in {"gcd", "banerjee", "enumerate"}
+
+        # the input graph is never mutated
+        assert g.D("A", "B") == {IVec([0, 1]), IVec([9, 0])}
+
+    def test_extracted_graph_matches_gallery_syntactic_mldg(self, phantom):
+        g = extract_mldg(phantom)
+        expected = phantom_dependence_mldg()
+        assert set(g.nodes) == set(expected.nodes)
+        for src, dst in [("A", "B"), ("A", "C"), ("B", "C")]:
+            assert g.D(src, dst) == expected.D(src, dst)
+
+    def test_every_certificate_reverifies_by_enumeration(self, phantom):
+        report = analyze_nest(phantom)
+        assert report.counts() == {"must": 2, "may": 0, "absent": 2}
+        for d in report.dependences:
+            assert d.check(), f"certificate failed re-verification: {d.evidence}"
+
+    def test_symbolic_bounds_prune_nothing(self):
+        for ex in all_section5_examples():
+            if ex.code is None:
+                continue
+            nest = parse_program(ex.code)
+            g = extract_mldg(nest)
+            pruned, result = prune_mldg(nest, g)
+            assert result.pruned == ()  # fig2/iir2d declare symbolic bounds
+            assert {e.src for e in pruned.edges()} == {e.src for e in g.edges()}
+
+    def test_remove_dependence_rejects_unknown_vectors(self):
+        g = mldg_from_table({("A", "B"): [(0, 1)]}, nodes=["A", "B"])
+        with pytest.raises(ValueError, match="not on edge"):
+            g.remove_dependence("A", "B", IVec([5, 5]))
+        with pytest.raises(ValueError):
+            g.remove_dependence("A", "B")  # empty vector list is a caller bug
+
+
+class TestPruneMLDGPass:
+    def _artifact(self, nest):
+        return Artifact(source=None, nest=nest, mldg=extract_mldg(nest))
+
+    def test_pass_prunes_and_notes(self, phantom):
+        artifact = self._artifact(phantom)
+        PruneMLDGPass().run(artifact, Session())
+        assert not artifact.mldg.has_edge("A", "C")
+        assert artifact.prune is not None
+        assert artifact.prune.removed_vector_count == 2
+        assert any("provably-absent" in note for note in artifact.notes)
+
+    def test_opt_out_skips(self, phantom):
+        artifact = self._artifact(phantom)
+        session = Session(options=SessionOptions(prune_edges=False))
+        PruneMLDGPass().run(artifact, session)
+        assert artifact.mldg.has_edge("A", "C")
+        assert artifact.prune is None
+
+    def test_active_fault_injection_skips(self, phantom):
+        artifact = self._artifact(phantom)
+        with inject(RetimingDrop(), seed=0):
+            PruneMLDGPass().run(artifact, Session())
+        assert artifact.mldg.has_edge("A", "C")  # untouched
+        assert any("fault injection" in note for note in artifact.notes)
+
+
+class TestExecutionEquivalence:
+    """Pruning is justified by certificates; these tests hold it to the
+    stronger operational standard: identical execution output."""
+
+    def _outputs(self, source, n, m, prune):
+        session = Session(options=SessionOptions(prune_edges=prune))
+        out = session.fuse_program(source)
+        return out, out.emitted_code()
+
+    def test_phantom_fuses_identically_with_and_without_pruning(self):
+        source = phantom_dependence_code()
+        nest = parse_program(source)
+        on, code_on = self._outputs(source, 6, 8, prune=True)
+        off, code_off = self._outputs(source, 6, 8, prune=False)
+        assert any("pruned" in note for note in on.notes)
+        assert not any("pruned" in note for note in off.notes)
+        assert code_on == code_off
+
+        from repro.verify import check_equivalence
+
+        for result in (on, off):
+            report = check_equivalence(nest, result.fused, n=6, m=8)
+            assert report.equivalent
+
+    def test_gallery_wide_pruned_output_matches_unpruned(self):
+        """Every executable gallery program, plus the phantom showcase:
+        the pruned pipeline's fused program computes bit-identically to
+        the unpruned one from the same initial store."""
+        sources = [phantom_dependence_code()] + [
+            ex.code for ex in all_section5_examples() if ex.code is not None
+        ]
+        for source in sources:
+            nest = parse_program(source)
+            on, code_on = self._outputs(source, 6, 8, prune=True)
+            off, code_off = self._outputs(source, 6, 8, prune=False)
+            assert code_on == code_off, source
+
+            from repro.codegen.interp import run_fused
+
+            n, m = 6, 8
+            base = ArrayStore.for_program(nest, n, m, seed=3)
+            reference = run_original(nest, n, m, store=base.copy())
+            for result in (on, off):
+                got = run_fused(result.fused, n, m, store=base.copy())
+                assert reference.equal(got), source

@@ -1,0 +1,145 @@
+"""Analysis-layer lint integration: the LF4xx rules through the shared
+registry/suppression/SARIF machinery, and LF103's semantic upgrade."""
+
+import json
+import pathlib
+
+from repro.lint import Severity, get_rule, lint_source, render_sarif, rule_codes
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(path.read_text(), path=name)
+
+
+class TestRegistryIntegration:
+    def test_lf4xx_registered_in_analysis_layer(self):
+        for code in ("LF401", "LF402", "LF403"):
+            r = get_rule(code)
+            assert r.layer == "analysis"
+            assert code in rule_codes()
+
+    def test_severities(self):
+        assert get_rule("LF401").severity is Severity.WARNING
+        assert get_rule("LF402").severity is Severity.WARNING
+        assert get_rule("LF403").severity is Severity.INFO
+
+
+class TestSuppression:
+    def test_inline_suppression_silences_lf401(self):
+        src = (
+            "do i = 0, 4\n"
+            "  doall j = 0, 4\n"
+            "    a[i][j] = x[i][j]\n"
+            "  end\n"
+            "  doall j = 0, 4\n"
+            "    b[i][j] = a[i-7][j] + a[i][j]  ! lint: disable=LF401\n"
+            "  end\n"
+            "end\n"
+        )
+        result = lint_source(src)
+        assert "LF401" not in result.codes
+        assert "LF301" in result.codes  # other codes unaffected
+
+    def test_file_wide_suppression_covers_analysis_codes(self):
+        src = (
+            "! lint: disable=LF301, LF403\n"
+            "do i = 0, 4\n"
+            "  doall j = 0, 4\n"
+            "    a[i][j] = x[i][j]\n"
+            "  end\n"
+            "  doall j = 0, 4\n"
+            "    b[i][j] = a[i][j-1]\n"
+            "  end\n"
+            "end\n"
+        )
+        assert lint_source(src).diagnostics == []
+
+
+class TestSarif:
+    def test_driver_rules_table_has_stable_lf4xx_entries(self):
+        log = json.loads(render_sarif(lint_fixture("lf401.loop")))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == rule_codes()  # stable, sorted indices
+        by_id = {r["id"]: r for r in rules}
+        for code in ("LF401", "LF402", "LF403"):
+            assert by_id[code]["helpUri"].endswith(f"#{code.lower()}")
+
+    def test_result_rule_indices_resolve(self):
+        log = json.loads(render_sarif(lint_fixture("lf402.loop")))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} >= {"LF401", "LF402"}
+        for res in results:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+
+class TestLf403Scope:
+    def test_message_carries_inferred_interval(self):
+        result = lint_fixture("lf403.loop")
+        (hit,) = result.by_code("LF403")
+        assert "a[0, 4][-1, 3]" in hit.message
+        assert "dim 1" in hit.message
+
+    def test_symbolic_bounds_stay_silent(self):
+        # the same halo read over symbolic bounds is the model's accepted
+        # idiom (every recurrence reads the halo at the boundary)
+        src = (
+            "do i = 0, n\n"
+            "  doall j = 0, m\n"
+            "    a[i][j] = x[i][j]\n"
+            "  end\n"
+            "  doall j = 0, m\n"
+            "    b[i][j] = a[i][j-1]\n"
+            "  end\n"
+            "end\n"
+        )
+        assert "LF403" not in lint_source(src).codes
+
+
+class TestLf103Upgrade:
+    def test_must_race_carries_witness_pair(self):
+        src = (
+            "do i = 0, 4\n"
+            "  doall j = 0, 4\n"
+            "    a[i][j] = a[i][j-1]\n"
+            "  end\n"
+            "end\n"
+        )
+        result = lint_source(src)
+        (hit,) = result.by_code("LF103")
+        assert hit.severity is Severity.ERROR
+        assert "must-race witness: iterations (0, 0) and (0, 1)" in hit.message
+        assert result.exit_code == 2
+
+    def test_provably_absent_race_downgrades_to_warning(self):
+        # inner offset 5 over j in [0, 2]: syntactically a race, semantically
+        # unrealisable -- Banerjee proves it away and the severity drops
+        src = (
+            "do i = 0, 4\n"
+            "  doall j = 0, 2\n"
+            "    a[i][j] = a[i][j-5]\n"
+            "  end\n"
+            "end\n"
+        )
+        result = lint_source(src)
+        (hit,) = result.by_code("LF103")
+        assert hit.severity is Severity.WARNING
+        assert "may-race downgraded: provably absent" in hit.message
+        assert "banerjee" in hit.message
+        assert result.exit_code == 1  # no longer a hard error
+
+    def test_symbolic_domain_race_stays_an_error(self):
+        src = (
+            "do i = 0, n\n"
+            "  doall j = 0, m\n"
+            "    a[i][j] = a[i][j-1]\n"
+            "  end\n"
+            "end\n"
+        )
+        result = lint_source(src)
+        (hit,) = result.by_code("LF103")
+        assert hit.severity is Severity.ERROR

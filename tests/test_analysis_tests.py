@@ -1,0 +1,187 @@
+"""GCD/Banerjee dependence tests and their certificates
+(repro.analysis.tests), including the differential property tests that
+check every analytic verdict against brute-force enumeration."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.affine import UNKNOWN, AffineAccess, AffineSubscript
+from repro.analysis.domain import Interval, IterationDomain
+from repro.analysis.tests import (
+    Verdict,
+    banerjee_test,
+    classify,
+    enumerate_conflicts,
+    gcd_test,
+    verify_evidence,
+)
+
+
+def _domain(*intervals, names=("i", "j")):
+    ivs = tuple(intervals)
+    return IterationDomain(
+        intervals=ivs,
+        index_names=names[: len(ivs)],
+        bound_names=tuple(
+            "n" if iv.hi is None else str(iv.hi) for iv in ivs
+        ),
+    )
+
+
+def _access(*subs, array="a"):
+    return AffineAccess(array, tuple(AffineSubscript(c, o) for c, o in subs))
+
+
+class TestGcd:
+    def test_divisibility(self):
+        # 2p == 2c + 1 has no integer solution; 2p == 2c + 4 does.
+        assert not gcd_test(AffineSubscript(2, 0), AffineSubscript(2, 1))
+        assert gcd_test(AffineSubscript(2, 0), AffineSubscript(2, 4))
+
+    def test_unit_coefficients_never_disprove(self):
+        assert gcd_test(AffineSubscript(1, 0), AffineSubscript(1, -999))
+
+    def test_both_constant(self):
+        assert gcd_test(AffineSubscript(0, 3), AffineSubscript(0, 3))
+        assert not gcd_test(AffineSubscript(0, 3), AffineSubscript(0, 4))
+
+
+class TestBanerjee:
+    def test_distance_exceeding_extent_is_absent(self):
+        # writer touches i, reader touches i' - 9 over [0, 6]
+        assert not banerjee_test(
+            AffineSubscript(1, 0), AffineSubscript(1, -9), Interval(0, 6)
+        )
+
+    def test_reachable_distance_passes(self):
+        assert banerjee_test(
+            AffineSubscript(1, 0), AffineSubscript(1, -3), Interval(0, 6)
+        )
+
+    def test_unbounded_interval_cannot_exclude_reachable_offsets(self):
+        assert banerjee_test(
+            AffineSubscript(1, 0), AffineSubscript(1, -9), Interval(0, None)
+        )
+
+
+class TestClassify:
+    def test_bounded_absent_with_banerjee_certificate(self):
+        ev = classify(
+            _access((1, 0), (1, 0)),
+            _access((1, -9), (1, 0)),
+            _domain(Interval(0, 6), Interval(0, 8)),
+        )
+        assert ev.verdict is Verdict.ABSENT
+        assert ev.test == "banerjee"
+        assert ev.failing_dim == 0
+        assert "never meets" in ev.reason
+
+    def test_bounded_must_carries_in_domain_witness(self):
+        domain = _domain(Interval(0, 6), Interval(0, 8))
+        ev = classify(
+            _access((1, 0), (1, 0)), _access((1, 0), (1, -1)), domain
+        )
+        assert ev.verdict is Verdict.MUST
+        assert ev.test == "witness"
+        producer, consumer = ev.witness
+        assert domain.contains(producer) and domain.contains(consumer)
+
+    def test_unknown_access_stays_may(self):
+        ev = classify(
+            UNKNOWN, _access((1, 0), (1, 0)), _domain(Interval(0, 4), Interval(0, 4))
+        )
+        assert ev.verdict is Verdict.MAY
+        assert ev.test == "unknown-subscript"
+
+    def test_symbolic_domain_finds_nearby_witness(self):
+        ev = classify(
+            _access((1, 0), (1, 0)),
+            _access((1, -1), (1, 0)),
+            _domain(Interval(0, None), Interval(0, None)),
+        )
+        assert ev.verdict is Verdict.MUST
+
+    def test_symbolic_domain_beyond_scan_cap_degrades_to_may(self):
+        # p == 2c + 100 first solves at p = 100, far past a 16-point scan
+        # of the symbolic dimension; the verdict soundly degrades to MAY.
+        ev = classify(
+            _access((1, 0), (1, 0)),
+            _access((2, 100), (1, 0)),
+            _domain(Interval(0, None), Interval(0, None)),
+            cap=16,
+        )
+        assert ev.verdict is Verdict.MAY
+        assert ev.test == "scan-cap"
+
+    def test_certificate_serializes(self):
+        ev = classify(
+            _access((1, 0), (1, 0)),
+            _access((1, 0), (1, -1)),
+            _domain(Interval(0, 4), Interval(0, 4)),
+        )
+        payload = ev.to_dict()
+        assert payload["verdict"] == "must"
+        assert payload["witness"]["producer"] is not None
+        assert len(payload["equations"]) == 2
+        assert payload["equations"][0] == {
+            "writerCoeff": 1,
+            "writerOffset": 0,
+            "readerCoeff": 1,
+            "readerOffset": 0,
+        }
+
+
+# --------------------------------------------------------------------- #
+# differential property tests: analytic verdicts vs. brute force
+# --------------------------------------------------------------------- #
+
+subscripts = st.tuples(
+    st.integers(min_value=0, max_value=3), st.integers(min_value=-6, max_value=6)
+)
+extents = st.integers(min_value=0, max_value=5)
+
+
+@given(subscripts, subscripts, subscripts, subscripts, extents, extents)
+@settings(max_examples=200, deadline=None)
+def test_bounded_verdicts_match_enumeration(w0, w1, r0, r1, ext0, ext1):
+    """On a fully bounded domain every verdict is exact: MUST iff the
+    brute-force sweep finds a conflicting pair, ABSENT iff it does not,
+    and never MAY."""
+    writer = _access(w0, w1)
+    reader = _access(r0, r1)
+    domain = _domain(Interval(0, ext0), Interval(0, ext1))
+    ev = classify(writer, reader, domain)
+    truth = next(enumerate_conflicts(writer, reader, domain), None)
+    assert ev.verdict is not Verdict.MAY
+    if truth is None:
+        assert ev.verdict is Verdict.ABSENT
+    else:
+        assert ev.verdict is Verdict.MUST
+    assert verify_evidence(ev, writer, reader)
+
+
+@given(subscripts, subscripts, subscripts, subscripts, extents)
+@settings(max_examples=150, deadline=None)
+def test_symbolic_verdicts_are_sound(w0, w1, r0, r1, ext1):
+    """With a symbolic outer dimension the verdict may degrade to MAY, but
+    every MUST/ABSENT claim still re-verifies, and any conflict found in a
+    probed prefix rules ABSENT out."""
+    writer = _access(w0, w1)
+    reader = _access(r0, r1)
+    domain = _domain(Interval(0, None), Interval(0, ext1))
+    ev = classify(writer, reader, domain)
+    assert verify_evidence(ev, writer, reader)
+    if next(enumerate_conflicts(writer, reader, domain, cap=8), None) is not None:
+        assert ev.verdict is not Verdict.ABSENT
+
+
+@given(subscripts, subscripts, subscripts, subscripts, extents, extents)
+@settings(max_examples=100, deadline=None)
+def test_must_witnesses_touch_one_cell(w0, w1, r0, r1, ext0, ext1):
+    writer = _access(w0, w1)
+    reader = _access(r0, r1)
+    domain = _domain(Interval(0, ext0), Interval(0, ext1))
+    ev = classify(writer, reader, domain)
+    if ev.verdict is Verdict.MUST:
+        producer, consumer = ev.witness
+        assert writer.cell(producer) == reader.cell(consumer)
+        assert domain.contains(producer) and domain.contains(consumer)

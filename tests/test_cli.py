@@ -40,6 +40,30 @@ class TestAnalyze:
         assert main(["analyze", fig2_file, "--dot"]) == 0
         assert capsys.readouterr().out.startswith("digraph")
 
+    def test_text_includes_semantic_analysis(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "analysis of" in out
+        assert "domain: i in [0, n] x j in [0, m]" in out
+        assert "prunable: none" in out  # symbolic bounds prove nothing away
+
+    def test_json_carries_analysis_report(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"] == ["A", "B", "C", "D"]  # MLDG schema intact
+        assert payload["analysis"]["schema"] == "repro-analysis/1"
+        assert payload["analysis"]["summary"]["may"] == 0
+
+    def test_phantom_example_reports_prunable_edges(self, tmp_path, capsys):
+        from repro.gallery import phantom_dependence_code
+
+        path = tmp_path / "phantom.loop"
+        path.write_text(phantom_dependence_code())
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "prunable: A -> B {(9, 0)}" in out
+        assert "prunable: A -> C {(8, 0)}" in out
+
 
 class TestFuse:
     def test_default(self, fig2_file, capsys):

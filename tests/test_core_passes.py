@@ -33,6 +33,7 @@ def test_strict_pass_sequence():
         "validate",
         "lint",
         "extract-mldg",
+        "prune-mldg",
         "legality",
         "fuse",
         "verify-retiming",
@@ -42,7 +43,14 @@ def test_strict_pass_sequence():
 
 def test_resilient_pass_sequence_has_no_legality_pass():
     names = tuple(p.name for p in resilient_passes())
-    assert names == ("parse", "validate", "lint", "extract-mldg", "resilient-fuse")
+    assert names == (
+        "parse",
+        "validate",
+        "lint",
+        "extract-mldg",
+        "prune-mldg",
+        "resilient-fuse",
+    )
     assert "legality" not in names  # the ladder owns legality per rung
 
 
@@ -109,6 +117,7 @@ def test_pass_metrics_recorded_uniformly():
         "validate",
         "lint",
         "extract-mldg",
+        "prune-mldg",
         "legality",
         "fuse",
         "verify-retiming",

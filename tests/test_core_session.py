@@ -37,6 +37,7 @@ def test_pass_names_exposed():
         "validate",
         "lint",
         "extract-mldg",
+        "prune-mldg",
         "legality",
         "fuse",
         "verify-retiming",

@@ -31,6 +31,9 @@ GOLDEN = {
     "lf204.loop": ("LF204", Severity.INFO, 0),
     "lf301.loop": ("LF301", Severity.INFO, 0),
     "lf302.loop": ("LF302", Severity.WARNING, 1),
+    "lf401.loop": ("LF401", Severity.WARNING, 1),
+    "lf402.loop": ("LF402", Severity.WARNING, 1),
+    "lf403.loop": ("LF403", Severity.INFO, 0),
 }
 
 
@@ -154,7 +157,7 @@ class TestRegistry:
         for r in all_rules():
             assert r.code.startswith("LF") and len(r.code) == 5
             assert r.slug and r.summary
-            assert r.layer in {"source", "model", "graph", "hygiene"}
+            assert r.layer in {"source", "model", "graph", "hygiene", "analysis"}
             assert isinstance(r.severity, Severity)
 
     def test_get_rule(self):
