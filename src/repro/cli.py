@@ -8,7 +8,12 @@ Main subcommands::
     repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient,
                                        # --backend interp|compiled|parallel)
     repro-fuse batch    a.loop b.loop  # compile many programs concurrently
-                                       # (one Session, --jobs workers)
+                                       # (one Session, --jobs workers,
+                                       # --timeout-ms, --batch-pool process)
+    repro-fuse serve                   # fault-tolerant compilation daemon
+                                       # (repro-serve/1; docs/SERVING.md)
+    repro-fuse loadgen                 # drive the daemon under load/chaos
+                                       # (writes BENCH_serve.json)
     repro-fuse bench                   # perf harness (text/json, BENCH_perf shape)
     repro-fuse stats                   # dump the observability metrics registry
     repro-fuse demo     fig2           # run a gallery example end to end
@@ -253,8 +258,80 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-program wall-clock budget in milliseconds",
     )
+    p_ba.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-program deadline override: each program gets its own "
+        "armed Budget via budget_scope (wins over --deadline-ms)",
+    )
+    p_ba.add_argument(
+        "--batch-pool",
+        choices=["thread", "process"],
+        default="thread",
+        dest="batch_pool",
+        help="worker flavor: thread (shared caches) or process "
+        "(crash isolation over repro-serve/1 envelopes)",
+    )
     add_format_argument(p_ba, [TEXT, JSON])
     _add_trace_arguments(p_ba)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant compilation daemon (repro-serve/1)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_sv.add_argument("--port", type=int, default=8337, metavar="N",
+                      help="bind port (default 8337; 0 = ephemeral)")
+    p_sv.add_argument("--workers", type=int, default=2, metavar="N",
+                      help="pool worker processes (default 2)")
+    p_sv.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                      help="admission quota before shedding (default workers*4)")
+    p_sv.add_argument("--deadline-ms", type=float, default=10_000.0, metavar="N",
+                      help="default per-request deadline (default 10000)")
+    p_sv.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                      help="worker dispatch attempts per request (default 3)")
+    p_sv.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
+                      help="consecutive worker faults per workload class "
+                      "before the circuit opens (default 3)")
+    p_sv.add_argument("--breaker-cooldown-ms", type=float, default=1_000.0,
+                      metavar="N", help="open-circuit cooldown (default 1000)")
+    p_sv.add_argument("--chaos", action="store_true",
+                      help="honor request fault specs in workers "
+                      "(testing only; never in production)")
+    p_sv.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="backoff-jitter rng seed (default 0)")
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="drive a compile service under load (writes BENCH_serve.json)",
+    )
+    p_lg.add_argument("--requests", type=int, default=50, metavar="N",
+                      help="total requests (default 50)")
+    p_lg.add_argument("--concurrency", type=int, default=8, metavar="N",
+                      help="client threads (default 8)")
+    p_lg.add_argument("--workers", type=int, default=2, metavar="N",
+                      help="daemon pool workers when spawning (default 2)")
+    p_lg.add_argument("--deadline-ms", type=float, default=10_000.0, metavar="N",
+                      help="per-request deadline (default 10000)")
+    p_lg.add_argument("--resilient-every", type=int, default=3, metavar="N",
+                      help="every Nth request uses the resilient pipeline "
+                      "(default 3; 0 = never)")
+    p_lg.add_argument("--chaos-kill", type=int, default=0, metavar="N",
+                      dest="chaos_kills",
+                      help="requests carrying a seeded WorkerCrash (default 0)")
+    p_lg.add_argument("--chaos-hang", type=int, default=0, metavar="N",
+                      dest="chaos_hangs",
+                      help="requests carrying a seeded WorkerHang (default 0)")
+    p_lg.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="chaos/jitter seed (default 0)")
+    p_lg.add_argument("--url", default=None, metavar="URL",
+                      help="target a running daemon instead of spawning one")
+    p_lg.add_argument("--out", default=None, metavar="PATH",
+                      help="write the repro-bench-serve/1 JSON here "
+                      "(e.g. BENCH_serve.json)")
+    add_format_argument(p_lg, [TEXT, JSON])
 
     p_bench = sub.add_parser(
         "bench", help="performance harness (backends, memo caches, solvers)"
@@ -696,12 +773,71 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         strategy=args.strategy,
         resilient=args.resilient,
+        timeout_ms=args.timeout_ms,
+        pool=args.batch_pool,
     )
     if args.format == "json":
         print(_json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render_text())
     return ExitCode.OK if report.ok else ExitCode.FAILURE
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeDaemon
+    from repro.serve.service import ServeConfig
+
+    config = ServeConfig(
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        max_attempts=args.max_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        allow_faults=args.chaos,
+        seed=args.seed,
+    )
+    daemon = ServeDaemon(config, host=args.host, port=args.port)
+    print(f"repro-fuse serve: listening on {daemon.url} "
+          f"({args.workers} workers"
+          + (", CHAOS MODE" if args.chaos else "") + ")",
+          file=sys.stderr, flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.shutdown()
+    return ExitCode.OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.loadgen import (
+        LoadgenOptions,
+        render_report_text,
+        run_loadgen,
+    )
+
+    opts = LoadgenOptions(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        resilient_every=args.resilient_every,
+        chaos_kills=args.chaos_kills,
+        chaos_hangs=args.chaos_hangs,
+        seed=args.seed,
+        url=args.url,
+        out=args.out,
+    )
+    report = run_loadgen(opts)
+    if args.format == "json":
+        print(_json.dumps(report, indent=2))
+    else:
+        print(render_report_text(report))
+    return ExitCode.OK if not report["malformed"] else ExitCode.FAILURE
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -840,6 +976,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             return _cmd_run(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "stats":

@@ -10,8 +10,19 @@ tests in ``tests/test_core_batch.py`` hammer exactly that.
 Per program the report records status, strategy/parallelism (or the rung
 the ladder came to rest on), the structured diagnostics, notes and -- when
 the session traces -- a per-program trace id joining the entry to its own
-:class:`~repro.obs.Tracer`.  One failed program never aborts the batch;
-its typed error is recorded and the batch continues.
+:class:`~repro.obs.Tracer`.  The trace id is assigned *before* the
+compile and the tracer attached in a ``finally``, so a program whose
+compile (or whose exception's own ``__str__``) misbehaves still keeps its
+id -- :func:`run_batch` asserts exactly that.  One failed program never
+aborts the batch; its typed error is recorded and the batch continues.
+
+``timeout_ms`` arms a per-program deadline
+:class:`~repro.resilience.budget.Budget` through
+:func:`repro.core.context.budget_scope`, so concurrent workers can run
+under different deadlines against one shared session.  ``pool="process"``
+compiles each program in a worker *process* over the ``repro-serve/1``
+envelopes (crash isolation for untrusted inputs; the supervised,
+retrying variant of this mode is :mod:`repro.serve`).
 
 The aggregate is a :class:`BatchReport` (JSON schema ``repro-batch/1``)
 with text and JSON renderings.
@@ -20,11 +31,12 @@ with text and JSON renderings.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.core import context as _context
 from repro.fusion.driver import Strategy
 from repro.lint.diagnostics import Diagnostic
 from repro.loopir import LoopNest
@@ -32,7 +44,9 @@ from repro.loopir import LoopNest
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.session import Session
 
-__all__ = ["BATCH_SCHEMA", "BatchEntry", "BatchReport", "run_batch"]
+__all__ = ["BATCH_POOLS", "BATCH_SCHEMA", "BatchEntry", "BatchReport", "run_batch"]
+
+BATCH_POOLS = ("thread", "process")
 
 BATCH_SCHEMA = "repro-batch/1"
 
@@ -160,12 +174,26 @@ def _normalize(
 
 
 def _error_dict(exc: BaseException) -> Dict[str, Any]:
+    """A JSON-safe error record that survives hostile exceptions.
+
+    ``str(exc)`` and ``exc.diagnostics`` run arbitrary user-adjacent code;
+    if either raises, the record still comes back (and the batch worker's
+    own error handler -- which calls this -- cannot blow up and strand the
+    entry without its trace id)."""
+    try:
+        message = str(exc)
+    except Exception:
+        message = f"<unprintable {type(exc).__name__}>"
+    try:
+        diagnostics = [
+            d.to_dict() for d in getattr(exc, "diagnostics", None) or []
+        ]
+    except Exception:
+        diagnostics = []
     return {
         "type": type(exc).__name__,
-        "message": str(exc),
-        "diagnostics": [
-            d.to_dict() for d in getattr(exc, "diagnostics", None) or []
-        ],
+        "message": message,
+        "diagnostics": diagnostics,
     }
 
 
@@ -176,31 +204,105 @@ def _compile_one(
     *,
     strategy: Optional[Union[Strategy, str]],
     resilient: bool,
+    timeout_ms: Optional[float] = None,
 ) -> BatchEntry:
     t0 = time.perf_counter()
     tracer = obs.Tracer() if session.tracer is not None else None
+    if tracer is not None:
+        # assigned eagerly: whatever happens below, the entry keeps the id
+        # that joins it to its tracer
+        entry.trace_id = tracer.trace_id
     try:
-        with session._program_scope(tracer):
-            with obs.trace_span("batch.program", program=entry.name):
-                if resilient:
-                    out = session.fuse_program_resilient(source)
-                    entry.rung = out.rung.label
-                    entry.parallelism = out.resilient.parallelism.value
-                else:
-                    out = session.fuse_program(source, strategy=strategy)
-                    entry.strategy = out.fusion.strategy.value
-                    entry.parallelism = out.fusion.parallelism.value
-                entry.notes = list(out.notes)
-                entry.diagnostics = list(out.diagnostics)
+        budget = None
+        if timeout_ms is not None:
+            from repro.resilience.budget import Budget
+
+            budget = Budget(deadline_ms=timeout_ms).start()
+        with _context.budget_scope(budget) if budget is not None else _noop_ctx():
+            with session._program_scope(tracer):
+                with obs.trace_span("batch.program", program=entry.name):
+                    if resilient:
+                        out = session.fuse_program_resilient(source)
+                        entry.rung = out.rung.label
+                        entry.parallelism = out.resilient.parallelism.value
+                    else:
+                        out = session.fuse_program(source, strategy=strategy)
+                        entry.strategy = out.fusion.strategy.value
+                        entry.parallelism = out.fusion.parallelism.value
+                    entry.notes = list(out.notes)
+                    entry.diagnostics = list(out.diagnostics)
     except Exception as exc:  # one bad program never sinks the batch
         entry.status = "error"
         entry.error = _error_dict(exc)
-        entry.diagnostics = list(getattr(exc, "diagnostics", None) or [])
+        try:
+            entry.diagnostics = list(getattr(exc, "diagnostics", None) or [])
+        except Exception:
+            entry.diagnostics = []
     finally:
         entry.wall_ms = (time.perf_counter() - t0) * 1000.0
         if tracer is not None:
             entry.tracer = tracer
-            entry.trace_id = tracer.trace_id
+    return entry
+
+
+def _noop_ctx():
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def _compile_one_process(
+    session: "Session",
+    entry: BatchEntry,
+    source: Union[str, LoopNest],
+    executor: ProcessPoolExecutor,
+    *,
+    strategy: Optional[Union[Strategy, str]],
+    resilient: bool,
+    timeout_ms: Optional[float],
+) -> BatchEntry:
+    """Compile one program in a worker *process* over repro-serve/1."""
+    from repro.loopir.printer import format_program
+    from repro.serve import worker as serve_worker
+    from repro.serve.wire import request_from_program
+
+    t0 = time.perf_counter()
+    try:
+        text = source if isinstance(source, str) else format_program(source)
+        chosen = strategy if strategy is not None else session.options.strategy
+        req = request_from_program(
+            entry.name,
+            text,
+            strategy=chosen.value if isinstance(chosen, Strategy) else str(chosen),
+            resilient=resilient,
+            min_rung=session.options.min_rung,
+            deadline_ms=timeout_ms,
+            ladder=session.options.ladder_labels(),
+            prune_edges=session.options.prune_edges,
+            verify_execution=session.options.verify_execution,
+        )
+        resp = executor.submit(serve_worker.compile_request, req.to_dict()).result()
+        entry.trace_id = resp.get("traceId")
+        if resp.get("status") == "ok":
+            entry.strategy = resp.get("strategy")
+            entry.rung = resp.get("rung")
+            entry.parallelism = resp.get("parallelism")
+            entry.notes = list(resp.get("notes") or [])
+        else:
+            entry.status = "error"
+            entry.error = resp.get("error") or {
+                "type": "WorkerError",
+                "message": "worker returned a malformed response",
+                "diagnostics": [],
+            }
+        entry.diagnostics = [
+            Diagnostic.from_dict(d) for d in resp.get("diagnostics") or []
+        ]
+    except Exception as exc:  # pool broke / pickling / crash: record, go on
+        entry.status = "error"
+        entry.error = _error_dict(exc)
+    finally:
+        entry.wall_ms = (time.perf_counter() - t0) * 1000.0
     return entry
 
 
@@ -212,13 +314,27 @@ def run_batch(
     strategy: Optional[Union[Strategy, str]] = None,
     resilient: bool = False,
     names: Optional[Sequence[str]] = None,
+    timeout_ms: Optional[float] = None,
+    pool: str = "thread",
 ) -> BatchReport:
     """Compile ``programs`` concurrently under ``session``.
 
     ``programs`` items are DSL text, :class:`LoopNest` objects, or
     ``(name, source)`` pairs; ``names`` labels positional items.  Entries
     come back in input order regardless of completion order.
+
+    ``timeout_ms`` puts each program under its own deadline
+    :class:`~repro.resilience.budget.Budget` (via
+    :func:`repro.core.context.budget_scope`, so the shared session object
+    is never mutated).  ``pool`` selects the worker flavor: ``"thread"``
+    (default; shared caches, cheapest) or ``"process"`` (crash isolation;
+    each program travels as a ``repro-serve/1`` envelope through
+    :func:`repro.serve.worker.compile_request`).  The supervised,
+    retrying, admission-controlled variant of process mode is the
+    :mod:`repro.serve` daemon.
     """
+    if pool not in BATCH_POOLS:
+        raise ValueError(f"unknown pool {pool!r}; expected one of {BATCH_POOLS}")
     items = _normalize(programs, names)
     jobs = max(1, int(jobs))
     reg_scope = (
@@ -232,28 +348,59 @@ def run_batch(
         if reg_scope is not None:
             reg_scope.__enter__()
         obs.default_registry().counter("core.batch.runs").inc()
-        if jobs == 1:
+        if pool == "process":
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                with ThreadPoolExecutor(
+                    max_workers=jobs, thread_name_prefix="repro-batch"
+                ) as waiters:
+                    futures = [
+                        waiters.submit(
+                            _compile_one_process,
+                            session,
+                            entry,
+                            src,
+                            executor,
+                            strategy=strategy,
+                            resilient=resilient,
+                            timeout_ms=timeout_ms,
+                        )
+                        for entry, (_, src) in zip(entries, items)
+                    ]
+                    for f in futures:
+                        f.result()
+        elif jobs == 1:
             for entry, (_, src) in zip(entries, items):
                 _compile_one(
-                    session, entry, src, strategy=strategy, resilient=resilient
+                    session,
+                    entry,
+                    src,
+                    strategy=strategy,
+                    resilient=resilient,
+                    timeout_ms=timeout_ms,
                 )
         else:
             with ThreadPoolExecutor(
                 max_workers=jobs, thread_name_prefix="repro-batch"
-            ) as pool:
+            ) as workers:
                 futures = [
-                    pool.submit(
+                    workers.submit(
                         _compile_one,
                         session,
                         entry,
                         src,
                         strategy=strategy,
                         resilient=resilient,
+                        timeout_ms=timeout_ms,
                     )
                     for entry, (_, src) in zip(entries, items)
                 ]
                 for f in futures:
                     f.result()
+        if session.tracer is not None and pool == "thread":
+            # the satellite contract: trace ids survive *any* outcome,
+            # including exceptions whose own __str__ raises
+            missing = [e.name for e in entries if e.trace_id is None]
+            assert not missing, f"batch entries lost their trace ids: {missing}"
         report = BatchReport(
             jobs=jobs,
             resilient=resilient,

@@ -13,6 +13,12 @@ The scope is a :class:`contextvars.ContextVar`: nested activations restore
 correctly and worker threads start *clean* (a fresh thread sees no active
 session until it activates one), which is exactly the isolation
 ``Session.fuse_many`` workers need.
+
+:func:`budget_scope` is the same mechanism for deadlines: one shared
+session can compile many programs concurrently, each under its *own*
+:class:`~repro.resilience.budget.Budget` (``repro-fuse batch
+--timeout-ms``), without mutating the session.  Consumers read
+:attr:`Session.effective_budget`, which prefers the context override.
 """
 
 from __future__ import annotations
@@ -23,11 +29,21 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.session import Session
+    from repro.resilience.budget import Budget
 
-__all__ = ["current_session", "session_scope"]
+__all__ = [
+    "budget_scope",
+    "current_budget_override",
+    "current_session",
+    "session_scope",
+]
 
 _CURRENT: ContextVar[Optional["Session"]] = ContextVar(
     "repro_current_session", default=None
+)
+
+_BUDGET: ContextVar[Optional["Budget"]] = ContextVar(
+    "repro_budget_override", default=None
 )
 
 
@@ -44,3 +60,24 @@ def session_scope(session: "Session") -> Iterator["Session"]:
         yield session
     finally:
         _CURRENT.reset(token)
+
+
+def current_budget_override() -> Optional["Budget"]:
+    """The per-context :class:`Budget` override, or ``None``."""
+    return _BUDGET.get()
+
+
+@contextmanager
+def budget_scope(budget: Optional["Budget"]) -> Iterator[Optional["Budget"]]:
+    """Make ``budget`` the context's budget for the block.
+
+    The override wins over the session's own budget wherever
+    :attr:`Session.effective_budget` is consulted, and is context-local:
+    concurrent batch workers can each run their program under a different
+    deadline against one shared session.
+    """
+    token = _BUDGET.set(budget)
+    try:
+        yield budget
+    finally:
+        _BUDGET.reset(token)

@@ -168,7 +168,7 @@ class FusePass(Pass):
     def run(self, artifact: Artifact, session: "Session") -> None:
         assert artifact.mldg is not None
         artifact.fusion = fuse(
-            artifact.mldg, strategy=artifact.strategy, budget=session.budget
+            artifact.mldg, strategy=artifact.strategy, budget=session.effective_budget
         )
         artifact.notes.extend(artifact.fusion.notes)
 
@@ -232,7 +232,7 @@ class ResilientFusePass(Pass):
         gate = program_gate(artifact.nest, artifact.mldg)
         resilient = fuse_resilient(
             artifact.mldg,
-            budget=session.budget,
+            budget=session.effective_budget,
             min_rung=artifact.min_rung,
             verify_execution=artifact.verify_execution,
             bounds=artifact.bounds,

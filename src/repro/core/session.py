@@ -203,6 +203,15 @@ class Session:
     # ------------------------------------------------------------------ #
 
     @property
+    def effective_budget(self) -> Optional[Budget]:
+        """The budget consumers should honor *right now*: a context-local
+        :func:`~repro.core.context.budget_scope` override when present
+        (per-program deadlines on a shared session), else the session's
+        own budget."""
+        override = _context.current_budget_override()
+        return override if override is not None else self.budget
+
+    @property
     def diagnostics(self) -> List[Diagnostic]:
         """Every diagnostic the session's pipelines accumulated (a copy)."""
         with self._lock:
@@ -286,7 +295,7 @@ class Session:
             return _fuse(
                 g,
                 strategy=strategy if strategy is not None else self.options.strategy,
-                budget=self.budget,
+                budget=self.effective_budget,
             )
 
     def fuse_program(
@@ -360,8 +369,17 @@ class Session:
         strategy: Optional[Union[Strategy, str]] = None,
         resilient: bool = False,
         names: Optional[Sequence[str]] = None,
+        timeout_ms: Optional[float] = None,
+        pool: str = "thread",
     ) -> "BatchReport":
-        """Compile independent programs concurrently; see :mod:`repro.core.batch`."""
+        """Compile independent programs concurrently; see :mod:`repro.core.batch`.
+
+        ``timeout_ms`` arms a per-program deadline
+        :class:`~repro.resilience.budget.Budget` around each compile.
+        ``pool="process"`` executes programs in worker *processes* via the
+        ``repro-serve/1`` envelopes (crash isolation; requires DSL-text
+        sources).
+        """
         from repro.core.batch import run_batch
 
         return run_batch(
@@ -371,6 +389,8 @@ class Session:
             strategy=strategy,
             resilient=resilient,
             names=names,
+            timeout_ms=timeout_ms,
+            pool=pool,
         )
 
     # ------------------------------------------------------------------ #

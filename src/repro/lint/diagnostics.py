@@ -74,6 +74,25 @@ class Diagnostic:
             d["hint"] = self.hint
         return d
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (process-pool / wire round-trips)."""
+        span = None
+        if "line" in d:
+            span = SourceSpan(
+                line=int(d["line"]),
+                col=int(d.get("column", 1)),
+                end_line=d.get("endLine"),
+                end_col=d.get("endColumn"),
+            )
+        return cls(
+            code=str(d["code"]),
+            severity=Severity(d.get("severity", "warning")),
+            message=str(d.get("message", "")),
+            span=span,
+            hint=d.get("hint"),
+        )
+
 
 @dataclass
 class LintResult:

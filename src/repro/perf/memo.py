@@ -109,6 +109,20 @@ class MemoCache:
         self._misses = 0
         self._evictions = 0
 
+    def __getstate__(self) -> dict:
+        """Pickle support (``fork``-started workers inherit warm caches;
+        ``spawn`` and explicit snapshots pickle them).  The lock is
+        process-local and recreated on load; entries and counters travel."""
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_data"] = OrderedDict(self._data)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def get(self, key: Hashable) -> Optional[Any]:
         with self._lock:
             try:

@@ -18,6 +18,13 @@ Injection points:
 - ``"retiming"`` — the retiming an algorithm produced
 - ``"schedule"`` — the wavefront schedule vector
 - ``"body-order"`` — the fused-body statement sequence before emission
+- ``"worker"`` — the compile request inside a pool worker *process*
+  (:mod:`repro.serve.worker`).  The injectors at this point simulate
+  infrastructure faults rather than algorithm bugs: :class:`WorkerCrash`
+  SIGKILLs the worker mid-request, :class:`WorkerHang` stalls it past any
+  reasonable deadline.  The point is only ever reached inside serve
+  worker processes, so the in-process chaos matrix composes with these
+  injectors without risk (their hit count simply stays zero there).
 
 All corruption draws from one ``random.Random(seed)`` shared across the
 context, so a (injector, seed) pair replays exactly.
@@ -51,15 +58,20 @@ __all__ = [
     "RetimingPerturb",
     "ScheduleOffByOne",
     "StatementReorder",
+    "WorkerCrash",
+    "WorkerHang",
     "ActiveFault",
     "inject",
     "pass_through",
     "active_fault",
     "registered_injectors",
+    "process_fault_injectors",
+    "injector_from_spec",
+    "injector_spec",
     "perturb_retiming",
 ]
 
-POINTS = ("mldg", "retiming", "schedule", "body-order")
+POINTS = ("mldg", "retiming", "schedule", "body-order", "worker")
 
 
 def perturb_retiming(retiming: Retiming, node: str, delta: IVec) -> Retiming:
@@ -181,6 +193,61 @@ class StatementReorder(FaultInjector):
                 return tuple(items)
 
 
+class WorkerCrash(FaultInjector):
+    """SIGKILL the current *process* — the worker-crash chaos injector.
+
+    Fires with ``probability`` per :func:`pass_through` hit, drawing from
+    the context rng so a ``(seed, attempt)`` pair replays exactly.  The
+    supervisor observes the crash as a broken pool, replaces the pool and
+    re-dispatches; a lower probability lets seeded retries survive.
+
+    Only the ``"worker"`` point inside serve worker processes ever reaches
+    this injector, so it is safe to register in the global matrix.
+    """
+
+    point = "worker"
+
+    def __init__(self, probability: float = 1.0) -> None:
+        self.probability = float(probability)
+
+    def corrupt(self, value: Any, rng: random.Random) -> Any:
+        if rng.random() >= self.probability:
+            return value
+        import os
+        import signal
+
+        sigkill = getattr(signal, "SIGKILL", None)
+        if sigkill is not None:  # pragma: no branch - posix everywhere we run
+            os.kill(os.getpid(), sigkill)
+        os._exit(1)  # pragma: no cover - non-posix hard exit
+
+
+class WorkerHang(FaultInjector):
+    """Stall the current worker for ``hang_s`` seconds — the hung-worker
+    chaos injector.  The supervisor observes a request timeout, kills the
+    pool generation (SIGKILL beats any sleep) and re-dispatches survivors.
+
+    Returns a shallow copy of the value when it fired so the context's
+    ``hits`` accounting registers the stall.
+    """
+
+    point = "worker"
+
+    def __init__(self, hang_s: float = 30.0, probability: float = 1.0) -> None:
+        self.hang_s = float(hang_s)
+        self.probability = float(probability)
+
+    def corrupt(self, value: Any, rng: random.Random) -> Any:
+        if rng.random() >= self.probability:
+            return value
+        import time
+
+        time.sleep(self.hang_s)
+        if isinstance(value, dict):
+            return dict(value)
+        return value
+
+
 def registered_injectors() -> List[FaultInjector]:
     """Fresh instances of every built-in injector (the chaos matrix)."""
     return [
@@ -189,7 +256,57 @@ def registered_injectors() -> List[FaultInjector]:
         RetimingPerturb(),
         ScheduleOffByOne(),
         StatementReorder(),
+        WorkerCrash(),
+        WorkerHang(),
     ]
+
+
+def process_fault_injectors() -> List[FaultInjector]:
+    """Fresh instances of the process-level (``"worker"`` point) injectors."""
+    return [WorkerCrash(), WorkerHang()]
+
+
+#: Constructor keyword arguments each injector accepts in a wire spec.
+_SPEC_PARAMS = {
+    "WorkerCrash": ("probability",),
+    "WorkerHang": ("hang_s", "probability"),
+}
+
+
+def injector_spec(injector: FaultInjector, seed: int) -> dict:
+    """The picklable/JSON spec for ``injector`` (inverse of
+    :func:`injector_from_spec`)."""
+    spec: dict = {"injector": injector.name, "seed": int(seed)}
+    for param in _SPEC_PARAMS.get(injector.name, ()):
+        spec[param] = getattr(injector, param)
+    return spec
+
+
+def injector_from_spec(spec: dict) -> Tuple[FaultInjector, int]:
+    """Rebuild ``(injector, seed)`` from a wire spec like
+    ``{"injector": "WorkerCrash", "seed": 3, "probability": 0.5}``.
+
+    Raises :class:`ValueError` on unknown injector names or parameters so
+    transports can turn it into a typed malformed-request error.
+    """
+    name = spec.get("injector")
+    classes = {type(inj).__name__: type(inj) for inj in registered_injectors()}
+    if name not in classes:
+        raise ValueError(
+            f"unknown fault injector {name!r}; known: {sorted(classes)}"
+        )
+    kwargs = {
+        k: v
+        for k, v in spec.items()
+        if k not in ("injector", "seed")
+    }
+    allowed = set(_SPEC_PARAMS.get(name, ()))
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise ValueError(
+            f"injector {name} does not accept parameters {sorted(unknown)}"
+        )
+    return classes[name](**kwargs), int(spec.get("seed", 0))
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,120 @@
+"""Admission control: inflight quotas and load shedding.
+
+Under overload a naive service degrades *everyone* -- queues grow, every
+request times out, workers churn.  The :class:`AdmissionController`
+instead bounds how many requests may be in flight at once and **sheds**
+the excess with a typed rejection carrying a ``Retry-After`` estimate, so
+admitted requests keep their deadline headroom.
+
+The quota composes with :class:`~repro.resilience.budget.Budget`: a
+request is admitted together with a freshly *armed* budget, so queueing
+and retries inside the service consume the same deadline the solvers
+check -- admission is simply the outermost ring of the same resource
+discipline.
+
+The ``Retry-After`` estimate is an EWMA of recent service times scaled by
+the current overload ratio: a client that honors it arrives when a slot
+is plausibly free instead of hammering a saturated pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.resilience.budget import Budget
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+
+class AdmissionTicket:
+    """Proof of admission: carries the request's armed deadline budget.
+
+    Release exactly once (idempotent), reporting the request's wall time
+    so the controller's service-time estimate tracks reality.
+    """
+
+    def __init__(self, controller: "AdmissionController", budget: Budget) -> None:
+        self._controller = controller
+        self.budget = budget
+        self._released = False
+
+    def release(self, wall_ms: Optional[float] = None) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(wall_ms)
+
+
+class AdmissionController:
+    """Bound the number of concurrently admitted requests."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        *,
+        default_deadline_ms: float = 10_000.0,
+        initial_service_ms: float = 50.0,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.default_deadline_ms = default_deadline_ms
+        self._alpha = ewma_alpha
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted_total = 0
+        self._shed_total = 0
+        self._service_ms = initial_service_ms
+
+    # ------------------------------------------------------------------ #
+
+    def try_admit(self, deadline_ms: Optional[float] = None) -> Optional[AdmissionTicket]:
+        """Admit the request (returning a ticket with an armed
+        :class:`Budget`) or return ``None`` -- the caller must then shed
+        with :meth:`retry_after_ms`."""
+        reg = obs.default_registry()
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed_total += 1
+                reg.counter("serve.admission.shed").inc()
+                return None
+            self._inflight += 1
+            self._admitted_total += 1
+        reg.counter("serve.admission.admitted").inc()
+        budget = Budget(
+            deadline_ms=deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        ).start()
+        return AdmissionTicket(self, budget)
+
+    def _release(self, wall_ms: Optional[float]) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            if wall_ms is not None and wall_ms >= 0:
+                self._service_ms += self._alpha * (wall_ms - self._service_ms)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def retry_after_ms(self) -> float:
+        """When a shed client should come back: one estimated service time
+        per queued-ahead slot, floored at 1 ms."""
+        with self._lock:
+            overload = max(1.0, (self._inflight + 1) / self.max_inflight)
+            return max(1.0, self._service_ms * overload)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "maxInflight": self.max_inflight,
+                "inflight": self._inflight,
+                "admittedTotal": self._admitted_total,
+                "shedTotal": self._shed_total,
+                "serviceMsEwma": round(self._service_ms, 3),
+            }

@@ -1,0 +1,182 @@
+"""Per-workload-class circuit breakers.
+
+One pathological program -- one that reliably crashes or hangs workers --
+must not be allowed to burn the pool over and over while every other
+request pays the replacement cost.  The :class:`CircuitBreaker` keeps a
+tiny state machine per **workload class**:
+
+* the class key is the rename-invariant
+  :func:`~repro.perf.memo.structural_hash` once a worker has reported it
+  (the service maintains the ``source digest -> structural hash`` alias),
+  falling back to the source digest before that -- so renamed copies of
+  the same pathological program share one breaker;
+* ``CLOSED`` counts *consecutive* infrastructure failures (crashes,
+  timeouts); at ``threshold`` the class trips ``OPEN``;
+* ``OPEN`` rejects instantly with the remaining cooldown as
+  ``Retry-After``;
+* after ``cooldown_ms`` the next request becomes the ``HALF_OPEN`` probe:
+  success closes the breaker, failure re-opens it for a full cooldown.
+
+The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Any, Callable, Dict
+
+from repro import obs
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class _ClassState:
+    __slots__ = ("state", "consecutive_failures", "opened_at_ms", "probing")
+
+    def __init__(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = 0.0
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Trip-on-consecutive-failures breaker, one state machine per key."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown_ms: float = 1_000.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_ms = cooldown_ms
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._classes: Dict[str, _ClassState] = {}
+        self._trips = 0
+
+    def _now_ms(self) -> float:
+        return self._clock() * 1000.0
+
+    def _state_for(self, key: str) -> _ClassState:
+        state = self._classes.get(key)
+        if state is None:
+            state = self._classes[key] = _ClassState()
+        return state
+
+    # ------------------------------------------------------------------ #
+
+    def allow(self, key: str) -> bool:
+        """May a request of class ``key`` proceed right now?
+
+        An ``OPEN`` class whose cooldown has elapsed admits exactly one
+        half-open probe; everything else queues behind that probe's
+        verdict.
+        """
+        with self._lock:
+            state = self._state_for(key)
+            if state.state is BreakerState.CLOSED:
+                return True
+            if state.state is BreakerState.OPEN:
+                if self._now_ms() - state.opened_at_ms < self.cooldown_ms:
+                    return False
+                state.state = BreakerState.HALF_OPEN
+                state.probing = True
+                obs.default_registry().counter("serve.breaker.probes").inc()
+                return True
+            # HALF_OPEN: one probe at a time
+            if state.probing:
+                return False
+            state.probing = True
+            obs.default_registry().counter("serve.breaker.probes").inc()
+            return True
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            state = self._state_for(key)
+            state.state = BreakerState.CLOSED
+            state.consecutive_failures = 0
+            state.probing = False
+
+    def record_failure(self, key: str) -> None:
+        """One infrastructure failure (crash/timeout) attributed to ``key``."""
+        reg = obs.default_registry()
+        with self._lock:
+            state = self._state_for(key)
+            state.consecutive_failures += 1
+            if state.state is BreakerState.HALF_OPEN:
+                state.state = BreakerState.OPEN
+                state.opened_at_ms = self._now_ms()
+                state.probing = False
+                self._trips += 1
+                reg.counter("serve.breaker.reopened").inc()
+            elif (
+                state.state is BreakerState.CLOSED
+                and state.consecutive_failures >= self.threshold
+            ):
+                state.state = BreakerState.OPEN
+                state.opened_at_ms = self._now_ms()
+                self._trips += 1
+                reg.counter("serve.breaker.trips").inc()
+
+    # ------------------------------------------------------------------ #
+
+    def state(self, key: str) -> BreakerState:
+        with self._lock:
+            return self._state_for(key).state
+
+    def retry_after_ms(self, key: str) -> float:
+        """Remaining cooldown for an ``OPEN`` class (1 ms floor)."""
+        with self._lock:
+            state = self._state_for(key)
+            if state.state is not BreakerState.OPEN:
+                return 1.0
+            elapsed = self._now_ms() - state.opened_at_ms
+            return max(1.0, self.cooldown_ms - elapsed)
+
+    def rekey(self, old_key: str, new_key: str) -> None:
+        """Migrate accumulated state when a class's bootstrap digest key is
+        upgraded to its structural hash (first successful extraction)."""
+        if old_key == new_key:
+            return
+        with self._lock:
+            old = self._classes.pop(old_key, None)
+            if old is None:
+                return
+            existing = self._classes.get(new_key)
+            if existing is None:
+                self._classes[new_key] = old
+            else:
+                existing.consecutive_failures = max(
+                    existing.consecutive_failures, old.consecutive_failures
+                )
+                if old.state is BreakerState.OPEN and existing.state is BreakerState.CLOSED:
+                    existing.state = old.state
+                    existing.opened_at_ms = old.opened_at_ms
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            open_classes = sorted(
+                key
+                for key, st in self._classes.items()
+                if st.state is not BreakerState.CLOSED
+            )
+            return {
+                "threshold": self.threshold,
+                "cooldownMs": self.cooldown_ms,
+                "classes": len(self._classes),
+                "trips": self._trips,
+                "openClasses": open_classes,
+            }

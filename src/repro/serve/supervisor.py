@@ -1,0 +1,160 @@
+"""Worker-pool supervision: crash detection and pool replacement.
+
+:class:`SupervisedPool` wraps a :class:`~concurrent.futures.ProcessPoolExecutor`
+with a **generation counter**.  Every submission records the generation it
+ran under; when a caller observes an infrastructure fault (broken pool
+after a worker SIGKILL, or a request timeout on a hung worker) it calls
+:meth:`SupervisedPool.replace` with that generation.  The first caller to
+report a given generation wins and performs the replacement -- SIGKILLing
+the old generation's processes (a hung worker cannot block SIGKILL) and
+standing up a fresh executor; late reporters and reports about
+already-replaced generations are no-ops.
+
+In-flight requests of the replaced generation see their futures fail with
+``BrokenProcessPool`` and *re-dispatch themselves*
+through the service's retry loop -- supervision state lives entirely in
+this one lock-protected object, so there is no central dispatcher to
+crash.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Any, Callable, Optional, Tuple
+
+from repro import obs
+
+__all__ = ["SupervisedPool"]
+
+
+class SupervisedPool:
+    """A process pool that survives the death of any of its workers."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._pool = self._make_executor()
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def generation(self) -> int:
+        """How many times the pool has been replaced (0 = the original)."""
+        with self._lock:
+            return self._generation
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Tuple[Future, int]:
+        """Submit work; returns ``(future, generation)``.
+
+        The generation must accompany any later :meth:`replace` call so
+        stale failure reports cannot kill a healthy replacement pool.
+
+        A worker SIGKILL breaks the executor *before* any observer calls
+        :meth:`replace`; in that window ``ProcessPoolExecutor.submit``
+        raises ``BrokenProcessPool`` synchronously.  That is handled right
+        here, under the lock (so the generation bookkeeping cannot race):
+        the broken executor is swapped for a fresh one and the submission
+        retried -- callers never see a broken-at-submit error.
+        """
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("SupervisedPool is shut down")
+                try:
+                    return self._pool.submit(fn, *args), self._generation
+                except BrokenExecutor:
+                    old = self._pool
+                    self._generation += 1
+                    self._pool = self._make_executor()
+            reg = obs.default_registry()
+            reg.counter("serve.pool.replacements").inc()
+            reg.counter("serve.pool.replaced.broken-at-submit").inc()
+            self._terminate(old)
+
+    def replace(self, generation: int, reason: str = "worker-fault") -> bool:
+        """Replace the pool if ``generation`` is still current.
+
+        Returns ``True`` when this call performed the replacement, ``False``
+        when another caller already did (or the pool is shut down).  The
+        old generation's worker processes are SIGKILLed -- that is the only
+        signal guaranteed to reach a hung worker -- which makes the dying
+        executor fail all its pending futures with ``BrokenProcessPool``,
+        so their submitters retry promptly.
+        """
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return False
+            old = self._pool
+            self._generation += 1
+            self._pool = self._make_executor()
+        reg = obs.default_registry()
+        reg.counter("serve.pool.replacements").inc()
+        reg.counter(f"serve.pool.replaced.{reason}").inc()
+        self._terminate(old)
+        return True
+
+    @staticmethod
+    def _terminate(executor: ProcessPoolExecutor) -> None:
+        """Hard-stop one executor: kill its processes and let its own
+        break-detection fail every pending future.
+
+        Deliberately NOT ``cancel_futures=True``: a future we cancel is a
+        future the executor's ``terminate_broken`` will later try to
+        ``set_exception`` on, which raises ``InvalidStateError`` inside its
+        queue-management thread (CPython 3.11) and silently strands every
+        *other* pending future without a result -- their submitters would
+        then wait out their whole deadline.  Killing the processes is
+        enough: the dead-process sentinel triggers ``terminate_broken``,
+        which resolves all pending futures with ``BrokenProcessPool``.
+        """
+        processes = list(getattr(executor, "_processes", {}).values())
+        for proc in processes:
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            executor.shutdown(wait=False)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def shutdown(self) -> None:
+        """Stop accepting work and tear the current pool down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            old = self._pool
+        self._terminate(old)
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SupervisedPool workers={self.workers} "
+            f"generation={self.generation}>"
+        )

@@ -1,0 +1,187 @@
+"""The code that runs *inside* pool worker processes.
+
+:func:`compile_request` is the single entry point the supervisor submits
+to the :class:`~concurrent.futures.ProcessPoolExecutor`.  Its contract is
+the backbone of the service's fault model:
+
+* It takes and returns **plain dicts** (the ``repro-serve/1`` envelopes),
+  so nothing unpicklable ever crosses the process boundary.
+* It **never raises**: every compile failure -- parse error, validation,
+  fusion, budget exhaustion -- comes back as a well-formed ``error``
+  response.  The only ways a submission can fail at the future level are
+  infrastructure faults (the worker died, the pool broke), which is
+  exactly what the supervisor's retry logic keys on.
+* The **chaos seam**: when the pool was initialized with faults allowed
+  (:func:`init_worker`), a request's ``fault`` spec is entered via the
+  ordinary :func:`repro.resilience.faults.inject` context before the
+  compile, and the request passes through the ``"worker"`` injection
+  point.  A :class:`~repro.resilience.faults.WorkerCrash` SIGKILLs the
+  process right here; a :class:`~repro.resilience.faults.WorkerHang`
+  stalls it; algorithm-level injectors (``mldg``/``retiming``/...) ride
+  into the pipeline exactly like the in-process chaos matrix.
+
+Cache tiers (docs/SERVING.md): the fusion/retiming/kernel memo caches are
+**per-worker** -- fork-started workers inherit a warm copy of the parent's
+caches at pool creation and diverge afterwards; there is no cross-process
+sharing.  Metrics recorded in a worker stay in that worker; the latency
+and outcome numbers the service aggregates all travel in the response
+envelope.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import ExitStack
+from typing import Any, Dict, Optional
+
+__all__ = ["init_worker", "compile_request", "faults_allowed"]
+
+_STATE: Dict[str, Any] = {"allow_faults": False}
+
+
+def init_worker(allow_faults: bool = False) -> None:
+    """Pool initializer: runs once in each fresh worker process.
+
+    ``allow_faults`` gates the chaos seam -- a production daemon started
+    without ``--chaos`` ignores ``fault`` specs entirely, so a hostile
+    request cannot SIGKILL workers.
+    """
+    _STATE["allow_faults"] = bool(allow_faults)
+
+
+def faults_allowed() -> bool:
+    """Whether this process honors request ``fault`` specs (chaos mode)."""
+    if _STATE["allow_faults"]:
+        return True
+    return os.environ.get("REPRO_SERVE_CHAOS", "0").lower() in ("1", "true", "on")
+
+
+def compile_request(req_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile one ``repro-serve/1`` request dict into a response dict."""
+    from repro import obs
+    from repro.serve.wire import (
+        CompileRequest,
+        CompileResponse,
+        WireError,
+        error_payload,
+        source_digest,
+    )
+
+    t0 = time.perf_counter()
+    pid = os.getpid()
+    try:
+        req = CompileRequest.from_dict(req_dict)
+    except WireError as exc:
+        return CompileResponse(
+            status="error",
+            name=str(req_dict.get("name", "program")) if isinstance(req_dict, dict) else "program",
+            request_id=str(req_dict.get("requestId", "")) if isinstance(req_dict, dict) else "",
+            error=error_payload(exc),
+            code=exc.code,
+            worker_pid=pid,
+            worker_ms=(time.perf_counter() - t0) * 1000.0,
+        ).to_dict()
+
+    tracer = obs.Tracer()
+    resp = CompileResponse(
+        status="error",
+        name=req.name,
+        request_id=req.request_id,
+        source_digest=req.digest,
+        trace_id=tracer.trace_id,
+        worker_pid=pid,
+    )
+    try:
+        with ExitStack() as stack:
+            _enter_fault(stack, req)
+            with tracer.span("serve.worker.compile", request=req.request_id):
+                _compile(req, tracer, resp)
+    except Exception as exc:  # typed compile errors -> error response
+        resp.status = "error"
+        resp.error = error_payload(exc)
+        try:
+            resp.diagnostics = [
+                d.to_dict() for d in getattr(exc, "diagnostics", None) or []
+            ]
+        except Exception:
+            resp.diagnostics = []
+    finally:
+        resp.worker_ms = (time.perf_counter() - t0) * 1000.0
+    # belt and braces: the response must survive the trip back through
+    # pickle whatever the pipeline attached
+    try:
+        return resp.to_dict()
+    except Exception as exc:  # pragma: no cover - defensive
+        return CompileResponse(
+            status="error",
+            name=req.name,
+            request_id=req.request_id,
+            source_digest=source_digest(req.source),
+            error=error_payload(exc),
+            worker_pid=pid,
+            worker_ms=(time.perf_counter() - t0) * 1000.0,
+        ).to_dict()
+
+
+def _enter_fault(stack: ExitStack, req: "Any") -> None:
+    """Enter the request's chaos context and hit the ``"worker"`` seam."""
+    from repro.resilience import faults
+
+    if req.fault is None or not faults_allowed():
+        return
+    injector, seed = faults.injector_from_spec(req.fault)
+    # retries re-seed deterministically: a WorkerCrash(probability<1) can
+    # kill attempt 0 and spare attempt 1, all replayable
+    stack.enter_context(faults.inject(injector, seed=seed + req.attempt))
+    faults.pass_through("worker", req.to_dict())
+
+
+def _compile(req: "Any", tracer: "Any", resp: "Any") -> None:
+    """Run the session pipeline for ``req``, filling ``resp`` in place."""
+    from repro.codegen import emit_fused_program
+    from repro.core.session import Session, SessionOptions
+    from repro.loopir.printer import format_program
+    from repro.perf.memo import structural_hash
+    from repro.resilience.budget import Budget
+
+    budget = (
+        Budget(deadline_ms=req.deadline_ms).start()
+        if req.deadline_ms is not None
+        else None
+    )
+    session = Session(
+        options=SessionOptions(
+            strategy=req.strategy,
+            min_rung=req.min_rung,
+            ladder=req.ladder,
+            prune_edges=req.prune_edges,
+            verify_execution=req.verify_execution,
+        ),
+        budget=budget,
+        tracer=tracer,
+    )
+    if req.resilient:
+        out = session.fuse_program_resilient(req.source)
+        resp.rung = out.rung.label
+        resp.parallelism = out.resilient.parallelism.value
+        resp.recovery = out.report.to_dict()
+        if req.emit:
+            resp.emitted = out.emitted_code()
+    else:
+        out = session.fuse_program(req.source, strategy=req.strategy)
+        resp.strategy = out.fusion.strategy.value
+        resp.parallelism = out.fusion.parallelism.value
+        resp.retiming = {
+            name: list(vec) for name, vec in out.fusion.retiming.as_dict().items()
+        }
+        if req.emit:
+            resp.emitted = (
+                emit_fused_program(out.fused)
+                if out.fused is not None
+                else format_program(out.nest)
+            )
+    resp.status = "ok"
+    resp.structural_hash = structural_hash(out.mldg)
+    resp.notes = list(out.notes)
+    resp.diagnostics = [d.to_dict() for d in out.diagnostics]

@@ -186,6 +186,98 @@ def test_session_budget_applies_to_every_batch_program():
     )
 
 
+def test_trace_ids_survive_worker_exceptions():
+    """Regression: an exception whose own __str__ raises must neither
+    sink the batch nor cost the entry its trace id."""
+
+    class HostileError(Exception):
+        def __str__(self):
+            raise RuntimeError("no message for you")
+
+        @property
+        def diagnostics(self):
+            raise RuntimeError("no diagnostics either")
+
+    session = Session(tracer=obs.Tracer())
+
+    def explode(source, strategy=None):
+        raise HostileError()
+
+    original = session.fuse_program
+    session.fuse_program = explode
+    try:
+        report = session.fuse_many(_gallery(), jobs=3)
+    finally:
+        session.fuse_program = original
+
+    assert report.error_count == 3
+    for e in report.entries:
+        assert e.trace_id is not None  # assigned before the compile
+        assert e.tracer is not None  # attached in the finally
+        assert e.error["type"] == "HostileError"
+        assert "unprintable" in e.error["message"]
+        assert e.diagnostics == []
+    json.dumps(report.to_dict())
+
+
+def test_timeout_ms_budgets_each_program_separately():
+    session = Session()
+    report = session.fuse_many(_gallery(), jobs=2, timeout_ms=60_000.0)
+    assert report.ok
+    # an unmeetable per-program deadline trips every program's own budget
+    # without mutating the shared session
+    tight = session.fuse_many(_gallery(), jobs=2, timeout_ms=0.000001)
+    assert tight.error_count == 3
+    assert all(
+        e.error["type"] == "BudgetExceededError" for e in tight.entries
+    )
+    assert session.budget is None
+    assert session.fuse_many(_gallery()[:1], jobs=1).ok
+
+
+def test_budget_scope_override_wins_over_session_budget():
+    from repro.core import context as _context
+    from repro.resilience.budget import Budget
+
+    session = Session(budget=Budget(max_nodes=1))
+    assert session.effective_budget is session.budget
+    override = Budget(deadline_ms=60_000.0).start()
+    with _context.budget_scope(override):
+        assert session.effective_budget is override
+    assert session.effective_budget is session.budget
+
+
+def test_process_pool_matches_thread_pool_results():
+    session = Session()
+    threaded = session.fuse_many(_gallery(), jobs=2)
+    processed = session.fuse_many(_gallery(), jobs=2, pool="process")
+    assert processed.ok_count == threaded.ok_count == 3
+    for t, p in zip(threaded.entries, processed.entries):
+        assert (t.name, t.status, t.strategy, t.parallelism) == (
+            p.name, p.status, p.strategy, p.parallelism
+        )
+        assert [d.to_dict() for d in t.diagnostics] == [
+            d.to_dict() for d in p.diagnostics
+        ]
+    json.dumps(processed.to_dict())
+
+
+def test_process_pool_reports_typed_errors():
+    report = Session().fuse_many(
+        [("bad", "not a ( program"), ("good", figure2_code())],
+        jobs=2,
+        pool="process",
+    )
+    assert report.entry("good").ok
+    bad = report.entry("bad")
+    assert bad.status == "error" and bad.error["type"] == "ParseError"
+
+
+def test_unknown_pool_rejected():
+    with pytest.raises(ValueError, match="unknown pool"):
+        Session().fuse_many(_gallery(), pool="fiber")
+
+
 # ---------------------------------------------------------------------- #
 # CLI surface
 # ---------------------------------------------------------------------- #
@@ -249,6 +341,27 @@ def test_cli_batch_resilient(tmp_path):
     doc = json.loads(text)
     assert doc["resilient"] is True
     assert doc["programs"][0]["rung"] == "doall"
+
+
+def test_cli_batch_timeout_ms_and_process_pool(tmp_path):
+    p = tmp_path / "fig2.loop"
+    p.write_text(figure2_code(), encoding="utf-8")
+    code, text = _cli(
+        ["batch", str(p), "--jobs", "2", "--timeout-ms", "60000",
+         "--batch-pool", "process", "--format", "json"]
+    )
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["okCount"] == 1
+    assert doc["programs"][0]["strategy"] is not None
+    # a hopeless per-program deadline fails the batch with a typed error
+    code2, text2 = _cli(
+        ["batch", str(p), "--jobs", "1", "--timeout-ms", "0.000001",
+         "--format", "json"]
+    )
+    assert code2 == 1
+    doc2 = json.loads(text2)
+    assert doc2["programs"][0]["error"]["type"] == "BudgetExceededError"
 
 
 def test_cli_exit_codes_are_intenum_members():

@@ -200,3 +200,65 @@ class TestLadderMemoization:
             f"z_{n}": v for n, v in r.as_dict().items()
         }
         assert isinstance(got2, Retiming) and got2.dim == g.dim
+
+
+# ---------------------------------------------------------------------- #
+# pickling and process pools (the serve worker-cache tiers)
+# ---------------------------------------------------------------------- #
+
+
+def _worker_cache_probe(_):
+    """Runs in a pool worker: exercise the worker's own fusion cache."""
+    from repro.gallery import figure2_mldg
+    from repro.perf.memo import fusion_cache
+
+    fuse(figure2_mldg())  # miss (or fork-inherited hit) in *this* process
+    fuse(figure2_mldg())  # repeat: a hit in this process
+    info = fusion_cache().cache_info()
+    return {"hits": info.hits, "misses": info.misses, "pid": __import__("os").getpid()}
+
+
+class TestPickleAndProcessPools:
+    def test_pickle_round_trip_preserves_entries_and_stats(self):
+        import pickle
+
+        cache = MemoCache(maxsize=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("missing")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get("a") == 1 and clone.get("b") == 2
+        before = cache.cache_info()
+        # +2 hits from the two gets above; everything else carried over
+        assert clone.cache_info() == before._replace(hits=before.hits + 2)
+        # the recreated lock actually locks: mutation still works
+        clone.put("c", 3)
+        clone.put("d", 4)  # evicts
+        assert clone.cache_info().evictions == 1
+        # and the original is untouched (deep copy of the entries)
+        assert cache.cache_info() == before
+
+    def test_pickle_rejects_nothing_lock_is_dropped(self):
+        import pickle
+
+        state = MemoCache().__getstate__()
+        assert "_lock" not in state
+        restored = pickle.loads(pickle.dumps(MemoCache()))
+        assert restored.cache_info().currsize == 0
+
+    def test_process_pool_workers_keep_private_cache_accounting(self):
+        """The docs/SERVING.md cache-tier contract: fork-started workers
+        inherit a warm copy of the parent caches and diverge afterwards --
+        worker hits/misses never flow back into the parent's accounting."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        fuse(figure2_mldg())  # warm the parent cache pre-fork
+        parent_before = fusion_cache().cache_info()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            reports = list(pool.map(_worker_cache_probe, range(4)))
+        assert len(reports) == 4
+        for report in reports:
+            assert report["hits"] >= 1  # the repeat hit in the worker
+        # the parent's accounting is exactly what it was: per-worker tiers
+        assert fusion_cache().cache_info() == parent_before

@@ -1,0 +1,64 @@
+"""Admission control and load shedding (repro.serve.admission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_up_to_quota_then_sheds(self):
+        ctl = AdmissionController(2)
+        t1 = ctl.try_admit()
+        t2 = ctl.try_admit()
+        assert t1 is not None and t2 is not None
+        assert ctl.try_admit() is None  # quota exhausted
+        t1.release(10.0)
+        assert ctl.try_admit() is not None  # slot freed
+
+    def test_ticket_release_is_idempotent(self):
+        ctl = AdmissionController(1)
+        ticket = ctl.try_admit()
+        ticket.release(5.0)
+        ticket.release(5.0)
+        assert ctl.inflight == 0
+        assert ctl.try_admit() is not None
+
+    def test_ticket_carries_armed_budget(self):
+        ctl = AdmissionController(1, default_deadline_ms=1234.0)
+        ticket = ctl.try_admit()
+        remaining = ticket.budget.remaining_ms()
+        assert remaining is not None and 0 < remaining <= 1234.0
+        ticket.release()
+        explicit = ctl.try_admit(deadline_ms=50.0)
+        assert explicit.budget.remaining_ms() <= 50.0
+
+    def test_retry_after_scales_with_overload(self):
+        ctl = AdmissionController(1, initial_service_ms=100.0)
+        baseline = ctl.retry_after_ms()
+        ticket = ctl.try_admit()
+        overloaded = ctl.retry_after_ms()
+        assert overloaded > baseline >= 1.0
+        ticket.release()
+
+    def test_service_time_ewma_tracks_releases(self):
+        ctl = AdmissionController(4, initial_service_ms=50.0, ewma_alpha=0.5)
+        for _ in range(8):
+            ctl.try_admit().release(1000.0)
+        assert ctl.snapshot()["serviceMsEwma"] > 500.0
+
+    def test_snapshot_counts(self):
+        ctl = AdmissionController(1)
+        ticket = ctl.try_admit()
+        assert ctl.try_admit() is None
+        snap = ctl.snapshot()
+        assert snap["maxInflight"] == 1
+        assert snap["inflight"] == 1
+        assert snap["admittedTotal"] == 1
+        assert snap["shedTotal"] == 1
+        ticket.release()
+
+    def test_rejects_nonpositive_quota(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)

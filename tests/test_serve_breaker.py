@@ -1,0 +1,125 @@
+"""Per-workload-class circuit breakers (repro.serve.breaker).
+
+The clock is injected so every cooldown transition is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now_s = 0.0
+
+    def __call__(self) -> float:
+        return self.now_s
+
+    def advance_ms(self, ms: float) -> None:
+        self.now_s += ms / 1000.0
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown_ms=1000.0, clock=clock)
+
+
+class TestBreaker:
+    def test_trips_after_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure("k")
+            assert breaker.state("k") is BreakerState.CLOSED
+            assert breaker.allow("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") is BreakerState.OPEN
+        assert not breaker.allow("k")
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") is BreakerState.CLOSED
+
+    def test_classes_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad")
+        assert not breaker.allow("bad")
+        assert breaker.allow("good")
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance_ms(999.0)
+        assert not breaker.allow("k")  # cooldown not elapsed
+        clock.advance_ms(2.0)
+        assert breaker.allow("k")  # the probe
+        assert breaker.state("k") is BreakerState.HALF_OPEN
+        assert not breaker.allow("k")  # everyone else queues behind it
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance_ms(1001.0)
+        assert breaker.allow("k")
+        breaker.record_success("k")
+        assert breaker.state("k") is BreakerState.CLOSED
+        assert breaker.allow("k")
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.advance_ms(1001.0)
+        assert breaker.allow("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") is BreakerState.OPEN
+        clock.advance_ms(999.0)
+        assert not breaker.allow("k")
+        clock.advance_ms(2.0)
+        assert breaker.allow("k")
+
+    def test_retry_after_reports_remaining_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        assert breaker.retry_after_ms("k") == pytest.approx(1000.0)
+        clock.advance_ms(600.0)
+        assert breaker.retry_after_ms("k") == pytest.approx(400.0)
+        assert breaker.retry_after_ms("unknown") == 1.0
+
+    def test_rekey_migrates_accumulated_failures(self, breaker):
+        breaker.record_failure("digest")
+        breaker.record_failure("digest")
+        breaker.rekey("digest", "structural")
+        breaker.record_failure("structural")
+        assert breaker.state("structural") is BreakerState.OPEN
+        # the old key starts fresh
+        assert breaker.allow("digest")
+
+    def test_rekey_merges_into_existing_class(self, breaker):
+        breaker.record_failure("old")
+        breaker.record_failure("old")
+        breaker.record_failure("new")
+        breaker.rekey("old", "new")
+        breaker.record_failure("new")
+        assert breaker.state("new") is BreakerState.OPEN
+
+    def test_snapshot_lists_open_classes(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad")
+        breaker.record_failure("meh")
+        snap = breaker.snapshot()
+        assert snap["trips"] == 1
+        assert snap["openClasses"] == ["bad"]
+        assert snap["classes"] == 2
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

@@ -1,0 +1,73 @@
+"""Generation-counted worker-pool supervision (repro.serve.supervisor)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.supervisor import SupervisedPool
+
+
+def _double(x):
+    return 2 * x
+
+
+def _sleep_then(x, seconds):
+    time.sleep(seconds)
+    return x
+
+
+@pytest.fixture()
+def pool():
+    with SupervisedPool(workers=1) as p:
+        yield p
+
+
+class TestSupervisedPool:
+    def test_submit_returns_future_and_generation(self, pool):
+        future, generation = pool.submit(_double, 21)
+        assert future.result(timeout=30) == 42
+        assert generation == 0 == pool.generation
+
+    def test_replace_bumps_generation_and_pool_still_works(self, pool):
+        _, generation = pool.submit(_double, 1)
+        assert pool.replace(generation, "test") is True
+        assert pool.generation == generation + 1
+        future, new_generation = pool.submit(_double, 2)
+        assert future.result(timeout=30) == 4
+        assert new_generation == generation + 1
+
+    def test_replace_is_idempotent_per_generation(self, pool):
+        assert pool.replace(0) is True
+        assert pool.replace(0) is False  # stale report: already handled
+        assert pool.generation == 1
+
+    def test_stale_generation_cannot_kill_a_healthy_pool(self, pool):
+        pool.replace(0)
+        future, _ = pool.submit(_double, 3)
+        assert pool.replace(0) is False  # report about the dead generation
+        assert future.result(timeout=30) == 6
+        assert pool.generation == 1
+
+    def test_pending_future_of_replaced_generation_resolves_with_error(self):
+        with SupervisedPool(workers=1) as p:
+            slow, generation = p.submit(_sleep_then, 1, 30.0)
+            assert p.replace(generation, "test") is True
+            # the SIGKILLed generation fails its futures instead of
+            # stranding them -- promptly, not after the 30s sleep
+            assert isinstance(slow.exception(timeout=30), Exception)
+
+    def test_shutdown_rejects_new_work(self, pool):
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(_double, 1)
+        assert pool.replace(0) is False
+
+    def test_shutdown_is_idempotent(self, pool):
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError):
+            SupervisedPool(workers=0)

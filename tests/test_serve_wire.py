@@ -1,0 +1,137 @@
+"""The repro-serve/1 envelopes (repro.serve.wire)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.wire import (
+    SERVE_SCHEMA,
+    SV006,
+    CompileRequest,
+    CompileResponse,
+    WireError,
+    error_payload,
+    request_from_program,
+    source_digest,
+)
+
+SRC = "for i in [0, N):\n    a[i] = a[i - 1] + 1\n"
+
+
+class TestCompileRequest:
+    def test_round_trip_through_json(self):
+        req = request_from_program(
+            "p", SRC, strategy="cyclic", resilient=True, min_rung="partition",
+            deadline_ms=500.0, ladder=["doall", "none"],
+        )
+        wire = json.loads(json.dumps(req.to_dict()))
+        back = CompileRequest.from_dict(wire)
+        assert back.source == SRC
+        assert back.strategy == "cyclic"
+        assert back.resilient is True
+        assert back.min_rung == "partition"
+        assert back.deadline_ms == 500.0
+        assert back.ladder == ("doall", "none")
+        assert back.request_id == req.request_id
+
+    def test_request_ids_are_minted_uniquely(self):
+        a = CompileRequest(source=SRC)
+        b = CompileRequest(source=SRC)
+        assert a.request_id and a.request_id != b.request_id
+
+    def test_digest_is_stable_and_text_sensitive(self):
+        assert CompileRequest(source=SRC).digest == source_digest(SRC)
+        assert source_digest(SRC) != source_digest(SRC + " ")
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"source": ""},
+            {"source": "   "},
+            {"strategy": "nope"},
+            {"minRung": "basement"},
+            {"deadlineMs": 0},
+            {"deadlineMs": -5},
+            {"deadlineMs": "fast"},
+            {"ladder": ["doall", "wrong-rung"]},
+            {"fault": "WorkerCrash"},
+            {"schema": "repro-serve/999"},
+        ],
+    )
+    def test_malformed_fields_raise_wire_error(self, mutation):
+        wire = CompileRequest(source=SRC).to_dict()
+        wire.update(mutation)
+        with pytest.raises(WireError):
+            CompileRequest.from_dict(wire)
+
+    def test_non_dict_and_missing_source_raise(self):
+        with pytest.raises(WireError):
+            CompileRequest.from_dict([1, 2])
+        with pytest.raises(WireError):
+            CompileRequest.from_dict({"schema": SERVE_SCHEMA})
+
+    def test_wire_error_carries_sv006(self):
+        assert WireError.code == SV006
+
+
+class TestCompileResponse:
+    def test_round_trip(self):
+        resp = CompileResponse(
+            status="ok", name="p", strategy="auto", parallelism="doall",
+            notes=["n"], attempts=2, retries=1, worker_crashes=1,
+        )
+        back = CompileResponse.from_dict(json.loads(json.dumps(resp.to_dict())))
+        assert back.status == "ok"
+        assert back.attempts == 2 and back.retries == 1
+        assert back.worker_crashes == 1
+        assert back.well_formed
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(WireError):
+            CompileResponse(status="maybe")
+        with pytest.raises(WireError):
+            CompileResponse.from_dict({"notstatus": 1})
+
+    def test_well_formed_contract_per_status(self):
+        assert CompileResponse(status="ok", strategy="auto").well_formed
+        assert CompileResponse(status="ok", rung="doall").well_formed
+        assert not CompileResponse(status="ok").well_formed
+        assert CompileResponse(
+            status="degraded", rung="none", recovery={"rung": "none"}
+        ).well_formed
+        assert not CompileResponse(status="degraded", rung="none").well_formed
+        assert CompileResponse(
+            status="error", error={"type": "ParseError", "message": "x"}
+        ).well_formed
+        assert not CompileResponse(status="error").well_formed
+        assert CompileResponse(status="shed", retry_after_ms=12.0).well_formed
+        assert not CompileResponse(status="rejected").well_formed
+
+    def test_ok_covers_degraded(self):
+        assert CompileResponse(status="degraded", rung="none", recovery={}).ok
+        assert not CompileResponse(status="shed", retry_after_ms=1.0).ok
+
+
+class TestErrorPayload:
+    def test_plain_exception(self):
+        payload = error_payload(ValueError("boom"))
+        assert payload == {
+            "type": "ValueError", "message": "boom", "diagnostics": []
+        }
+
+    def test_hostile_str_and_diagnostics_survive(self):
+        class Hostile(Exception):
+            def __str__(self):
+                raise RuntimeError("no message for you")
+
+            @property
+            def diagnostics(self):
+                raise RuntimeError("no diagnostics either")
+
+        payload = error_payload(Hostile())
+        assert payload["type"] == "Hostile"
+        assert "unprintable" in payload["message"]
+        assert payload["diagnostics"] == []
+        json.dumps(payload)  # must stay JSON-safe
