@@ -17,6 +17,18 @@ tiny state machine per **workload class**:
 * after ``cooldown_ms`` the next request becomes the ``HALF_OPEN`` probe:
   success closes the breaker, failure re-opens it for a full cooldown.
 
+A probe must always *resolve*: :meth:`CircuitBreaker.allow` hands the
+probe request a token, and whichever of ``record_success`` /
+``record_failure`` / ``record_abandoned`` fires first settles it.  The
+service calls :meth:`CircuitBreaker.record_abandoned` in a ``finally`` so
+an uncharged infrastructure path (abandoned/stalled futures, the
+degraded fallback, internal errors) re-opens the class instead of
+leaving it half-open with a stuck probe that rejects everyone forever.
+
+The class map is LRU-bounded (``max_classes``): when full, idle
+``CLOSED`` classes are evicted first, so a long-running daemon fed a
+stream of unique programs does not grow without bound.
+
 The clock is injectable for deterministic tests.
 """
 
@@ -25,11 +37,12 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from typing import Any, Callable, Dict
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
 
 from repro import obs
 
-__all__ = ["BreakerState", "CircuitBreaker"]
+__all__ = ["Admission", "BreakerState", "CircuitBreaker"]
 
 
 class BreakerState(enum.Enum):
@@ -38,14 +51,42 @@ class BreakerState(enum.Enum):
     HALF_OPEN = "half-open"
 
 
+class Admission:
+    """The verdict of :meth:`CircuitBreaker.allow` -- truthy iff admitted.
+
+    When this request is the half-open probe, ``probe_token`` identifies
+    it; the caller must settle the probe via ``record_success`` /
+    ``record_failure`` or, failing both, ``record_abandoned(key, token)``.
+    """
+
+    __slots__ = ("allowed", "probe_token")
+
+    def __init__(self, allowed: bool, probe_token: Optional[int] = None) -> None:
+        self.allowed = allowed
+        self.probe_token = probe_token
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Admission(allowed={self.allowed}, probe_token={self.probe_token})"
+
+
 class _ClassState:
-    __slots__ = ("state", "consecutive_failures", "opened_at_ms", "probing")
+    __slots__ = (
+        "state",
+        "consecutive_failures",
+        "opened_at_ms",
+        "probing",
+        "probe_token",
+    )
 
     def __init__(self) -> None:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at_ms = 0.0
         self.probing = False
+        self.probe_token = 0
 
 
 class CircuitBreaker:
@@ -56,15 +97,20 @@ class CircuitBreaker:
         *,
         threshold: int = 3,
         cooldown_ms: float = 1_000.0,
+        max_classes: int = 4096,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if threshold < 1:
             raise ValueError("breaker threshold must be >= 1")
+        if max_classes < 1:
+            raise ValueError("breaker max_classes must be >= 1")
         self.threshold = threshold
         self.cooldown_ms = cooldown_ms
+        self.max_classes = max_classes
         self._clock = clock
         self._lock = threading.Lock()
-        self._classes: Dict[str, _ClassState] = {}
+        self._classes: "OrderedDict[str, _ClassState]" = OrderedDict()
+        self._probe_seq = 0
         self._trips = 0
 
     def _now_ms(self) -> float:
@@ -73,35 +119,63 @@ class CircuitBreaker:
     def _state_for(self, key: str) -> _ClassState:
         state = self._classes.get(key)
         if state is None:
+            if len(self._classes) >= self.max_classes:
+                self._evict_one()
             state = self._classes[key] = _ClassState()
+        else:
+            self._classes.move_to_end(key)
         return state
+
+    def _evict_one(self) -> None:
+        """Drop one class to stay under ``max_classes`` (lock held).
+
+        Idle ``CLOSED`` classes go first, least-recently-used; when every
+        class carries signal, the LRU entry goes anyway -- losing breaker
+        state is benign (the class re-trips after ``threshold`` failures),
+        unbounded memory is not.
+        """
+        for key, state in self._classes.items():
+            if (
+                state.state is BreakerState.CLOSED
+                and state.consecutive_failures == 0
+                and not state.probing
+            ):
+                del self._classes[key]
+                return
+        self._classes.popitem(last=False)
+        obs.default_registry().counter("serve.breaker.evicted_hot").inc()
 
     # ------------------------------------------------------------------ #
 
-    def allow(self, key: str) -> bool:
+    def allow(self, key: str) -> Admission:
         """May a request of class ``key`` proceed right now?
 
         An ``OPEN`` class whose cooldown has elapsed admits exactly one
         half-open probe; everything else queues behind that probe's
-        verdict.
+        verdict.  The returned :class:`Admission` is truthy iff admitted
+        and carries the probe token when this request *is* the probe.
         """
         with self._lock:
             state = self._state_for(key)
             if state.state is BreakerState.CLOSED:
-                return True
+                return Admission(True)
             if state.state is BreakerState.OPEN:
                 if self._now_ms() - state.opened_at_ms < self.cooldown_ms:
-                    return False
+                    return Admission(False)
                 state.state = BreakerState.HALF_OPEN
-                state.probing = True
-                obs.default_registry().counter("serve.breaker.probes").inc()
-                return True
+                return Admission(True, self._arm_probe(state))
             # HALF_OPEN: one probe at a time
             if state.probing:
-                return False
-            state.probing = True
-            obs.default_registry().counter("serve.breaker.probes").inc()
-            return True
+                return Admission(False)
+            return Admission(True, self._arm_probe(state))
+
+    def _arm_probe(self, state: _ClassState) -> int:
+        """Mark ``state`` as probing and mint its token (lock held)."""
+        self._probe_seq += 1
+        state.probing = True
+        state.probe_token = self._probe_seq
+        obs.default_registry().counter("serve.breaker.probes").inc()
+        return self._probe_seq
 
     def record_success(self, key: str) -> None:
         with self._lock:
@@ -130,6 +204,28 @@ class CircuitBreaker:
                 state.opened_at_ms = self._now_ms()
                 self._trips += 1
                 reg.counter("serve.breaker.trips").inc()
+
+    def record_abandoned(self, key: str, probe_token: Optional[int]) -> None:
+        """The probe ended without a success/failure verdict.
+
+        Uncharged paths (abandoned/stalled futures, timeouts that never
+        ran, the degraded fallback, internal errors) neither close nor
+        re-open the breaker -- without this, the class would sit
+        ``HALF_OPEN`` with ``probing`` set forever, rejecting every later
+        request.  Re-open and re-arm the cooldown so the next probe gets
+        its turn.  A no-op unless ``probe_token`` still owns the probe,
+        so calling it unconditionally in a ``finally`` is safe.
+        """
+        if probe_token is None:
+            return
+        with self._lock:
+            state = self._classes.get(key)
+            if state is None or not state.probing or state.probe_token != probe_token:
+                return
+            state.probing = False
+            state.state = BreakerState.OPEN
+            state.opened_at_ms = self._now_ms()
+            obs.default_registry().counter("serve.breaker.abandoned").inc()
 
     # ------------------------------------------------------------------ #
 

@@ -12,10 +12,11 @@ lives in :class:`~repro.serve.service.CompileService`.  Endpoints:
 ========================= ============================================
 
 HTTP status mapping (docs/SERVING.md): ``ok``/``degraded`` -> 200,
-typed compile ``error`` -> 422 (malformed envelope ``SV006`` -> 400),
-``shed`` -> 429 and ``rejected`` -> 503, both with a ``Retry-After``
-header (integer seconds, floored at 1; the precise ``retryAfterMs``
-rides in the body).
+typed compile ``error`` -> 422 (malformed envelope ``SV006`` -> 400;
+infrastructure errors ``SV001``/``SV002``/``SV007`` -> 500, the server's
+fault, not the client's), ``shed`` -> 429 and ``rejected`` -> 503, both
+with a ``Retry-After`` header (integer seconds, floored at 1; the
+precise ``retryAfterMs`` rides in the body).
 """
 
 from __future__ import annotations
@@ -28,12 +29,17 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro import obs
 from repro.serve.service import CompileService, ServeConfig
-from repro.serve.wire import SERVE_SCHEMA, SV006
+from repro.serve.wire import SERVE_SCHEMA, SV001, SV002, SV006, SV007
 
 __all__ = ["ServeDaemon", "http_status_for", "run_daemon"]
 
 #: Request bodies above this size are refused outright (413).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: ``error`` codes that are the *server's* fault -- the exhausted
+#: fallback after worker crashes/timeouts (SV001/SV002) and internal
+#: supervisor errors (SV007) -- and must not masquerade as 4xx.
+_SERVER_FAULT_CODES = (SV001, SV002, SV007)
 
 
 def http_status_for(resp: Dict[str, Any]) -> int:
@@ -42,7 +48,12 @@ def http_status_for(resp: Dict[str, Any]) -> int:
     if status in ("ok", "degraded"):
         return 200
     if status == "error":
-        return 400 if resp.get("code") == SV006 else 422
+        code = resp.get("code")
+        if code == SV006:
+            return 400
+        if code in _SERVER_FAULT_CODES:
+            return 500
+        return 422  # typed, deterministic compile errors
     if status == "shed":
         return 429
     if status == "rejected":
@@ -132,6 +143,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _read_json(self) -> Tuple[Any, Optional[str]]:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
+            # the oversized body is never read: close the connection so a
+            # keep-alive client's next request isn't parsed out of it
+            self.close_connection = True
             self._send_json(413, {"error": "request body too large"})
             return None, "too-large"
         raw = self.rfile.read(length) if length else b""
@@ -153,6 +167,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(data)))
         if retry_after is not None:
             self.send_header("Retry-After", retry_after)
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(data)
 

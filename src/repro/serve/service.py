@@ -30,6 +30,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, CancelledError
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from repro.serve.wire import (
     SV004,
     SV005,
     SV006,
+    SV007,
     CompileRequest,
     CompileResponse,
     WireError,
@@ -52,6 +54,12 @@ from repro.serve.wire import (
 )
 
 __all__ = ["CompileService", "ServeConfig"]
+
+#: Cap on the ``source digest -> structural hash`` alias map (LRU): a
+#: long-running daemon fed unique programs must not grow without bound.
+#: Losing an alias is benign -- the class falls back to its digest key
+#: until a worker re-reports the structural hash.
+MAX_HASH_ALIASES = 65_536
 
 
 class _AbandonedFuture(Exception):
@@ -99,7 +107,10 @@ class ServeConfig:
     allow_faults: bool = False
     #: Seed for the backoff-jitter rng (deterministic load tests).
     seed: int = 0
-    #: Default ladder variant handed to workers/fallback (``None`` = full).
+    #: Default ladder variant (a ``LADDER_VARIANTS`` name or rung-label
+    #: sequence) applied to requests that carry no ``ladder`` of their
+    #: own -- on worker dispatch *and* the in-process fallback alike, so
+    #: both paths compile the same descent (``None`` = full).
     ladder: Optional[Union[str, Sequence[str]]] = field(default=None)
 
     def resolved_max_inflight(self) -> int:
@@ -114,6 +125,9 @@ class CompileService:
         from repro.serve.breaker import CircuitBreaker
 
         self.config = config if config is not None else ServeConfig()
+        # resolve before the pool exists so a bad variant name fails fast
+        # without leaking worker processes
+        self._ladder_labels = self._resolve_config_ladder()
         self.pool = SupervisedPool(
             self.config.workers,
             initializer=serve_worker.init_worker,
@@ -130,8 +144,18 @@ class CompileService:
         self._rng = random.Random(self.config.seed)
         self._rng_lock = threading.Lock()
         self._alias_lock = threading.Lock()
-        self._hash_by_digest: Dict[str, str] = {}
+        self._hash_by_digest: "OrderedDict[str, str]" = OrderedDict()
         self._started = time.monotonic()
+
+    def _resolve_config_ladder(self) -> Optional[Tuple[str, ...]]:
+        """Resolve ``config.ladder`` to explicit rung labels once, so a
+        bad variant name fails at construction and the same labels ride
+        the wire to workers that the fallback compiles with."""
+        if self.config.ladder is None:
+            return None
+        from repro.core.session import SessionOptions
+
+        return SessionOptions(ladder=self.config.ladder).ladder_labels()
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -173,9 +197,11 @@ class CompileService:
                     notes=["admission control: inflight quota exhausted"],
                 )
             else:
+                probe_token: Optional[int] = None
                 try:
                     key = self._class_key(req.digest)
-                    if not self.breaker.allow(key):
+                    admit = self.breaker.allow(key)
+                    if not admit:
                         reg.counter("serve.rejected").inc()
                         resp = CompileResponse(
                             status="rejected",
@@ -187,6 +213,7 @@ class CompileService:
                             notes=[f"circuit breaker open for workload class {key}"],
                         )
                     else:
+                        probe_token = admit.probe_token
                         resp = self._dispatch(req, ticket.budget, key)
                 except Exception as exc:  # supervisor must never crash
                     reg.counter("serve.internal_errors").inc()
@@ -196,8 +223,17 @@ class CompileService:
                         request_id=req.request_id,
                         source_digest=req.digest,
                         error=error_payload(exc),
+                        code=SV007,
                     )
                 finally:
+                    # a half-open probe that ended on an uncharged path
+                    # (abandoned/stalled future, fallback, internal error)
+                    # must not leave the class stuck probing forever; the
+                    # key is re-resolved because the fallback may have
+                    # rekeyed the class mid-request
+                    self.breaker.record_abandoned(
+                        self._class_key(req.digest), probe_token
+                    )
                     ticket.release((time.perf_counter() - t0) * 1000.0)
         resp.total_ms = round((time.perf_counter() - t0) * 1000.0, 3)
         reg.counter(f"serve.status.{resp.status}").inc()
@@ -225,6 +261,10 @@ class CompileService:
             wire = req.to_dict()
             wire["attempt"] = attempts - 1
             wire["deadlineMs"] = remaining
+            if req.ladder is None and self._ladder_labels is not None:
+                # the config-level default descent rides the wire so the
+                # worker compiles the same ladder the fallback would
+                wire["ladder"] = list(self._ladder_labels)
             if queue_ms is None:
                 queue_ms = round((time.perf_counter() - t_start) * 1000.0, 3)
             future, generation = self.pool.submit(
@@ -509,17 +549,24 @@ class CompileService:
 
     def _class_key(self, digest: str) -> str:
         with self._alias_lock:
-            return self._hash_by_digest.get(digest, digest)
+            key = self._hash_by_digest.get(digest)
+            if key is None:
+                return digest
+            self._hash_by_digest.move_to_end(digest)
+            return key
 
     def _learn_hash(self, digest: str, structural: Optional[str]) -> None:
         """Upgrade a digest-keyed class to its rename-invariant structural
-        hash the first time a worker reports it."""
+        hash the first time a worker reports it (LRU-capped)."""
         if structural is None:
             return
         with self._alias_lock:
             known = self._hash_by_digest.get(digest)
             if known == structural:
+                self._hash_by_digest.move_to_end(digest)
                 return
+            while len(self._hash_by_digest) >= MAX_HASH_ALIASES:
+                self._hash_by_digest.popitem(last=False)
             self._hash_by_digest[digest] = structural
         self.breaker.rekey(digest, structural)
 
@@ -547,4 +594,4 @@ class CompileService:
 
 
 def _unused() -> Tuple[str, ...]:  # pragma: no cover - keeps SV00x exported
-    return (SV001, SV002, SV003, SV004, SV005, SV006)
+    return (SV001, SV002, SV003, SV004, SV005, SV006, SV007)

@@ -22,6 +22,8 @@ SV004  the workload class's circuit breaker is open (Retry-After)
 SV005  the final attempt was served by the in-process degradation
        ladder instead of a worker
 SV006  the request envelope was malformed
+SV007  the supervisor itself failed (an internal service error --
+       the server's fault, HTTP 500)
 ====== ==========================================================
 """
 
@@ -43,6 +45,7 @@ __all__ = [
     "SV004",
     "SV005",
     "SV006",
+    "SV007",
     "RESPONSE_STATUSES",
     "CompileRequest",
     "CompileResponse",
@@ -58,6 +61,7 @@ SV003 = "SV003"  # request-shed
 SV004 = "SV004"  # circuit-open
 SV005 = "SV005"  # degraded-fallback
 SV006 = "SV006"  # malformed-request
+SV007 = "SV007"  # internal-error
 
 #: Every status a response may carry.  ``ok``/``degraded``/``error`` are
 #: terminal compile outcomes; ``shed``/``rejected`` are admission/breaker

@@ -123,3 +123,116 @@ class TestBreaker:
     def test_rejects_nonpositive_threshold(self):
         with pytest.raises(ValueError):
             CircuitBreaker(threshold=0)
+
+
+class TestProbeResolution:
+    """An admitted probe must never be leaked: record_abandoned settles
+    any probe that ended on an uncharged path (the REVIEW.md high)."""
+
+    def _trip(self, breaker, key="k"):
+        for _ in range(breaker.threshold):
+            breaker.record_failure(key)
+
+    def test_allow_hands_the_probe_a_token(self, breaker, clock):
+        assert breaker.allow("k").probe_token is None  # CLOSED: no probe
+        self._trip(breaker)
+        clock.advance_ms(1001.0)
+        admit = breaker.allow("k")
+        assert admit and admit.probe_token is not None
+
+    def test_abandoned_probe_reopens_and_rearms_the_cooldown(
+        self, breaker, clock
+    ):
+        self._trip(breaker)
+        clock.advance_ms(1001.0)
+        admit = breaker.allow("k")
+        assert admit.probe_token is not None
+        # the probe request dies on an uncharged path (stalled future,
+        # fallback, internal error): without resolution the class would
+        # reject everyone forever
+        breaker.record_abandoned("k", admit.probe_token)
+        assert breaker.state("k") is BreakerState.OPEN
+        clock.advance_ms(999.0)
+        assert not breaker.allow("k")
+        clock.advance_ms(2.0)
+        assert breaker.allow("k").probe_token is not None  # next probe runs
+
+    def test_abandoned_is_a_noop_after_success(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance_ms(1001.0)
+        admit = breaker.allow("k")
+        breaker.record_success("k")
+        breaker.record_abandoned("k", admit.probe_token)
+        assert breaker.state("k") is BreakerState.CLOSED
+        assert breaker.allow("k")
+
+    def test_abandoned_is_a_noop_after_failure(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance_ms(1001.0)
+        admit = breaker.allow("k")
+        breaker.record_failure("k")
+        opened_retry = breaker.retry_after_ms("k")
+        clock.advance_ms(300.0)
+        breaker.record_abandoned("k", admit.probe_token)  # stale token
+        # the cooldown from the *failure* still stands, not re-armed
+        assert breaker.retry_after_ms("k") == pytest.approx(opened_retry - 300.0)
+
+    def test_stale_token_cannot_clobber_a_newer_probe(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance_ms(1001.0)
+        old = breaker.allow("k")
+        breaker.record_failure("k")  # probe failed, breaker re-opened
+        clock.advance_ms(1001.0)
+        new = breaker.allow("k")  # a fresh probe is in flight
+        assert new.probe_token != old.probe_token
+        breaker.record_abandoned("k", old.probe_token)
+        assert breaker.state("k") is BreakerState.HALF_OPEN  # untouched
+        breaker.record_success("k")
+        assert breaker.state("k") is BreakerState.CLOSED
+
+    def test_none_token_is_a_noop(self, breaker):
+        breaker.record_abandoned("k", None)
+        assert breaker.state("k") is BreakerState.CLOSED
+
+    def test_rekey_carries_the_probe_with_the_class(self, breaker, clock):
+        self._trip(breaker, "digest")
+        clock.advance_ms(1001.0)
+        admit = breaker.allow("digest")
+        breaker.rekey("digest", "structural")
+        breaker.record_abandoned("structural", admit.probe_token)
+        assert breaker.state("structural") is BreakerState.OPEN
+
+
+class TestEviction:
+    """The class map is LRU-bounded (the REVIEW.md unbounded-growth note)."""
+
+    def test_idle_closed_classes_are_evicted_at_the_cap(self, clock):
+        breaker = CircuitBreaker(threshold=3, max_classes=4, clock=clock)
+        for i in range(4):
+            assert breaker.allow(f"k{i}")
+        assert breaker.snapshot()["classes"] == 4
+        assert breaker.allow("k4")
+        assert breaker.snapshot()["classes"] == 4  # k0 went
+
+    def test_classes_with_signal_survive_idle_ones(self, clock):
+        breaker = CircuitBreaker(threshold=3, max_classes=3, clock=clock)
+        for _ in range(3):
+            breaker.record_failure("bad")  # OPEN: carries signal
+        breaker.record_failure("meh")  # failing: carries signal
+        assert breaker.allow("idle")
+        assert breaker.allow("new")  # evicts "idle", not "bad"/"meh"
+        assert not breaker.allow("bad")
+        snap = breaker.snapshot()
+        assert snap["classes"] == 3
+        assert "bad" in snap["openClasses"]
+
+    def test_all_hot_still_stays_bounded(self, clock):
+        breaker = CircuitBreaker(threshold=3, max_classes=3, clock=clock)
+        for i in range(10):
+            for _ in range(3):
+                breaker.record_failure(f"k{i}")
+        assert breaker.snapshot()["classes"] == 3
+
+    def test_rejects_nonpositive_max_classes(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_classes=0)

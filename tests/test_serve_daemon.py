@@ -11,7 +11,7 @@ import pytest
 from repro.gallery.paper import figure2_code
 from repro.serve.daemon import MAX_BODY_BYTES, ServeDaemon, http_status_for
 from repro.serve.service import CompileService, ServeConfig
-from repro.serve.wire import SERVE_SCHEMA, SV006
+from repro.serve.wire import SERVE_SCHEMA, SV001, SV002, SV006, SV007
 
 
 def _post(url: str, path: str, payload) -> tuple[int, dict, dict]:
@@ -49,6 +49,13 @@ class TestHttpStatusMapping:
         assert http_status_for({"status": "shed"}) == 429
         assert http_status_for({"status": "rejected"}) == 503
         assert http_status_for({"status": "???"}) == 500
+
+    def test_infrastructure_errors_are_the_servers_fault(self):
+        # the exhausted fallback (SV001/SV002) and internal supervisor
+        # errors (SV007) are 5xx, not client errors
+        assert http_status_for({"status": "error", "code": SV001}) == 500
+        assert http_status_for({"status": "error", "code": SV002}) == 500
+        assert http_status_for({"status": "error", "code": SV007}) == 500
 
 
 class TestEndpoints:
@@ -106,6 +113,32 @@ class TestEndpoints:
         # the daemon still serves after the refusal
         ok, _ = _get(daemon.url, "/healthz")
         assert ok == 200
+
+    def test_oversized_body_closes_the_keepalive_connection(self, daemon):
+        # the unread body must not be parsed as the next request on a
+        # kept-alive connection: the 413 carries Connection: close and the
+        # server hangs up instead of waiting for more requests
+        import socket
+
+        host, port = daemon.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.settimeout(10)
+            head = (
+                f"POST /v1/compile HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 100}\r\n\r\n"
+            ).encode("ascii")
+            sock.sendall(head)  # headers only; the body never arrives
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:  # EOF: the server closed the connection
+                    break
+                chunks.append(chunk)
+            data = b"".join(chunks)
+        status_line = data.split(b"\r\n", 1)[0]
+        assert b" 413 " in status_line + b" "
+        assert b"connection: close" in data.lower()
 
     def test_batch_endpoint(self, daemon):
         programs = [

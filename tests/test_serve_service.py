@@ -6,6 +6,9 @@ seeded request-level fault specs; deselect with ``-m "not chaos"``.
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -14,12 +17,14 @@ from repro.gallery.common import iir2d_code
 from repro.gallery.extended import extended_kernels
 from repro.gallery.paper import figure2_code
 from repro.serve import worker as serve_worker
+from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.service import CompileService, ServeConfig
 from repro.serve.wire import (
     SV003,
     SV004,
     SV005,
     SV006,
+    SV007,
     CompileRequest,
     CompileResponse,
     request_from_program,
@@ -132,6 +137,80 @@ class TestRefusals:
         resp = service.handle(request_from_program("fig2", figure2_code()))
         assert resp.status == "error" and resp.well_formed
         assert resp.error["type"] == "RuntimeError"
+        assert resp.code == SV007  # the server's fault, mapped to HTTP 500
+
+    def test_uncharged_probe_path_does_not_wedge_the_class(self, monkeypatch):
+        """REVIEW.md high: a half-open probe whose request ends on a path
+        that neither succeeds nor is charged as a failure (stalled or
+        abandoned future, internal error, fallback) must re-open the
+        class, not leave it rejecting everyone forever."""
+        with CompileService(
+            ServeConfig(workers=1, breaker_cooldown_ms=300.0)
+        ) as svc:
+            req = request_from_program("fig2", figure2_code())
+            key = svc._class_key(req.digest)
+            for _ in range(svc.config.breaker_threshold):
+                svc.breaker.record_failure(key)
+            time.sleep(0.35)  # cooldown elapses; next request is the probe
+            monkeypatch.setattr(
+                svc, "_dispatch",
+                lambda *a: (_ for _ in ()).throw(RuntimeError("uncharged")),
+            )
+            probe = svc.handle(req)
+            assert probe.status == "error" and probe.code == SV007
+            monkeypatch.undo()
+            # the probe resolved: the class re-opened with a fresh
+            # cooldown instead of sticking HALF_OPEN behind a dead probe
+            assert svc.breaker.state(key) is BreakerState.OPEN
+            rejected = svc.handle(req)
+            assert rejected.status == "rejected" and rejected.code == SV004
+            time.sleep(0.35)  # after the re-armed cooldown, service resumes
+            resp = svc.handle(req)
+            assert resp.status == "ok" and resp.well_formed
+
+
+class TestConfigLadder:
+    def test_config_ladder_rides_the_wire_to_workers(self):
+        """ServeConfig.ladder must shape *worker* compiles, not only the
+        in-process fallback, or the two paths diverge for one config."""
+        with CompileService(
+            ServeConfig(workers=1, ladder="conservative")
+        ) as svc:
+            resp = svc.handle(
+                request_from_program("fig2", figure2_code(), resilient=True)
+            )
+            assert resp.status == "ok" and resp.worker_pid is not None
+            # the conservative descent tops out at the partition rung
+            assert resp.rung == "partition"
+            # a request carrying its own ladder still wins
+            own = svc.handle(
+                request_from_program(
+                    "fig2", figure2_code(), resilient=True,
+                    ladder=("doall", "none"),
+                )
+            )
+            assert own.status == "ok" and own.rung == "doall"
+
+    def test_unknown_ladder_variant_fails_at_construction(self):
+        with pytest.raises(KeyError):
+            CompileService(ServeConfig(workers=1, ladder="no-such-variant"))
+
+
+class TestAliasMapBound:
+    def test_alias_map_is_lru_capped(self, monkeypatch):
+        import repro.serve.service as service_mod
+
+        monkeypatch.setattr(service_mod, "MAX_HASH_ALIASES", 3)
+        # a bare instance: _learn_hash touches only these three attributes
+        svc = CompileService.__new__(CompileService)
+        svc._alias_lock = threading.Lock()
+        svc._hash_by_digest = OrderedDict()
+        svc.breaker = CircuitBreaker()
+        for i in range(10):
+            svc._learn_hash(f"digest{i}", f"hash{i}")
+        assert len(svc._hash_by_digest) == 3
+        assert svc._class_key("digest9") == "hash9"  # newest survive
+        assert svc._class_key("digest0") == "digest0"  # oldest evicted
 
 
 @pytest.mark.chaos
