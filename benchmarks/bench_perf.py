@@ -16,6 +16,7 @@ itself cannot rot unnoticed.
 import pytest
 
 from repro.perf.bench import (
+    bench_backend_sweep,
     bench_backends,
     bench_fusion_cache,
     bench_solvers,
@@ -30,9 +31,14 @@ SMOKE_N = SMOKE_M = 24
 def test_smoke_backends(report, perf_record):
     """Fast tier: the whole harness end to end at a tiny size."""
     records = bench_backends(
-        "fig2", n=SMOKE_N, m=SMOKE_M, jobs=(1, 2), repeats=2
+        "fig2",
+        n=SMOKE_N,
+        m=SMOKE_M,
+        jobs=(1, 2),
+        repeats=2,
+        backends=("interp", "compiled", "numpy", "parallel"),
     )
-    assert {r.backend for r in records} >= {"interp", "compiled"}
+    assert {r.backend for r in records} >= {"interp", "compiled", "numpy"}
     perf_record(records)
 
 
@@ -57,7 +63,13 @@ def test_smoke_solver_metrics_archived(report, perf_record):
 @pytest.mark.perf
 def test_perf_doall_backends(report, perf_record):
     """DOALL example (fig2) at full size across every backend."""
-    records = bench_backends("fig2", n=FULL_N, m=FULL_M, jobs=(1, 2, 4))
+    records = bench_backends(
+        "fig2",
+        n=FULL_N,
+        m=FULL_M,
+        jobs=(1, 2, 4),
+        backends=("interp", "compiled", "numpy", "parallel"),
+    )
     perf_record(records)
     doc = records_to_json(records)
     report.text(render_records_text(doc))
@@ -83,6 +95,40 @@ def test_perf_wavefront_backend(report, perf_record):
     )
     perf_record(records)
     report.text(render_records_text(records_to_json(records)))
+
+
+@pytest.mark.perf
+def test_perf_numpy_sweep(report, perf_record):
+    """The numpy whole-array backend across sizes, both regimes.
+
+    ``jacobi-pair`` is DOALL-heavy (every stage whole-array) -- the numpy
+    backend's headline regime, expected well over the compiled per-row
+    kernel at 256x256.  ``fig2`` is the opposite pole: its recurrence
+    admits at most U=2 rows per array op, so the recorded speedup over
+    compiled is the dependence-bound ceiling (~1x), archived on purpose
+    as the honest contrast (see docs/PERFORMANCE.md).
+    """
+    records = bench_backend_sweep(
+        "jacobi-pair",
+        sizes=[(64, 64), (FULL_N, FULL_M)],
+        backends=("interp", "compiled", "numpy"),
+    )
+    records += bench_backend_sweep(
+        "fig2",
+        sizes=[(FULL_N, FULL_M)],
+        backends=("interp", "compiled", "numpy"),
+    )
+    perf_record(records)
+    report.text(render_records_text(records_to_json(records)))
+    headline = next(
+        r
+        for r in records
+        if r.backend == "numpy" and r.name.startswith("jacobi-pair")
+        and r.n == FULL_N
+    )
+    # regression bar, deliberately below the ~6x a quiet machine shows
+    assert headline.extra["speedupVsCompiled"] >= 2.0
+    assert headline.extra["plan"]["scalar"] == 0
 
 
 @pytest.mark.perf

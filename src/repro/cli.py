@@ -6,7 +6,7 @@ Main subcommands::
     repro-fuse lint     program.loop   # static diagnostics (text/json/sarif)
     repro-fuse fuse     program.loop   # retime + fuse + emit code
     repro-fuse run      program.loop   # hardened pipeline (budgets, --resilient,
-                                       # --backend interp|compiled|parallel)
+                                       # --backend interp|compiled|numpy|parallel)
     repro-fuse batch    a.loop b.loop  # compile many programs concurrently
                                        # (one Session, --jobs workers,
                                        # --timeout-ms, --batch-pool process)
@@ -198,11 +198,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-emit", action="store_true", help="skip code emission")
     p_run.add_argument(
         "--backend",
-        choices=["interp", "compiled", "parallel"],
+        choices=["interp", "compiled", "numpy", "parallel"],
         default=None,
         help="also execute the fused program with this backend "
-        "(parallel/compiled results are verified bit-identical against the "
-        "interpreter; not available with --resilient)",
+        "(compiled/numpy/parallel results are verified bit-identical against "
+        "the interpreter; not available with --resilient)",
     )
     p_run.add_argument(
         "--jobs",
@@ -346,12 +346,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="iteration-space size (default 256,256)",
     )
     p_bench.add_argument(
+        "--sizes", metavar="N1xM1,N2xM2,...", default=None,
+        help="size sweep overriding --size (e.g. 24x24,64x64,256x256) -- "
+        "measures the interp/compiled/numpy crossover",
+    )
+    p_bench.add_argument(
         "--jobs", metavar="J1,J2,...", default="1,2,4",
         help="comma-separated job counts for the parallel backend (default 1,2,4)",
     )
     p_bench.add_argument(
-        "--backends", metavar="B1,B2,...", default="interp,compiled,parallel",
-        help="comma-separated backends to time (default interp,compiled,parallel)",
+        "--backends", metavar="B1,B2,...", default="interp,compiled,numpy,parallel",
+        help="comma-separated backends to time "
+        "(default interp,compiled,numpy,parallel)",
     )
     p_bench.add_argument(
         "--pool", choices=["thread", "process"], default="thread",
@@ -603,14 +609,16 @@ def _parse_size(text: str) -> Tuple[int, int]:
 def _execute_backend(out, args: argparse.Namespace) -> dict:
     """Execute the strict pipeline's fused program with the chosen backend.
 
-    Returns a JSON-shaped record: backend, size, wall seconds and (for the
-    compiled/parallel backends) whether the result matched the interpreter
-    bit for bit.  A mismatch raises -- executing a wrong answer fast is not
-    a feature.
+    Dispatches through the :mod:`repro.core.backends` registry and returns
+    a JSON-shaped record: backend, size, wall seconds and (for every
+    backend but ``interp`` itself) whether the result matched the
+    interpreter bit for bit.  A mismatch raises -- executing a wrong
+    answer fast is not a feature.
     """
     import time as _time
 
     from repro.codegen.interp import ArrayStore, run_fused
+    from repro.core.backends import execute_fused
 
     n, m = _parse_size(args.size)
     fp = out.fused
@@ -618,34 +626,39 @@ def _execute_backend(out, args: argparse.Namespace) -> dict:
         raise FusionError("nothing to execute: the pipeline emitted no fused program")
     base = ArrayStore.for_program(out.nest, n, m, seed=0)
     record: dict = {"backend": args.backend, "n": n, "m": m}
+    is_doall = out.fusion.is_doall
+    schedule = out.fusion.schedule
 
     if args.backend == "interp":
         t0 = _time.perf_counter()
-        run_fused(fp, n, m, store=base.copy(), mode="serial")
+        execute_fused("interp", fp, n, m, store=base.copy())
         record["seconds"] = round(_time.perf_counter() - t0, 6)
         return record
 
     reference = run_fused(fp, n, m, store=base.copy(), mode="serial")
-    if args.backend == "compiled":
-        from repro.codegen.pycompile import compile_fused
-
-        kernel = compile_fused(fp)
-        got = base.copy()
+    got = base.copy()
+    if args.backend in ("compiled", "numpy"):
+        # compile outside the timed region: the kernel is what recurs
+        execute_fused(args.backend, fp, 1, 1,
+                      store=ArrayStore.for_program(out.nest, 1, 1, seed=0),
+                      schedule=schedule, is_doall=is_doall)
         t0 = _time.perf_counter()
-        kernel(got, n, m)
+        execute_fused(args.backend, fp, n, m, store=got,
+                      schedule=schedule, is_doall=is_doall)
         record["seconds"] = round(_time.perf_counter() - t0, 6)
+        if args.backend == "numpy":
+            from repro.codegen.nplower import compile_numpy
+
+            record["plan"] = compile_numpy(fp, schedule=schedule).plan
     else:  # parallel
         from repro.perf.parallel import ParallelExecutor
 
-        is_doall = out.fusion.is_doall
-        schedule = None if is_doall else out.fusion.schedule
-        got = base.copy()
         with ParallelExecutor(args.jobs) as ex:
             t0 = _time.perf_counter()
             ex.run(
                 fp, n, m, store=got,
                 mode="doall" if is_doall else "hyperplane",
-                schedule=schedule,
+                schedule=None if is_doall else schedule,
             )
             record["seconds"] = round(_time.perf_counter() - t0, 6)
         record["jobs"] = ex.jobs
@@ -843,14 +856,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.perf.bench import render_records_text, run_bench_suite, write_json
+    from repro.perf.bench import (
+        parse_sizes,
+        render_records_text,
+        run_bench_suite,
+        write_json,
+    )
 
     try:
         n, m = _parse_size(args.size)
         jobs = tuple(int(x) for x in args.jobs.split(","))
-    except ValueError:
+        sizes = parse_sizes(args.sizes) if args.sizes else None
+    except ValueError as exc:
         print(
-            f"bad --size/--jobs value; expected N,M and J1,J2,...", file=sys.stderr
+            f"bad --size/--sizes/--jobs value ({exc}); "
+            "expected N,M / N1xM1,N2xM2,... / J1,J2,...",
+            file=sys.stderr,
         )
         return ExitCode.USAGE
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
@@ -859,6 +880,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             args.example,
             n=n,
             m=m,
+            sizes=sizes,
             jobs=jobs,
             backends=backends,
             pool=args.pool,

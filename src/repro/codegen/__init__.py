@@ -21,12 +21,16 @@ from repro.codegen.interp import (
     run_fused,
     run_original,
 )
+from repro.codegen.nplower import LoweringPlan, compile_numpy, plan_lowering
 from repro.codegen.pycompile import CompiledKernel, compile_fused, compile_original
 from repro.codegen.wavefront import emit_wavefront_program, wavefront_iterations
 
 __all__ = [
     "compile_original",
     "compile_fused",
+    "compile_numpy",
+    "plan_lowering",
+    "LoweringPlan",
     "CompiledKernel",
     "emit_wavefront_program",
     "wavefront_iterations",

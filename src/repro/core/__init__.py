@@ -30,6 +30,7 @@ from repro.core.codes import ExitCode
 from repro.core.context import current_session
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backends import ExecutionBackend, backend_names, execute_fused
     from repro.core.batch import BATCH_SCHEMA, BatchEntry, BatchReport
     from repro.core.manager import PassManager, diagnostics_from_exception
     from repro.core.passes import Artifact, Pass, resilient_passes, strict_passes
@@ -45,6 +46,7 @@ __all__ = [
     "BATCH_SCHEMA",
     "BatchEntry",
     "BatchReport",
+    "ExecutionBackend",
     "ExitCode",
     "LADDER_VARIANTS",
     "Pass",
@@ -52,14 +54,19 @@ __all__ = [
     "Session",
     "SessionCaches",
     "SessionOptions",
+    "backend_names",
     "current_session",
     "diagnostics_from_exception",
+    "execute_fused",
     "resilient_passes",
     "strict_passes",
 ]
 
 _LAZY = {
     "Artifact": ("repro.core.passes", "Artifact"),
+    "ExecutionBackend": ("repro.core.backends", "ExecutionBackend"),
+    "backend_names": ("repro.core.backends", "backend_names"),
+    "execute_fused": ("repro.core.backends", "execute_fused"),
     "Pass": ("repro.core.passes", "Pass"),
     "strict_passes": ("repro.core.passes", "strict_passes"),
     "resilient_passes": ("repro.core.passes", "resilient_passes"),

@@ -1,0 +1,179 @@
+"""The execution-backend registry.
+
+Four interchangeable executors can run a fused program; this module gives
+them one name table and one calling convention so every selection site --
+``repro-fuse run --backend``, ``repro-fuse bench --backends``,
+``SessionOptions.backend`` (and through it the serve workers and
+``fuse_many``) -- resolves backends the same way:
+
+========== =========================================================
+``interp``   tree-walking interpreter (:func:`repro.codegen.interp.run_fused`,
+             serial mode) -- the semantic ground truth
+``compiled`` generated Python with per-row numpy slices
+             (:func:`repro.codegen.pycompile.compile_fused`)
+``numpy``    staged whole-array lowering
+             (:func:`repro.codegen.nplower.compile_numpy`)
+``parallel`` chunked thread/process execution
+             (:class:`repro.perf.parallel.ParallelExecutor`)
+========== =========================================================
+
+Every runner takes the same arguments and mutates/returns the given
+:class:`~repro.codegen.interp.ArrayStore`; all are bit-identical to
+``interp`` (enforced by the callers that verify, and by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.codegen.fused import FusedProgram
+    from repro.codegen.interp import ArrayStore
+    from repro.vectors import IVec
+
+__all__ = [
+    "ExecutionBackend",
+    "register",
+    "get",
+    "backend_names",
+    "execute_fused",
+]
+
+#: Runner signature: ``(fp, n, m, store, schedule, is_doall, jobs) -> store``.
+Runner = Callable[..., "ArrayStore"]
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """One way to execute a fused program over an :class:`ArrayStore`."""
+
+    name: str
+    description: str
+    runner: Runner
+
+
+_REGISTRY: Dict[str, ExecutionBackend] = {}
+
+
+def register(backend: ExecutionBackend) -> ExecutionBackend:
+    """Add (or replace) a backend in the registry."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get(name: str) -> ExecutionBackend:
+    """Look a backend up by name; raises ``KeyError`` listing the options."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution backend {name!r}; known: {backend_names()}"
+        ) from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def execute_fused(
+    name: str,
+    fp: "FusedProgram",
+    n: int,
+    m: int,
+    *,
+    store: "ArrayStore",
+    schedule: Optional["IVec"] = None,
+    is_doall: bool = True,
+    jobs: Optional[int] = None,
+) -> "ArrayStore":
+    """Run ``fp`` over ``store`` (mutated in place) with the named backend.
+
+    ``schedule``/``is_doall`` come from the fusion result (the hyperplane
+    vector when the fusion is not DOALL); ``jobs`` only matters to the
+    ``parallel`` backend.
+    """
+    return get(name).runner(fp, n, m, store, schedule, is_doall, jobs)
+
+
+# ------------------------------------------------------------------ #
+# the built-in four
+# ------------------------------------------------------------------ #
+
+
+def _run_interp(
+    fp: FusedProgram,
+    n: int,
+    m: int,
+    store: ArrayStore,
+    schedule: Optional[IVec],
+    is_doall: bool,
+    jobs: Optional[int],
+) -> ArrayStore:
+    from repro.codegen.interp import run_fused
+
+    return run_fused(fp, n, m, store=store, mode="serial")
+
+
+def _run_compiled(
+    fp: FusedProgram,
+    n: int,
+    m: int,
+    store: ArrayStore,
+    schedule: Optional[IVec],
+    is_doall: bool,
+    jobs: Optional[int],
+) -> ArrayStore:
+    from repro.codegen.pycompile import compile_fused
+
+    compile_fused(fp)(store, n, m)
+    return store
+
+
+def _run_numpy(
+    fp: FusedProgram,
+    n: int,
+    m: int,
+    store: ArrayStore,
+    schedule: Optional[IVec],
+    is_doall: bool,
+    jobs: Optional[int],
+) -> ArrayStore:
+    from repro.codegen.nplower import compile_numpy
+
+    compile_numpy(fp, schedule=schedule)(store, n, m)
+    return store
+
+
+def _run_parallel(
+    fp: FusedProgram,
+    n: int,
+    m: int,
+    store: ArrayStore,
+    schedule: Optional[IVec],
+    is_doall: bool,
+    jobs: Optional[int],
+) -> ArrayStore:
+    from repro.perf.parallel import ParallelExecutor
+
+    mode = "doall" if is_doall else "hyperplane"
+    with ParallelExecutor(jobs) as ex:
+        return ex.run(
+            fp, n, m, store=store, mode=mode,
+            schedule=None if is_doall else schedule,
+        )
+
+
+register(ExecutionBackend(
+    "interp", "tree-walking interpreter (serial; ground truth)", _run_interp,
+))
+register(ExecutionBackend(
+    "compiled", "generated Python, per-row numpy slices", _run_compiled,
+))
+register(ExecutionBackend(
+    "numpy", "staged whole-array numpy lowering", _run_numpy,
+))
+register(ExecutionBackend(
+    "parallel", "chunked thread/process pool execution", _run_parallel,
+))

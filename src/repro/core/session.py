@@ -94,6 +94,9 @@ class SessionOptions:
     ladder: Optional[Union[str, Sequence[str]]] = None
     #: Default worker count for :meth:`Session.fuse_many`.
     jobs: int = 4
+    #: Execution backend for :meth:`Session.execute_fused`
+    #: (:mod:`repro.core.backends`: interp / compiled / numpy / parallel).
+    backend: str = "interp"
     #: Run the certificate-carrying MLDG edge-pruning pass
     #: (:mod:`repro.analysis.prune`).  Off: the pipeline compiles the
     #: fully syntactic graph -- how the equivalence tests compare pruned
@@ -392,6 +395,35 @@ class Session:
             timeout_ms=timeout_ms,
             pool=pool,
         )
+
+    def execute_fused(
+        self,
+        fp: Any,
+        n: int,
+        m: int,
+        *,
+        store: Any,
+        backend: Optional[str] = None,
+        schedule: Optional[Any] = None,
+        is_doall: bool = True,
+        jobs: Optional[int] = None,
+    ) -> Any:
+        """Run a fused program through the session's execution backend.
+
+        Dispatches via the :mod:`repro.core.backends` registry under this
+        session's activation (so backend kernels hit the session's kernel
+        cache and metrics registry).  ``backend=None`` uses
+        :attr:`SessionOptions.backend`.
+        """
+        from repro.core.backends import execute_fused as _execute
+
+        name = backend if backend is not None else self.options.backend
+        with self.activate():
+            return _execute(
+                name, fp, n, m,
+                store=store, schedule=schedule, is_doall=is_doall,
+                jobs=jobs if jobs is not None else self.options.jobs,
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -26,8 +26,11 @@ __all__ = [
     "BenchRecord",
     "time_callable",
     "bench_backends",
+    "bench_backend_sweep",
     "bench_fusion_cache",
     "bench_solvers",
+    "parse_sizes",
+    "platform_block",
     "run_bench_suite",
     "render_records_text",
     "records_to_json",
@@ -131,6 +134,15 @@ def bench_examples() -> List[str]:
 # ------------------------------------------------------------------ #
 
 
+def _kernel_cache_delta(before: Any, after: Any) -> Dict[str, int]:
+    """Hits/misses attributable to one backend phase (satellite of the
+    global counters, which smear all phases together)."""
+    return {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+    }
+
+
 def bench_backends(
     example: str = "fig2",
     *,
@@ -147,9 +159,19 @@ def bench_backends(
     When ``verify`` is set (default) each backend's result is checked
     bit-identical against the serial interpreter before it is timed --
     a benchmark of a wrong answer is worthless.
+
+    Timing is *kernel-only* and uniform across backends: every backend
+    runs over one pre-copied store reused across the timed repeats (the
+    operation count is size-determined, not value-determined, so reusing
+    the mutated store is fair), and the input-copy cost every end-to-end
+    caller also pays is reported once as a separate ``store-copy`` record.
+    Kernel-compiling backends report the kernel-cache hits/misses their
+    own phase produced (``kernelCache``), so a warm cache is visible per
+    backend instead of as one smeared global ratio.
     """
     from repro.codegen import ArrayStore, apply_fusion, run_fused
-    from repro.codegen.pycompile import compile_fused
+    from repro.codegen.nplower import compile_numpy
+    from repro.codegen.pycompile import compile_fused, kernel_cache_info
     from repro.depend import extract_mldg
     from repro.fusion import fuse
     from repro.loopir import parse_program
@@ -166,11 +188,21 @@ def bench_backends(
 
     reference = run_fused(fp, n, m, store=base.copy(), mode="serial")
     records: List[BenchRecord] = []
+    copy_median, copy_err = time_callable(lambda: base.copy(), repeats=repeats)
+    records.append(
+        BenchRecord(
+            name=f"{example}-fused", backend="store-copy", median_s=copy_median,
+            err_s=copy_err, repeats=repeats, n=n, m=m,
+            extra={"note": "input-copy cost excluded from the backend rows"},
+        )
+    )
 
     interp_median: Optional[float] = None
+    compiled_median: Optional[float] = None
     if "interp" in backends:
+        work = base.copy()
         median, err = time_callable(
-            lambda: run_fused(fp, n, m, store=base.copy(), mode="serial"),
+            lambda: run_fused(fp, n, m, store=work, mode="serial"),
             repeats=repeats,
             warmup=0,
         )
@@ -184,20 +216,52 @@ def bench_backends(
         )
 
     if "compiled" in backends:
+        snap = kernel_cache_info()
         kernel = compile_fused(fp)
         if verify:
             got = base.copy()
             kernel(got, n, m)
             if not reference.equal(got):  # pragma: no cover - correctness guard
                 raise AssertionError("compiled backend diverged from the interpreter")
-        median, err = time_callable(
-            lambda: kernel(base.copy(), n, m), repeats=repeats
+        work = base.copy()
+        compiled_median, err = time_callable(
+            lambda: kernel(work, n, m), repeats=repeats
         )
         records.append(
             BenchRecord(
-                name=f"{example}-fused", backend="compiled", median_s=median,
+                name=f"{example}-fused", backend="compiled",
+                median_s=compiled_median,
+                err_s=err, repeats=repeats, n=n, m=m,
+                speedup_vs_interp=(interp_median / compiled_median)
+                if interp_median else None,
+                extra={"kernelCache": _kernel_cache_delta(snap, kernel_cache_info())},
+            )
+        )
+
+    if "numpy" in backends:
+        snap = kernel_cache_info()
+        np_kernel = compile_numpy(fp, schedule=result.schedule)
+        if verify:
+            got = base.copy()
+            np_kernel(got, n, m)
+            if not reference.equal(got):  # pragma: no cover - correctness guard
+                raise AssertionError("numpy backend diverged from the interpreter")
+        work = base.copy()
+        median, err = time_callable(
+            lambda: np_kernel(work, n, m), repeats=repeats
+        )
+        extra: Dict[str, Any] = {
+            "kernelCache": _kernel_cache_delta(snap, kernel_cache_info()),
+            "plan": np_kernel.plan,  # type: ignore[attr-defined]
+        }
+        if compiled_median:
+            extra["speedupVsCompiled"] = round(compiled_median / median, 3)
+        records.append(
+            BenchRecord(
+                name=f"{example}-fused", backend="numpy", median_s=median,
                 err_s=err, repeats=repeats, n=n, m=m,
                 speedup_vs_interp=(interp_median / median) if interp_median else None,
+                extra=extra,
             )
         )
 
@@ -210,9 +274,10 @@ def bench_backends(
                         raise AssertionError(
                             f"parallel backend (jobs={j}) diverged from the interpreter"
                         )
+                work = base.copy()
                 median, err = time_callable(
                     lambda: ex.run(
-                        fp, n, m, store=base.copy(), mode=mode, schedule=schedule
+                        fp, n, m, store=work, mode=mode, schedule=schedule
                     ),
                     repeats=repeats,
                 )
@@ -224,6 +289,50 @@ def bench_backends(
                     extra={"mode": mode},
                 )
             )
+    return records
+
+
+def parse_sizes(spec: str) -> List[Tuple[int, int]]:
+    """Parse a ``--sizes``-style sweep spec: ``N1xM1,N2xM2,...``."""
+    sizes: List[Tuple[int, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            n_s, m_s = part.lower().split("x")
+            sizes.append((int(n_s), int(m_s)))
+        except ValueError:
+            raise ValueError(
+                f"bad size {part!r} in sweep spec; expected NxM (e.g. 64x64)"
+            ) from None
+    if not sizes:
+        raise ValueError("empty size sweep spec")
+    return sizes
+
+
+def bench_backend_sweep(
+    example: str = "fig2",
+    *,
+    sizes: Sequence[Tuple[int, int]],
+    jobs: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("interp", "compiled", "numpy"),
+    pool: str = "thread",
+    repeats: int = 3,
+    verify: bool = True,
+) -> List[BenchRecord]:
+    """:func:`bench_backends` across an iteration-space size sweep.
+
+    The interp/compiled/numpy crossover points move with size (fixed
+    per-call overhead vs per-element work), so backend selection needs
+    the curve, not one point.
+    """
+    records: List[BenchRecord] = []
+    for n, m in sizes:
+        records += bench_backends(
+            example, n=n, m=m, jobs=jobs, backends=backends,
+            pool=pool, repeats=repeats, verify=verify,
+        )
     return records
 
 
@@ -311,6 +420,7 @@ def run_bench_suite(
     *,
     n: int = 256,
     m: int = 256,
+    sizes: Optional[Sequence[Tuple[int, int]]] = None,
     jobs: Sequence[int] = (1, 2, 4),
     backends: Sequence[str] = ("interp", "compiled", "parallel"),
     pool: str = "thread",
@@ -318,9 +428,13 @@ def run_bench_suite(
     include_cache: bool = True,
     include_solver: bool = True,
 ) -> Dict[str, Any]:
-    """Run the full suite; returns the ``BENCH_perf.json``-shaped document."""
-    records = bench_backends(
-        example, n=n, m=m, jobs=jobs, backends=backends, pool=pool, repeats=repeats
+    """Run the full suite; returns the ``BENCH_perf.json``-shaped document.
+
+    ``sizes`` (a sweep of ``(n, m)`` pairs) overrides the single ``n``/``m``.
+    """
+    records = bench_backend_sweep(
+        example, sizes=sizes if sizes is not None else [(n, m)],
+        jobs=jobs, backends=backends, pool=pool, repeats=repeats,
     )
     if include_cache:
         records += bench_fusion_cache(example)
@@ -329,20 +443,34 @@ def run_bench_suite(
     return records_to_json(records)
 
 
-def records_to_json(records: Sequence[BenchRecord]) -> Dict[str, Any]:
+def platform_block() -> Dict[str, Any]:
+    """The ``platform`` object stamped into benchmark documents.
+
+    Includes the array/graph library versions (``numpy``, ``networkx``):
+    perf trajectories are uninterpretable without them.
+    """
     import os
 
+    import networkx
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpuCount": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "networkx": networkx.__version__,
+    }
+
+
+def records_to_json(records: Sequence[BenchRecord]) -> Dict[str, Any]:
     from repro import obs
     from repro.codegen.pycompile import kernel_cache_info
     from repro.perf.memo import fusion_cache, retiming_cache
 
     return {
         "schema": "repro-bench-perf/1",
-        "platform": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpuCount": os.cpu_count(),
-        },
+        "platform": platform_block(),
         "caches": {
             "fusion": fusion_cache().cache_info().to_dict(),
             "retiming": retiming_cache().cache_info().to_dict(),

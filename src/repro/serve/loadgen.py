@@ -227,8 +227,11 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
         if not resp.well_formed:
             malformed.append(resp.name)
     latencies = sorted(o.latency_ms for o in done)
+    from repro.perf.bench import platform_block
+
     report = {
         "schema": BENCH_SCHEMA,
+        "platform": platform_block(),
         "options": {
             "requests": opts.requests,
             "concurrency": opts.concurrency,

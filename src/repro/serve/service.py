@@ -112,6 +112,9 @@ class ServeConfig:
     #: own -- on worker dispatch *and* the in-process fallback alike, so
     #: both paths compile the same descent (``None`` = full).
     ladder: Optional[Union[str, Sequence[str]]] = field(default=None)
+    #: Execution backend (:mod:`repro.core.backends`) threaded into worker
+    #: and fallback session options; requests carrying ``backend`` win.
+    backend: str = "interp"
 
     def resolved_max_inflight(self) -> int:
         return self.max_inflight if self.max_inflight is not None else self.workers * 4
@@ -128,6 +131,13 @@ class CompileService:
         # resolve before the pool exists so a bad variant name fails fast
         # without leaking worker processes
         self._ladder_labels = self._resolve_config_ladder()
+        from repro.core.backends import backend_names
+
+        if self.config.backend not in backend_names():
+            raise ValueError(
+                f"unknown execution backend {self.config.backend!r}; "
+                f"known: {list(backend_names())}"
+            )
         self.pool = SupervisedPool(
             self.config.workers,
             initializer=serve_worker.init_worker,
@@ -265,6 +275,10 @@ class CompileService:
                 # the config-level default descent rides the wire so the
                 # worker compiles the same ladder the fallback would
                 wire["ladder"] = list(self._ladder_labels)
+            if wire.get("backend", "interp") == "interp":
+                # config-level backend applies to requests that kept the
+                # wire default; an explicit non-default request wins
+                wire["backend"] = self.config.backend
             if queue_ms is None:
                 queue_ms = round((time.perf_counter() - t_start) * 1000.0, 3)
             future, generation = self.pool.submit(
@@ -456,6 +470,7 @@ class CompileService:
                 options=SessionOptions(
                     min_rung=self.config.fallback_min_rung,
                     ladder=req.ladder if req.ladder is not None else self.config.ladder,
+                    backend=req.backend if req.backend != "interp" else self.config.backend,
                     prune_edges=req.prune_edges,
                     verify_execution=req.verify_execution,
                 ),
@@ -475,6 +490,7 @@ class CompileService:
                     options=SessionOptions(
                         min_rung=self.config.fallback_min_rung,
                         ladder="conservative",
+                        backend=req.backend if req.backend != "interp" else self.config.backend,
                         prune_edges=req.prune_edges,
                         verify_execution=req.verify_execution,
                     ),

@@ -110,6 +110,7 @@ class CompileRequest:
     min_rung: str = "none"
     deadline_ms: Optional[float] = None
     ladder: Optional[Tuple[str, ...]] = None
+    backend: str = "interp"
     prune_edges: bool = True
     verify_execution: bool = True
     emit: bool = True
@@ -136,6 +137,13 @@ class CompileRequest:
             bad = [r for r in self.ladder if r not in _RUNG_LABELS]
             if bad:
                 raise WireError(f"unknown ladder rungs {bad!r}")
+        from repro.core.backends import backend_names
+
+        if self.backend not in backend_names():
+            raise WireError(
+                f"unknown execution backend {self.backend!r}; "
+                f"known: {list(backend_names())}"
+            )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise WireError("'deadlineMs' must be positive")
         if self.fault is not None and not isinstance(self.fault, dict):
@@ -156,6 +164,7 @@ class CompileRequest:
             "minRung": self.min_rung,
             "deadlineMs": self.deadline_ms,
             "ladder": list(self.ladder) if self.ladder is not None else None,
+            "backend": self.backend,
             "pruneEdges": self.prune_edges,
             "verifyExecution": self.verify_execution,
             "emit": self.emit,
@@ -186,6 +195,7 @@ class CompileRequest:
                 min_rung=str(data.get("minRung", "none")),
                 deadline_ms=_opt_number(data, "deadlineMs"),
                 ladder=tuple(ladder) if ladder is not None else None,
+                backend=str(data.get("backend", "interp")),
                 prune_edges=bool(data.get("pruneEdges", True)),
                 verify_execution=bool(data.get("verifyExecution", True)),
                 emit=bool(data.get("emit", True)),
@@ -367,6 +377,7 @@ def request_from_program(
     min_rung: str = "none",
     deadline_ms: Optional[float] = None,
     ladder: Optional[Sequence[str]] = None,
+    backend: str = "interp",
     prune_edges: bool = True,
     verify_execution: bool = True,
     fault: Optional[Dict[str, Any]] = None,
@@ -380,6 +391,7 @@ def request_from_program(
         min_rung=min_rung,
         deadline_ms=deadline_ms,
         ladder=tuple(ladder) if ladder is not None else None,
+        backend=backend,
         prune_edges=prune_edges,
         verify_execution=verify_execution,
         fault=fault,

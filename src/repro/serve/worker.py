@@ -155,6 +155,7 @@ def _compile(req: "Any", tracer: "Any", resp: "Any") -> None:
             strategy=req.strategy,
             min_rung=req.min_rung,
             ladder=req.ladder,
+            backend=req.backend,
             prune_edges=req.prune_edges,
             verify_execution=req.verify_execution,
         ),

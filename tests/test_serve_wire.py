@@ -45,6 +45,24 @@ class TestCompileRequest:
         assert CompileRequest(source=SRC).digest == source_digest(SRC)
         assert source_digest(SRC) != source_digest(SRC + " ")
 
+    def test_backend_round_trips_and_defaults(self):
+        assert CompileRequest(source=SRC).backend == "interp"
+        req = request_from_program("p", SRC, backend="numpy")
+        wire = json.loads(json.dumps(req.to_dict()))
+        assert wire["backend"] == "numpy"
+        assert CompileRequest.from_dict(wire).backend == "numpy"
+        # absent on old-client envelopes -> the wire default
+        del wire["backend"]
+        assert CompileRequest.from_dict(wire).backend == "interp"
+
+    def test_backend_validated_against_registry(self):
+        with pytest.raises(WireError):
+            CompileRequest(source=SRC, backend="fortran")
+        wire = CompileRequest(source=SRC).to_dict()
+        wire["backend"] = "fortran"
+        with pytest.raises(WireError):
+            CompileRequest.from_dict(wire)
+
     @pytest.mark.parametrize(
         "mutation",
         [
