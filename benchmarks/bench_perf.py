@@ -5,8 +5,9 @@ performance so regressions are visible commit to commit.  Records flow
 through the ``perf_record`` fixture into ``BENCH_perf.json`` at the
 repository root (schema ``repro-bench-perf/1``): execution backends at full
 size (interpreter vs compiled vs parallel DOALL and wavefront), cold-vs-hot
-fusion memoization, and the SLF worklist against the round-based
-Bellman-Ford reference.
+fusion memoization, the persistent store's cold/warm compile latency
+(gallery-twice acceptance row included), and the SLF worklist against the
+round-based Bellman-Ford reference.
 
 The full-size measurements are marked ``perf`` (deselect with
 ``-m 'not perf'``); a small smoke tier runs by default so the harness
@@ -20,6 +21,8 @@ from repro.perf.bench import (
     bench_backends,
     bench_fusion_cache,
     bench_solvers,
+    bench_store,
+    bench_store_gallery,
     render_records_text,
     records_to_json,
 )
@@ -58,6 +61,32 @@ def test_smoke_solver_metrics_archived(report, perf_record):
     assert counters.get("solver.bellman_ford.calls", 0) > 0
     assert counters.get("solver.bellman_ford.rounds", 0) > 0
     assert counters.get("solver.bellman_ford.pops", 0) > 0
+
+
+def test_smoke_store_gallery_warm(report, perf_record):
+    """Fast tier + acceptance row: the gallery twice through one store.
+
+    The warm pass (fresh L1, same store file) must be served from disk at
+    a >= 90% L2 hit ratio and reproduce the cold pass bit for bit; the
+    record lands in ``BENCH_perf.json`` as the archived evidence.
+    """
+    records = bench_store_gallery()
+    perf_record(records)
+    warm = next(r for r in records if r.backend == "warm-pass")
+    assert warm.extra["bitIdentical"] is True
+    assert warm.extra["store"]["hitRatio"] >= 0.90
+    report.text(render_records_text(records_to_json(records)))
+
+
+@pytest.mark.perf
+def test_perf_store_cold_vs_warm(report, perf_record):
+    """Persistent-store latency: solver vs write-through vs disk-served."""
+    records = bench_store("fig2", repeats=5)
+    perf_record(records)
+    report.text(render_records_text(records_to_json(records)))
+    warm = next(r for r in records if r.backend == "store-warm")
+    # every warm run must actually come off the disk tier
+    assert warm.extra["store"]["hitRatio"] >= 0.90
 
 
 @pytest.mark.perf

@@ -16,6 +16,8 @@ Main subcommands::
                                        # (writes BENCH_serve.json)
     repro-fuse bench                   # perf harness (text/json, BENCH_perf shape)
     repro-fuse stats                   # dump the observability metrics registry
+    repro-fuse cache    stats          # inspect/maintain the persistent store
+                                       # (stats|verify|prune|clear; docs/CACHING.md)
     repro-fuse demo     fig2           # run a gallery example end to end
 
 ``python -m repro.cli`` works identically.  ``fuse``, ``run`` and ``bench``
@@ -23,6 +25,13 @@ accept ``--trace PATH --trace-format text|json|chrome`` to export a span
 trace of the invocation, and ``--metrics PATH`` to persist the metrics
 registry (render it later with ``repro-fuse stats --input PATH``); see
 docs/OBSERVABILITY.md.
+
+``fuse``, ``run``, ``batch``, ``bench``, ``serve`` and ``loadgen`` accept
+``--store PATH``: a persistent sqlite-backed compilation cache (the L2
+disk tier under the in-memory memo caches) shared safely across processes
+and serve workers.  ``REPRO_FUSE_STORE`` sets the same default from the
+environment; ``REPRO_FUSE_STORE_MAX_ENTRIES`` / ``REPRO_FUSE_STORE_MAX_MB``
+set its caps.  See docs/CACHING.md.
 
 Exit codes follow the single shared table in
 :class:`repro.core.ExitCode` (documented in docs/DIAGNOSTICS.md):
@@ -92,6 +101,18 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    """The persistent-store option shared by the compiling subcommands."""
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="persistent compilation cache (sqlite file; L2 tier under the "
+        "memo caches, shared across processes; default $REPRO_FUSE_STORE; "
+        "see docs/CACHING.md)",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fuse",
@@ -155,6 +176,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="compile_kernel",
         help="print the compiled Python/numpy kernel for the fused program",
     )
+    _add_store_argument(p_fu)
     _add_trace_arguments(p_fu)
 
     p_run = sub.add_parser(
@@ -217,6 +239,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="64,64",
         help="iteration-space size for --backend execution (default 64,64)",
     )
+    _add_store_argument(p_run)
     _add_trace_arguments(p_run)
 
     p_ba = sub.add_parser(
@@ -275,6 +298,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(crash isolation over repro-serve/1 envelopes)",
     )
     add_format_argument(p_ba, [TEXT, JSON])
+    _add_store_argument(p_ba)
     _add_trace_arguments(p_ba)
 
     p_sv = sub.add_parser(
@@ -302,6 +326,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                       "(testing only; never in production)")
     p_sv.add_argument("--seed", type=int, default=0, metavar="N",
                       help="backoff-jitter rng seed (default 0)")
+    _add_store_argument(p_sv)
 
     p_lg = sub.add_parser(
         "loadgen",
@@ -331,6 +356,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--out", default=None, metavar="PATH",
                       help="write the repro-bench-serve/1 JSON here "
                       "(e.g. BENCH_serve.json)")
+    p_lg.add_argument("--warm-passes", type=int, default=1, metavar="N",
+                      dest="warm_passes",
+                      help="replay the request stream N times against the "
+                      "same daemon to measure store warm-up (default 1)")
+    _add_store_argument(p_lg)
     add_format_argument(p_lg, [TEXT, JSON])
 
     p_bench = sub.add_parser(
@@ -375,11 +405,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-solver-bench", action="store_true",
         help="skip the Bellman-Ford SLF-vs-rounds benchmark",
     )
+    p_bench.add_argument(
+        "--no-store-bench", action="store_true",
+        help="skip the persistent-store cold/warm benchmark",
+    )
     add_format_argument(p_bench, [TEXT, JSON])
     p_bench.add_argument(
         "--output", metavar="PATH", default=None,
         help="also write the JSON document to PATH",
     )
+    _add_store_argument(p_bench)
     _add_trace_arguments(p_bench)
 
     p_st = sub.add_parser(
@@ -405,6 +440,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="iteration-space size for the instrumented execution (default 16,16)",
     )
     add_format_argument(p_st, [TEXT, JSON])
+
+    p_ca = sub.add_parser(
+        "cache",
+        help="inspect and maintain the persistent compilation store (L2)",
+    )
+    p_ca.add_argument(
+        "action",
+        choices=["stats", "verify", "prune", "clear"],
+        help="stats: counters and sizes; verify: audit every row "
+        "(exit 1 unless clean); prune: evict LRU rows to the caps; "
+        "clear: delete every entry",
+    )
+    p_ca.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="store path (default: $REPRO_FUSE_STORE)",
+    )
+    add_format_argument(p_ca, [TEXT, JSON])
+    p_ca.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="row cap for prune (default: the store's configured cap)",
+    )
+    p_ca.add_argument(
+        "--max-mb", type=float, default=None, metavar="N",
+        help="payload-size cap in MiB for prune (default: configured cap)",
+    )
+    p_ca.add_argument(
+        "--repair", action="store_true",
+        help="with verify: delete the rows that fail the audit",
+    )
 
     p_demo = sub.add_parser("demo", help="run a gallery example")
     p_demo.add_argument("name", choices=sorted(_DEMOS), help="example name")
@@ -809,10 +875,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown_ms=args.breaker_cooldown_ms,
         allow_faults=args.chaos,
         seed=args.seed,
+        store_path=args.store,
     )
     daemon = ServeDaemon(config, host=args.host, port=args.port)
     print(f"repro-fuse serve: listening on {daemon.url} "
           f"({args.workers} workers"
+          + (f", store {args.store}" if args.store else "")
           + (", CHAOS MODE" if args.chaos else "") + ")",
           file=sys.stderr, flush=True)
     try:
@@ -844,6 +912,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         url=args.url,
         out=args.out,
+        store_path=args.store,
+        warm_passes=args.warm_passes,
     )
     report = run_loadgen(opts)
     if args.format == "json":
@@ -887,6 +957,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             include_cache=not args.no_cache_bench,
             include_solver=not args.no_solver_bench,
+            include_store=not args.no_store_bench,
+            store_path=args.store,
         )
     except ValueError as exc:  # unknown example name etc.
         print(f"error: {exc}", file=sys.stderr)
@@ -957,6 +1029,77 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return ExitCode.FAILURE if empty else ExitCode.OK
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from repro.store import open_store
+
+    path = args.store or os.environ.get("REPRO_FUSE_STORE")
+    if not path:
+        print(
+            "error: no store given (use --store PATH or set REPRO_FUSE_STORE)",
+            file=sys.stderr,
+        )
+        return ExitCode.USAGE
+    store = open_store(path)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.format == "json":
+            print(_json.dumps(stats.to_dict(), indent=2))
+        else:
+            kib = stats.size_bytes / 1024
+            cap_mb = stats.max_bytes / (1024 * 1024)
+            print(f"store   : {stats.path}")
+            print(
+                f"entries : {stats.entries} ({stats.fingerprints} "
+                f"fingerprint(s)), file {kib:.1f} KiB, "
+                f"schema v{stats.schema_version}"
+            )
+            print(f"caps    : {stats.max_entries} entries / {cap_mb:.1f} MiB")
+            print(
+                f"process : {stats.hits} hits / {stats.misses} misses / "
+                f"{stats.puts} puts / {stats.evictions} evictions "
+                f"(hit ratio {stats.hit_ratio:.2f})"
+            )
+            print(f"file    : {stats.stored_hits} stored hit(s) all-time")
+            if stats.disabled:
+                print("state   : DISABLED (unreadable or newer schema)")
+        return ExitCode.FAILURE if stats.disabled else ExitCode.OK
+    if args.action == "verify":
+        report = store.verify(repair=args.repair)
+        if args.format == "json":
+            print(_json.dumps(report, indent=2))
+        else:
+            print(
+                f"verify {path}: checked {report['checked']} row(s), "
+                f"{len(report['corrupt'])} corrupt, "
+                f"{report['repaired']} repaired -> "
+                + ("CLEAN" if report["ok"] else "FAILED")
+            )
+            for skey, reason in report["corrupt"]:
+                print(f"  corrupt: {skey} ({reason})")
+        return ExitCode.OK if report["ok"] else ExitCode.FAILURE
+    if args.action == "prune":
+        max_bytes = (
+            int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None
+        )
+        removed = store.prune(max_entries=args.max_entries, max_bytes=max_bytes)
+        doc = {"removed": removed, "entries": store.stats().entries}
+        if args.format == "json":
+            print(_json.dumps(doc, indent=2))
+        else:
+            print(f"pruned {removed} row(s); {doc['entries']} remain")
+        return ExitCode.OK
+    # clear
+    removed = store.clear()
+    if args.format == "json":
+        print(_json.dumps({"removed": removed}, indent=2))
+    else:
+        print(f"cleared {removed} row(s) from {path}")
+    return ExitCode.OK
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.gallery import (
         figure2_mldg,
@@ -987,6 +1130,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    # --store makes the persistent cache ambient for the invocation (and,
+    # via REPRO_FUSE_STORE, for any worker process it spawns); serve and
+    # loadgen additionally thread it through their explicit configs, and
+    # `cache` addresses the file directly
+    if getattr(args, "store", None) and args.command != "cache":
+        from repro.store import set_default_store_path
+
+        set_default_store_path(args.store)
     try:
         if args.command == "analyze":
             return _cmd_analyze(args)
@@ -1006,6 +1157,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             return _cmd_bench(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "demo":
             return _cmd_demo(args)
         if args.command == "report":

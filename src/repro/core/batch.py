@@ -270,6 +270,7 @@ def _compile_one_process(
     try:
         text = source if isinstance(source, str) else format_program(source)
         chosen = strategy if strategy is not None else session.options.strategy
+        store = session.caches.store
         req = request_from_program(
             entry.name,
             text,
@@ -280,6 +281,8 @@ def _compile_one_process(
             ladder=session.options.ladder_labels(),
             prune_edges=session.options.prune_edges,
             verify_execution=session.options.verify_execution,
+            # worker processes open their own handle on the same file
+            store_path=store.path if store is not None else None,
         )
         resp = executor.submit(serve_worker.compile_request, req.to_dict()).result()
         entry.trace_id = resp.get("traceId")

@@ -53,6 +53,7 @@ from repro.lint.diagnostics import Diagnostic
 from repro.loopir import LoopNest
 from repro.perf.memo import MemoCache
 from repro.resilience.budget import Budget
+from repro.store import CompileStore, open_store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.batch import BatchReport
@@ -108,6 +109,10 @@ class SessionOptions:
     injector: Optional[Any] = None
     #: Seed for :attr:`injector`.
     fault_seed: int = 0
+    #: Path of the persistent L2 compile store (:mod:`repro.store`) this
+    #: session reads through and writes through.  ``None`` falls back to
+    #: the ``REPRO_FUSE_STORE`` environment default (itself optional).
+    store_path: Optional[str] = None
 
     def ladder_labels(self) -> Optional[Tuple[str, ...]]:
         """The rung-label descent this options object selects, if any."""
@@ -131,11 +136,18 @@ class SessionCaches:
     ``None`` fields fall back to the process-wide caches, so a default
     session shares state with the legacy module-global behavior; use
     :meth:`private` for fully isolated caches.
+
+    ``store`` is the L2 disk tier beneath the fusion/retiming caches: a
+    ``None`` store falls back to the ``REPRO_FUSE_STORE`` environment
+    default (resolved by :func:`repro.store.active_store`).  Unlike the
+    L1 caches it is *shared* state by design -- many sessions and many
+    processes read and write the same file.
     """
 
     fusion: Optional[MemoCache] = None
     retiming: Optional[MemoCache] = None
     kernels: Optional[MemoCache] = None
+    store: Optional["CompileStore"] = None
 
     @classmethod
     def private(
@@ -177,6 +189,11 @@ class Session:
         self.tracer = tracer
         self.registry = registry
         self.caches = caches if caches is not None else SessionCaches()
+        if self.caches.store is None and self.options.store_path is not None:
+            # one handle per path per process; the sqlite connection is
+            # opened lazily, so constructing a session before forking a
+            # worker pool never shares a connection across processes
+            self.caches.store = open_store(self.options.store_path)
         self._diagnostics: List[Diagnostic] = []
         self._lock = threading.Lock()
         self._strict = PassManager(strict_passes(), name="strict")

@@ -15,9 +15,14 @@ latent bug into a loud error.
 Successful outcomes are memoized by canonical MLDG structure
 (:mod:`repro.perf.memo`): a repeated -- or isomorphic-but-relabelled --
 query skips the constraint solvers and only re-runs the verification gate
-on the rehydrated retiming.  Limiting budgets and active fault injectors
-bypass the cache, so resource probes and chaos tests always measure real
-solver work.
+on the rehydrated retiming.  When an L2 disk store is configured
+(:mod:`repro.store`), misses fall through to it before compiling and
+successful compiles are written through, so warm results survive process
+boundaries; disk rows re-enter through exactly the same rehydrate +
+re-verify gate, and rows that fail it are evicted and recompiled.
+Limiting budgets and active fault injectors bypass *both* tiers through
+one shared predicate, so resource probes and chaos tests always measure
+real solver work and can never persist corrupted results.
 """
 
 from __future__ import annotations
@@ -30,10 +35,16 @@ from repro import obs
 from repro.fusion.errors import FusionError, IllegalMLDGError
 from repro.graph.legality import check_legal
 from repro.graph.mldg import MLDG
-from repro.perf.memo import canonical_mldg_key, fusion_cache, memoization_applicable
+from repro.perf.memo import (
+    canonical_mldg_key,
+    fusion_cache,
+    memoization_applicable,
+    structural_hash,
+)
 from repro.resilience.budget import Budget
 from repro.retiming import Retiming
 from repro.retiming.verify import RetimingVerification, verify_retiming
+from repro.store import CompileStore, active_store, current_fingerprint
 from repro.vectors import IVec
 
 __all__ = ["Strategy", "Parallelism", "FusionResult", "fuse"]
@@ -163,6 +174,39 @@ def _dehydrate(result: FusionResult) -> tuple:
     )
 
 
+def _payload_from_store(raw: object, g: MLDG) -> Optional[tuple]:
+    """Shape-check a JSON row from the L2 store into a ``_rehydrate`` payload.
+
+    Disk rows crossed a process (and possibly a version) boundary, so
+    unlike L1 entries they are untrusted: anything that does not decode to
+    exactly the dehydrated shape for *this* graph -- right node count,
+    right dimension, integer shifts -- is rejected (``None``), which the
+    caller turns into an eviction and a cold compile.
+    """
+    try:
+        strategy_value, shifts, schedule, hyperplane, notes = raw  # type: ignore[misc]
+        if not isinstance(strategy_value, str):
+            return None
+        Strategy(strategy_value)
+        if len(shifts) != g.num_nodes:
+            return None
+        shifts_t = tuple(tuple(int(x) for x in shift) for shift in shifts)
+        if any(len(shift) != g.dim for shift in shifts_t):
+            return None
+        schedule_t = tuple(int(x) for x in schedule)
+        if len(schedule_t) != g.dim:
+            return None
+        hyperplane_t = (
+            tuple(int(x) for x in hyperplane) if hyperplane is not None else None
+        )
+        if hyperplane_t is not None and len(hyperplane_t) != g.dim:
+            return None
+        notes_t = tuple(str(n) for n in notes)
+    except (TypeError, ValueError):
+        return None
+    return (strategy_value, shifts_t, schedule_t, hyperplane_t, notes_t)
+
+
 def fuse(
     g: MLDG,
     strategy: Strategy | str = Strategy.AUTO,
@@ -203,7 +247,11 @@ def fuse(
         nodes=g.num_nodes,
         edges=g.num_edges,
     ) as sp:
+        # one predicate gates both tiers: if memoization is inapplicable
+        # (limiting budget, fault injector, REPRO_FUSE_MEMO=0) neither the
+        # in-memory cache nor the disk store is read *or* written
         memo_ok = memoization_applicable(budget)
+        store = active_store() if memo_ok else None
         if memo_ok:
             key = (strategy.value, canonical_mldg_key(g))
             cached = fusion_cache().get(key)
@@ -216,16 +264,55 @@ def fuse(
                 return result
             reg.counter("fusion.cache.misses").inc()
             sp.set(cache="miss")
+            if store is not None:
+                skey = f"fuse:{strategy.value}:{structural_hash(g)}"
+                fingerprint = current_fingerprint()
+                result = _fuse_from_store(g, store, skey, fingerprint)
+                if result is not None:
+                    fusion_cache().put(key, _dehydrate(result))  # promote to L1
+                    sp.set(cache="hit-l2")
+                    reg.counter(f"fusion.strategy.{result.strategy.value}").inc()
+                    sp.set(strategy_used=result.strategy.value)
+                    return result
         else:
             reg.counter("fusion.cache.bypassed").inc()
+            reg.counter("store.bypassed").inc()
             sp.set(cache="bypassed")
 
         result = _fuse_uncached(g, strategy, budget)
         if memo_ok:
-            fusion_cache().put(key, _dehydrate(result))
+            payload = _dehydrate(result)
+            fusion_cache().put(key, payload)
+            if store is not None:
+                store.put(skey, fingerprint, payload)
         reg.counter(f"fusion.strategy.{result.strategy.value}").inc()
         sp.set(strategy_used=result.strategy.value)
         return result
+
+
+def _fuse_from_store(
+    g: MLDG, store: "CompileStore", skey: str, fingerprint: str
+) -> Optional[FusionResult]:
+    """Try the L2 row for ``(skey, fingerprint)``; ``None`` means cold.
+
+    A row that decodes but fails shape checks or the full re-verification
+    gate is *demoted*: deleted from the store, counted under
+    ``store.verify_fail``, and reported as a miss -- never raised.
+    """
+    raw = store.get(skey, fingerprint)
+    if raw is None:
+        return None
+    payload = _payload_from_store(raw, g)
+    if payload is None:
+        store.demote(skey, fingerprint)
+        return None
+    try:
+        # _rehydrate re-runs verify_retiming (and re-derives parallelism
+        # and diagnostics) -- the store removes solver work, not checking
+        return _rehydrate(g, payload)
+    except FusionError:
+        store.demote(skey, fingerprint)
+        return None
 
 
 def _make_result(

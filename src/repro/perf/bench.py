@@ -29,6 +29,8 @@ __all__ = [
     "bench_backend_sweep",
     "bench_fusion_cache",
     "bench_solvers",
+    "bench_store",
+    "bench_store_gallery",
     "parse_sizes",
     "platform_block",
     "run_bench_suite",
@@ -372,6 +374,235 @@ def bench_fusion_cache(
     ]
 
 
+def bench_store(
+    example: str = "fig2",
+    *,
+    repeats: int = 5,
+    store_path: Optional[str] = None,
+) -> List[BenchRecord]:
+    """Cold vs warm compile latency through the persistent store (L2).
+
+    Three configurations, each with a private (session-owned) L1 cleared
+    before every timed run so the L1 never shadows what is being measured:
+
+    - ``no-store``: the solver alone -- the cold-compile baseline.
+    - ``store-cold``: solver plus write-through to a fresh store file, the
+      persistence overhead a first compile pays.
+    - ``store-warm``: the store primed, every run served from disk after
+      re-verification -- what a second process (or serve worker) pays.
+
+    The warm record's ``store`` extra carries the L2 hit ratio observed
+    during the warm phase.  With ``store_path=None`` a temporary file is
+    used and removed afterwards.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.session import Session, SessionCaches, SessionOptions
+    from repro.depend import extract_mldg
+    from repro.fusion import fuse
+    from repro.loopir import parse_program
+
+    nest = parse_program(_example_source(example))
+    g = extract_mldg(nest)
+    records: List[BenchRecord] = []
+
+    tmpdir: Optional[str] = None
+    if store_path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-bench-store-")
+        store_path = os.path.join(tmpdir, "bench-store.db")
+    try:
+        # cold baseline: private L1, no store in scope -- mask the env
+        # default so a `bench --store` invocation cannot leak into it
+        saved_env = os.environ.pop("REPRO_FUSE_STORE", None)
+        try:
+            bare = Session(caches=SessionCaches.private())
+            with bare.activate():
+                cold_median, cold_err = time_callable(
+                    lambda: (
+                        bare.caches.fusion.clear(),
+                        bare.caches.retiming.clear(),
+                        fuse(g),
+                    ),
+                    repeats=repeats,
+                )
+        finally:
+            if saved_env is not None:
+                os.environ["REPRO_FUSE_STORE"] = saved_env
+        records.append(
+            BenchRecord(
+                name=f"{example}-pipeline", backend="no-store",
+                median_s=cold_median, err_s=cold_err, repeats=repeats,
+            )
+        )
+
+        session = Session(
+            options=SessionOptions(store_path=store_path),
+            caches=SessionCaches.private(),
+        )
+        store = session.caches.store
+        assert store is not None
+        with session.activate():
+            # store-cold: every run clears both tiers, so the row is
+            # recomputed and re-persisted each time
+            sc_median, sc_err = time_callable(
+                lambda: (
+                    session.caches.fusion.clear(),
+                    session.caches.retiming.clear(),
+                    store.clear(),
+                    fuse(g),
+                ),
+                repeats=repeats,
+            )
+            records.append(
+                BenchRecord(
+                    name=f"{example}-pipeline", backend="store-cold",
+                    median_s=sc_median, err_s=sc_err, repeats=repeats,
+                    extra={
+                        "overheadVsNoStore": round(sc_median / cold_median, 3)
+                        if cold_median else None,
+                    },
+                )
+            )
+
+            # store-warm: prime once, then only the L1 is cleared -- each
+            # run is an L2 load + verify
+            fuse(g)
+            before = store.stats()
+            sw_median, sw_err = time_callable(
+                lambda: (session.caches.fusion.clear(), fuse(g)),
+                repeats=repeats,
+            )
+            after = store.stats()
+            delta_hits = after.hits - before.hits
+            delta_misses = after.misses - before.misses
+            looked_up = delta_hits + delta_misses
+            records.append(
+                BenchRecord(
+                    name=f"{example}-pipeline", backend="store-warm",
+                    median_s=sw_median, err_s=sw_err, repeats=repeats,
+                    speedup_vs_interp=None,
+                    extra={
+                        "speedupVsSolver": round(cold_median / sw_median, 1)
+                        if sw_median else None,
+                        "store": {
+                            "hits": delta_hits,
+                            "misses": delta_misses,
+                            "hitRatio": round(delta_hits / looked_up, 3)
+                            if looked_up else 0.0,
+                            "entries": after.entries,
+                        },
+                    },
+                )
+            )
+    finally:
+        if tmpdir is not None:
+            # the handle reopens lazily if anything touches this path again,
+            # but the temp path is unique so closing it here is final
+            from repro.store import open_store
+
+            open_store(store_path).close()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+    return records
+
+
+def bench_store_gallery(*, store_path: Optional[str] = None) -> List[BenchRecord]:
+    """Compile the whole gallery twice through one shared store.
+
+    The cold pass populates the store; the warm pass runs with a fresh
+    private L1 against the same file, so every compile must be served from
+    disk (after re-verification).  Records per-pass wall clock, the warm
+    pass's L2 hit ratio, and whether the warm results are bit-identical to
+    the cold ones -- the acceptance row archived in ``BENCH_perf.json``.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.session import Session, SessionCaches, SessionOptions
+    from repro.depend import extract_mldg
+    from repro.fusion import fuse
+    from repro.loopir import parse_program
+
+    graphs = []
+    for name in bench_examples():
+        try:
+            source = _example_source(name)
+        except ValueError:  # gallery entry with no runnable loop-IR source
+            continue
+        graphs.append((name, extract_mldg(parse_program(source))))
+
+    def outcome(result: Any) -> Tuple[Any, ...]:
+        """Everything a fusion result pins down, in comparable form."""
+        return (
+            result.strategy.value,
+            tuple(sorted(
+                (k, tuple(v)) for k, v in result.retiming.as_dict().items()
+            )),
+            tuple(result.schedule),
+            tuple(result.hyperplane) if result.hyperplane is not None else None,
+        )
+
+    tmpdir: Optional[str] = None
+    if store_path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-bench-store-")
+        store_path = os.path.join(tmpdir, "gallery-store.db")
+    try:
+        cold = Session(
+            options=SessionOptions(store_path=store_path),
+            caches=SessionCaches.private(),
+        )
+        with cold.activate():
+            t0 = time.perf_counter()
+            cold_out = {name: outcome(fuse(g)) for name, g in graphs}
+            cold_s = time.perf_counter() - t0
+        store = cold.caches.store
+        assert store is not None
+        before = store.stats()
+
+        warm = Session(
+            options=SessionOptions(store_path=store_path),
+            caches=SessionCaches.private(),
+        )
+        with warm.activate():
+            t0 = time.perf_counter()
+            warm_out = {name: outcome(fuse(g)) for name, g in graphs}
+            warm_s = time.perf_counter() - t0
+        after = store.stats()
+        delta_hits = after.hits - before.hits
+        delta_misses = after.misses - before.misses
+        looked_up = delta_hits + delta_misses
+        return [
+            BenchRecord(
+                name="gallery-store", backend="cold-pass", median_s=cold_s,
+                err_s=0.0, repeats=1,
+                extra={"examples": len(graphs), "entries": before.entries},
+            ),
+            BenchRecord(
+                name="gallery-store", backend="warm-pass", median_s=warm_s,
+                err_s=0.0, repeats=1,
+                extra={
+                    "examples": len(graphs),
+                    "speedupVsSolver": round(cold_s / warm_s, 1) if warm_s else None,
+                    "bitIdentical": cold_out == warm_out,
+                    "store": {
+                        "hits": delta_hits,
+                        "misses": delta_misses,
+                        "hitRatio": round(delta_hits / looked_up, 3)
+                        if looked_up else 0.0,
+                    },
+                },
+            ),
+        ]
+    finally:
+        if tmpdir is not None:
+            from repro.store import open_store
+
+            open_store(store_path).close()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def bench_solvers(*, chain: int = 400, repeats: int = 3) -> List[BenchRecord]:
     """SLF worklist vs round-based relaxation on an adversarial chain.
 
@@ -427,6 +658,8 @@ def run_bench_suite(
     repeats: int = 3,
     include_cache: bool = True,
     include_solver: bool = True,
+    include_store: bool = True,
+    store_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the full suite; returns the ``BENCH_perf.json``-shaped document.
 
@@ -438,6 +671,8 @@ def run_bench_suite(
     )
     if include_cache:
         records += bench_fusion_cache(example)
+    if include_store:
+        records += bench_store(example, repeats=repeats, store_path=store_path)
     if include_solver:
         records += bench_solvers()
     return records_to_json(records)

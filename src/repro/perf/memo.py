@@ -21,6 +21,15 @@ pure structural query: a *limiting* :class:`~repro.resilience.budget.Budget`
 (the caller is probing resource behaviour, and a cache hit consumes no
 solver budget) or an active fault injector (the algorithms must see the
 corrupted values).  ``REPRO_FUSE_MEMO=0`` disables memoization globally.
+
+The same predicate (:func:`memoization_applicable`) also gates the L2
+disk tier (:mod:`repro.store`): when it says no, neither tier is read or
+written, so a chaos run can never persist a fault-corrupted retiming.
+The retiming cache's L2 path re-verifies every disk row with
+:func:`repro.retiming.verify.verify_retiming` before returning it --
+even though L1 callers re-run their own gates -- because disk rows cross
+process and version boundaries and must never propagate garbage into the
+ladder's search order.
 """
 
 from __future__ import annotations
@@ -248,16 +257,22 @@ def memoization_enabled() -> bool:
 
 
 def memoization_applicable(budget: Optional[Budget]) -> bool:
-    """May this query be served from (and inserted into) a memo cache?
+    """May this query be served from (and inserted into) a cache tier?
 
-    A limiting budget means the caller is measuring resource consumption --
-    a cache hit would consume none and change observable behaviour (e.g. a
-    ``max_relaxation_rounds=0`` probe must still trip).  An active fault
-    injector means the algorithms must run on the corrupted inputs.
+    This is the single gate for *both* tiers -- the in-memory memo caches
+    and the disk store (:mod:`repro.store`) -- so no bypass condition can
+    ever apply to one tier and not the other.  A *work-limiting* budget
+    means the caller is measuring resource consumption -- a cache hit
+    would consume none and change observable behaviour (e.g. a
+    ``max_relaxation_rounds=0`` probe must still trip).  A deadline-only
+    budget does NOT bypass: it is an SLO, and a hit is the best way to
+    meet it (serve workers always compile under one).  An active fault
+    injector means the algorithms must run on the corrupted inputs -- and,
+    just as importantly, that nothing computed under it may be persisted.
     """
     if not memoization_enabled():
         return False
-    if budget is not None and budget.is_limiting:
+    if budget is not None and budget.is_work_limiting:
         return False
     from repro.resilience.faults import active_fault
 
@@ -269,6 +284,42 @@ def memoization_applicable(budget: Optional[Budget]) -> bool:
 # ------------------------------------------------------------------ #
 
 
+def _store_shifts(raw: Any, g: MLDG) -> Optional[Tuple[Tuple[int, ...], ...]]:
+    """Shape-check a JSON shift table from the disk store for ``g``."""
+    try:
+        shifts = tuple(tuple(int(x) for x in shift) for shift in raw)
+    except (TypeError, ValueError):
+        return None
+    if len(shifts) != g.num_nodes:
+        return None
+    if any(len(shift) != g.dim for shift in shifts):
+        return None
+    return shifts
+
+
+def _verified_store_retiming(
+    g: MLDG, shifts: Tuple[Tuple[int, ...], ...]
+) -> Optional[Retiming]:
+    """Rebind a disk shift table to ``g`` and re-verify it, or ``None``."""
+    from repro.retiming.verify import verify_retiming
+
+    r = Retiming(
+        {name: IVec(*shift) for name, shift in zip(g.nodes, shifts)}, dim=g.dim
+    )
+    try:
+        if not verify_retiming(g, r, cycle_limit=100).ok_for_legal_fusion:
+            return None
+    except Exception:
+        return None
+    return r
+
+
+def _active_store_for_memo() -> Optional[Any]:
+    from repro.store import active_store
+
+    return active_store()
+
+
 def cached_retiming(
     label: str,
     g: MLDG,
@@ -278,9 +329,12 @@ def cached_retiming(
 ) -> Retiming:
     """Memoize ``compute()`` (a retiming algorithm run on ``g``) by structure.
 
-    On a hit the cached name-free shift table is rebound to ``g``'s node
-    names.  Callers are expected to re-run their verification gates on the
-    returned retiming -- the cache removes solver work, not checking.
+    On an L1 hit the cached name-free shift table is rebound to ``g``'s
+    node names.  Callers are expected to re-run their verification gates on
+    the returned retiming -- the cache removes solver work, not checking.
+    On an L1 miss, a configured disk store (:mod:`repro.store`) is tried
+    next; disk rows are additionally re-verified here before being
+    returned, and demoted (evicted + ``store.verify_fail``) otherwise.
     """
     reg = obs.default_registry()
     if not memoization_applicable(budget):
@@ -295,8 +349,28 @@ def cached_retiming(
             {name: IVec(*shift) for name, shift in zip(g.nodes, shifts)}, dim=g.dim
         )
     reg.counter("retiming.cache.misses").inc()
+    store = _active_store_for_memo()
+    skey = f"retiming:{label}:{structural_hash(g)}"
+    fingerprint = ""
+    if store is not None:
+        from repro.store import current_fingerprint
+
+        fingerprint = current_fingerprint()
+        raw = store.get(skey, fingerprint)
+        if raw is not None:
+            checked = _store_shifts(raw, g)
+            r2 = _verified_store_retiming(g, checked) if checked is not None else None
+            if r2 is None:
+                store.demote(skey, fingerprint)
+            else:
+                assert checked is not None
+                cache.put(key, checked)  # promote to L1
+                return r2
     r = compute()
-    cache.put(key, tuple(tuple(r[name]) for name in g.nodes))
+    dehydrated = tuple(tuple(r[name]) for name in g.nodes)
+    cache.put(key, dehydrated)
+    if store is not None:
+        store.put(skey, fingerprint, dehydrated)
     return r
 
 
@@ -330,8 +404,49 @@ def cached_schedule_retiming(
             IVec(*sched),
         )
     reg.counter("retiming.cache.misses").inc()
+    store = _active_store_for_memo()
+    skey = f"sched:{label}:{structural_hash(g)}"
+    fingerprint = ""
+    if store is not None:
+        from repro.store import current_fingerprint
+
+        fingerprint = current_fingerprint()
+        raw = store.get(skey, fingerprint)
+        if raw is not None:
+            decoded = _decode_store_schedule_entry(raw, g)
+            if decoded is None:
+                store.demote(skey, fingerprint)
+            else:
+                shifts2, sched2 = decoded
+                r2 = _verified_store_retiming(g, shifts2)
+                if r2 is None:
+                    store.demote(skey, fingerprint)
+                else:
+                    cache.put(key, (shifts2, sched2))  # promote to L1
+                    return r2, IVec(*sched2)
     r, s = compute()
-    cache.put(
-        key, (tuple(tuple(r[name]) for name in g.nodes), tuple(s))
-    )
+    dehydrated = (tuple(tuple(r[name]) for name in g.nodes), tuple(s))
+    cache.put(key, dehydrated)
+    if store is not None:
+        store.put(skey, fingerprint, dehydrated)
     return r, s
+
+
+def _decode_store_schedule_entry(
+    raw: Any, g: MLDG
+) -> Optional[Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]]:
+    """Shape-check a JSON ``(shifts, schedule)`` row for ``g``."""
+    try:
+        raw_shifts, raw_sched = raw
+    except (TypeError, ValueError):
+        return None
+    shifts = _store_shifts(raw_shifts, g)
+    if shifts is None:
+        return None
+    try:
+        sched = tuple(int(x) for x in raw_sched)
+    except (TypeError, ValueError):
+        return None
+    if len(sched) != g.dim:
+        return None
+    return shifts, sched

@@ -94,16 +94,25 @@ class Budget:
 
     @property
     def is_limiting(self) -> bool:
-        """Whether any cap is set.
+        """Whether any cap is set (deadline included)."""
+        return self.deadline_ms is not None or self.is_work_limiting
 
-        A limiting budget makes the query about resource consumption, not
-        just the answer -- the memo caches (:mod:`repro.perf.memo`) refuse
-        to serve such queries so capped probes still measure real work.
+    @property
+    def is_work_limiting(self) -> bool:
+        """Whether a *solver-work* cap is set (deadline excluded).
+
+        A work-limiting budget makes the query about resource consumption,
+        not just the answer -- the memo caches and the disk store
+        (:mod:`repro.perf.memo`, :mod:`repro.store`) refuse to serve such
+        queries so capped probes still measure real work.  A deadline-only
+        budget is the opposite case: it states an SLO on the *answer*, and
+        serving it from cache is exactly how the deadline gets met -- so
+        serve-worker requests (which always carry deadlines) stay
+        cacheable.
         """
         return any(
             cap is not None
             for cap in (
-                self.deadline_ms,
                 self.max_nodes,
                 self.max_edges,
                 self.max_relaxation_rounds,

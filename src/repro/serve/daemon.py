@@ -99,7 +99,10 @@ class _Handler(BaseHTTPRequestHandler):
                     kind: {
                         name: value
                         for name, value in entries.items()
-                        if name.startswith("serve.")
+                        # store.* counters are the daemon process's own L2
+                        # traffic (the fallback path); the fleet-wide view
+                        # is the service snapshot's "store" block
+                        if name.startswith(("serve.", "store."))
                     }
                     for kind, entries in metrics.items()
                 },

@@ -16,6 +16,13 @@ degraded with a recovery report, or a typed shed/rejection.
 Every request mixes over the gallery workloads (paper Figure 2, the IIR
 filter, and the six extended kernels), so the stream exercises cyclic,
 acyclic and partitioned strategies at once.
+
+With ``store_path`` set the spawned daemon shares a persistent store
+(:mod:`repro.store`) across its workers, and ``warm_passes > 1`` replays
+the same request stream again against the same daemon: the report then
+carries a per-pass latency block (``passes``) plus the store's counters
+(inside ``service.store``), so cold-vs-warm serving cost is one loadgen
+invocation -- see docs/CACHING.md.
 """
 
 from __future__ import annotations
@@ -49,6 +56,8 @@ class LoadgenOptions:
     emit: bool = False  # carrying emitted code inflates payloads; off for bench
     max_inflight: Optional[int] = None
     out: Optional[str] = None  # write BENCH_serve.json here
+    store_path: Optional[str] = None  # shared persistent store for the daemon
+    warm_passes: int = 1  # replay the stream N times (store warm-up measure)
 
 
 def _workloads() -> List[Tuple[str, str]]:
@@ -127,6 +136,7 @@ class _Client:
                     default_deadline_ms=opts.deadline_ms,
                     allow_faults=chaos,
                     seed=opts.seed,
+                    store_path=opts.store_path,
                 )
             ).start()
             self._url = self._daemon.url
@@ -185,21 +195,25 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
     opts = opts if opts is not None else LoadgenOptions()
     requests = _build_requests(opts)
     client = _Client(opts)
-    outcomes: List[Optional[_Outcome]] = [None] * len(requests)
-    cursor = {"next": 0}
-    lock = threading.Lock()
+    passes = max(1, opts.warm_passes)
+    pass_blocks: List[Dict[str, Any]] = []
+    done: List[_Outcome] = []
 
-    def drain() -> None:
-        while True:
-            with lock:
-                k = cursor["next"]
-                if k >= len(requests):
-                    return
-                cursor["next"] = k + 1
-            outcomes[k] = client.send(requests[k])
+    def run_pass() -> Tuple[List[_Outcome], float]:
+        outcomes: List[Optional[_Outcome]] = [None] * len(requests)
+        cursor = {"next": 0}
+        lock = threading.Lock()
 
-    t0 = time.perf_counter()
-    try:
+        def drain() -> None:
+            while True:
+                with lock:
+                    k = cursor["next"]
+                    if k >= len(requests):
+                        return
+                    cursor["next"] = k + 1
+                outcomes[k] = client.send(requests[k])
+
+        t0 = time.perf_counter()
         threads = [
             threading.Thread(target=drain, name=f"loadgen-{i}", daemon=True)
             for i in range(max(1, opts.concurrency))
@@ -208,13 +222,30 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
             t.start()
         for t in threads:
             t.join()
-        wall_s = time.perf_counter() - t0
+        wall = time.perf_counter() - t0
+        got = [o for o in outcomes if o is not None]
+        assert len(got) == len(requests), "every request must produce an outcome"
+        return got, wall
+
+    wall_s = 0.0
+    try:
+        for p in range(passes):
+            got, pass_wall = run_pass()
+            done.extend(got)
+            wall_s += pass_wall
+            lat = sorted(o.latency_ms for o in got)
+            pass_blocks.append({
+                "pass": p,
+                "wallS": round(pass_wall, 3),
+                "latencyMs": {
+                    "p50": round(_percentile(lat, 0.50), 3),
+                    "p99": round(_percentile(lat, 0.99), 3),
+                    "mean": round(sum(lat) / len(lat), 3) if lat else 0.0,
+                },
+            })
         service_snapshot = client.snapshot()
     finally:
         client.close()
-
-    done = [o for o in outcomes if o is not None]
-    assert len(done) == len(requests), "every request must produce an outcome"
     by_status: Dict[str, int] = {}
     malformed: List[str] = []
     retries = crashes = timeouts = 0
@@ -241,7 +272,10 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
             "chaosHangs": opts.chaos_hangs,
             "seed": opts.seed,
             "url": opts.url,
+            "storePath": opts.store_path,
+            "warmPasses": passes,
         },
+        "totalRequests": len(done),
         "wallS": round(wall_s, 3),
         "requestsPerSecond": round(len(done) / wall_s, 3) if wall_s > 0 else 0.0,
         "latencyMs": {
@@ -257,6 +291,7 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
         "timeouts": timeouts,
         "wellFormed": len(done) - len(malformed),
         "malformed": malformed,
+        "passes": pass_blocks,
         "service": service_snapshot,
     }
     if opts.out:
@@ -278,8 +313,23 @@ def render_report_text(report: Dict[str, Any]) -> str:
         + ", ".join(f"{k}={v}" for k, v in report["byStatus"].items()),
         f"  retries={report['retries']} crashes={report['workerCrashes']} "
         f"timeouts={report['timeouts']} "
-        f"well-formed={report['wellFormed']}/{report['options']['requests']}",
+        f"well-formed={report['wellFormed']}"
+        f"/{report.get('totalRequests', report['options']['requests'])}",
     ]
+    if len(report.get("passes", [])) > 1:
+        for block in report["passes"]:
+            lat = block["latencyMs"]
+            parts.append(
+                f"  pass {block['pass']}: wall={block['wallS']}s "
+                f"p50={lat['p50']} p99={lat['p99']} mean={lat['mean']}"
+            )
+    store = (report.get("service") or {}).get("store")
+    if store:
+        parts.append(
+            f"  store: {store['currsize']} entries, "
+            f"{store['storedHits']} stored hit(s), "
+            f"size {store['sizeBytes'] / 1024:.1f} KiB"
+        )
     if report["malformed"]:
         parts.append(f"  MALFORMED: {report['malformed']}")
     return "\n".join(parts)

@@ -115,6 +115,11 @@ class ServeConfig:
     #: Execution backend (:mod:`repro.core.backends`) threaded into worker
     #: and fallback session options; requests carrying ``backend`` win.
     backend: str = "interp"
+    #: Path of the shared L2 compile store (:mod:`repro.store`).  Stamped
+    #: onto requests that carry no ``storePath`` of their own, so every
+    #: worker process (and the in-process fallback) opens its own handle
+    #: on one daemon-wide sqlite file.  ``None`` = no disk tier.
+    store_path: Optional[str] = None
 
     def resolved_max_inflight(self) -> int:
         return self.max_inflight if self.max_inflight is not None else self.workers * 4
@@ -279,6 +284,10 @@ class CompileService:
                 # config-level backend applies to requests that kept the
                 # wire default; an explicit non-default request wins
                 wire["backend"] = self.config.backend
+            if wire.get("storePath") is None and self.config.store_path is not None:
+                # the daemon-wide L2 store rides the wire; each worker
+                # opens its own handle on the shared sqlite file
+                wire["storePath"] = self.config.store_path
             if queue_ms is None:
                 queue_ms = round((time.perf_counter() - t_start) * 1000.0, 3)
             future, generation = self.pool.submit(
@@ -473,6 +482,11 @@ class CompileService:
                     backend=req.backend if req.backend != "interp" else self.config.backend,
                     prune_edges=req.prune_edges,
                     verify_execution=req.verify_execution,
+                    store_path=(
+                        req.store_path
+                        if req.store_path is not None
+                        else self.config.store_path
+                    ),
                 ),
                 budget=Budget(deadline_ms=grace).start(),
                 tracer=tracer,
@@ -493,6 +507,11 @@ class CompileService:
                         backend=req.backend if req.backend != "interp" else self.config.backend,
                         prune_edges=req.prune_edges,
                         verify_execution=req.verify_execution,
+                        store_path=(
+                            req.store_path
+                            if req.store_path is not None
+                            else self.config.store_path
+                        ),
                     ),
                     tracer=tracer,
                 )
@@ -590,7 +609,7 @@ class CompileService:
 
     def snapshot(self) -> Dict[str, Any]:
         """Operational state for ``/statz`` and the loadgen report."""
-        return {
+        snap: Dict[str, Any] = {
             "uptimeS": round(time.monotonic() - self._started, 3),
             "workers": self.config.workers,
             "poolGeneration": self.pool.generation,
@@ -598,6 +617,14 @@ class CompileService:
             "breaker": self.breaker.snapshot(),
             "workloadClasses": len(self._hash_by_digest),
         }
+        if self.config.store_path is not None:
+            # file-level stats: entries and storedHits aggregate the whole
+            # fleet's traffic (worker-local counters never leave their
+            # process, but every hit bumps the row in the shared file)
+            from repro.store import open_store
+
+            snap["store"] = open_store(self.config.store_path).stats().to_dict()
+        return snap
 
     def shutdown(self) -> None:
         self.pool.shutdown()

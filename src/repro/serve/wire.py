@@ -116,6 +116,7 @@ class CompileRequest:
     emit: bool = True
     fault: Optional[Dict[str, Any]] = None
     attempt: int = 0
+    store_path: Optional[str] = None
     request_id: str = field(default_factory=_mint_request_id)
 
     def __post_init__(self) -> None:
@@ -148,6 +149,10 @@ class CompileRequest:
             raise WireError("'deadlineMs' must be positive")
         if self.fault is not None and not isinstance(self.fault, dict):
             raise WireError("'fault' must be an object like {'injector': ..., 'seed': ...}")
+        if self.store_path is not None and (
+            not isinstance(self.store_path, str) or not self.store_path.strip()
+        ):
+            raise WireError("'storePath' must be a non-empty path string")
 
     @property
     def digest(self) -> str:
@@ -170,6 +175,7 @@ class CompileRequest:
             "emit": self.emit,
             "fault": self.fault,
             "attempt": self.attempt,
+            "storePath": self.store_path,
         }
 
     @classmethod
@@ -201,6 +207,7 @@ class CompileRequest:
                 emit=bool(data.get("emit", True)),
                 fault=data.get("fault"),
                 attempt=int(data.get("attempt", 0)),
+                store_path=data.get("storePath"),
                 request_id=str(data.get("requestId") or _mint_request_id()),
             )
         except WireError:
@@ -381,6 +388,7 @@ def request_from_program(
     prune_edges: bool = True,
     verify_execution: bool = True,
     fault: Optional[Dict[str, Any]] = None,
+    store_path: Optional[str] = None,
 ) -> CompileRequest:
     """Convenience constructor used by batch/loadgen call sites."""
     return CompileRequest(
@@ -395,6 +403,7 @@ def request_from_program(
         prune_edges=prune_edges,
         verify_execution=verify_execution,
         fault=fault,
+        store_path=store_path,
     )
 
 

@@ -20,12 +20,19 @@ the backbone of the service's fault model:
   stalls it; algorithm-level injectors (``mldg``/``retiming``/...) ride
   into the pipeline exactly like the in-process chaos matrix.
 
-Cache tiers (docs/SERVING.md): the fusion/retiming/kernel memo caches are
-**per-worker** -- fork-started workers inherit a warm copy of the parent's
-caches at pool creation and diverge afterwards; there is no cross-process
-sharing.  Metrics recorded in a worker stay in that worker; the latency
-and outcome numbers the service aggregates all travel in the response
-envelope.
+Cache tiers (docs/SERVING.md, docs/CACHING.md): the fusion/retiming/
+kernel memo caches (L1) are **per-worker** -- fork-started workers inherit
+a warm copy of the parent's caches at pool creation and diverge
+afterwards.  Cross-process sharing happens one tier down: when the
+request carries ``storePath`` (stamped by the service from its config),
+the worker's session reads through and writes through that sqlite L2
+store (:mod:`repro.store`), so a result compiled by one worker warms
+every other worker and every later daemon restart.  Each worker opens
+its *own* handle on the shared file -- a worker crash mid-write cannot
+poison siblings (WAL transactions either commit or vanish).  Metrics
+recorded in a worker stay in that worker; the latency and outcome
+numbers the service aggregates all travel in the response envelope, and
+an L2 hit is additionally flagged in the response ``notes``.
 """
 
 from __future__ import annotations
@@ -139,6 +146,7 @@ def _enter_fault(stack: ExitStack, req: "Any") -> None:
 
 def _compile(req: "Any", tracer: "Any", resp: "Any") -> None:
     """Run the session pipeline for ``req``, filling ``resp`` in place."""
+    from repro import obs
     from repro.codegen import emit_fused_program
     from repro.core.session import Session, SessionOptions
     from repro.loopir.printer import format_program
@@ -158,10 +166,12 @@ def _compile(req: "Any", tracer: "Any", resp: "Any") -> None:
             backend=req.backend,
             prune_edges=req.prune_edges,
             verify_execution=req.verify_execution,
+            store_path=req.store_path,
         ),
         budget=budget,
         tracer=tracer,
     )
+    l2_hits_before = obs.default_registry().counter("store.hits").value
     if req.resilient:
         out = session.fuse_program_resilient(req.source)
         resp.rung = out.rung.label
@@ -185,4 +195,8 @@ def _compile(req: "Any", tracer: "Any", resp: "Any") -> None:
     resp.status = "ok"
     resp.structural_hash = structural_hash(out.mldg)
     resp.notes = list(out.notes)
+    l2_hits = obs.default_registry().counter("store.hits").value - l2_hits_before
+    if l2_hits > 0:
+        # visible evidence of cross-worker warmth in response/bench output
+        resp.notes.append(f"store: {int(l2_hits)} L2 hit(s) (pid {os.getpid()})")
     resp.diagnostics = [d.to_dict() for d in out.diagnostics]

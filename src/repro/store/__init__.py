@@ -1,0 +1,156 @@
+"""repro.store -- the persistent L2 tier under the in-memory memo caches.
+
+The lookup path for a fusion (or ladder retiming) query is::
+
+    L1  MemoCache          per-process, per-session, nanoseconds
+    L2  CompileStore       one sqlite file, shared across processes
+    --  compile            the real solvers
+
+Both tiers sit behind the *same* admissibility predicate
+(:func:`repro.perf.memo.memoization_applicable`): a limiting budget, an
+active fault injector or ``REPRO_FUSE_MEMO=0`` bypasses memory and disk
+alike, so chaos runs can neither read nor persist anything.  Every L2 hit
+is re-verified through the normal rehydrate path before it is returned;
+see :mod:`repro.store.sqlite_store` for the corruption policy and
+:mod:`repro.store.fingerprint` for the invalidation key.
+
+Configuration:
+
+* ``REPRO_FUSE_STORE=<path>`` -- the default store file (CLI ``--store``
+  and :class:`repro.core.SessionOptions.store_path` override per run);
+* ``REPRO_FUSE_STORE_MAX_ENTRIES`` / ``REPRO_FUSE_STORE_MAX_MB`` -- LRU
+  caps for stores opened via the environment default.
+
+Full subsystem documentation: ``docs/CACHING.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+from repro.store.fingerprint import (
+    PAYLOAD_SCHEMA,
+    STORE_SCHEMA_VERSION,
+    current_fingerprint,
+    env_fingerprint,
+    fingerprint_parts,
+)
+from repro.store.sqlite_store import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    CompileStore,
+    StoreStats,
+)
+
+__all__ = [
+    "CompileStore",
+    "StoreStats",
+    "PAYLOAD_SCHEMA",
+    "STORE_SCHEMA_VERSION",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_MAX_BYTES",
+    "env_fingerprint",
+    "current_fingerprint",
+    "fingerprint_parts",
+    "open_store",
+    "default_store",
+    "active_store",
+    "set_default_store_path",
+    "reset_open_stores",
+]
+
+_OPEN: Dict[str, CompileStore] = {}
+_OPEN_LOCK = threading.Lock()
+
+
+def _env_caps() -> Dict[str, int]:
+    caps = {"max_entries": DEFAULT_MAX_ENTRIES, "max_bytes": DEFAULT_MAX_BYTES}
+    raw = os.environ.get("REPRO_FUSE_STORE_MAX_ENTRIES")
+    if raw:
+        try:
+            caps["max_entries"] = max(1, int(raw))
+        except ValueError:
+            pass
+    raw = os.environ.get("REPRO_FUSE_STORE_MAX_MB")
+    if raw:
+        try:
+            caps["max_bytes"] = max(1, int(float(raw) * 1024 * 1024))
+        except ValueError:
+            pass
+    return caps
+
+
+def open_store(
+    path: str,
+    *,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> CompileStore:
+    """One :class:`CompileStore` handle per absolute path per process.
+
+    Sharing the handle shares its sqlite connection and its process-local
+    hit/miss counters; the connection itself is opened lazily on first
+    use, so it is safe to open a store before forking a worker pool.
+    """
+    caps = _env_caps()
+    if max_entries is not None:
+        caps["max_entries"] = max_entries
+    if max_bytes is not None:
+        caps["max_bytes"] = max_bytes
+    key = os.path.abspath(path)
+    with _OPEN_LOCK:
+        store = _OPEN.get(key)
+        if store is None:
+            store = CompileStore(
+                key, max_entries=caps["max_entries"], max_bytes=caps["max_bytes"]
+            )
+            _OPEN[key] = store
+        else:
+            store.max_entries = caps["max_entries"]
+            store.max_bytes = caps["max_bytes"]
+        return store
+
+
+def set_default_store_path(path: Optional[str]) -> None:
+    """Set (or, with ``None``, clear) the process-default store path.
+
+    Written through to ``REPRO_FUSE_STORE`` so spawned/forked worker
+    pools inherit the same file.
+    """
+    if path is None:
+        os.environ.pop("REPRO_FUSE_STORE", None)
+    else:
+        os.environ["REPRO_FUSE_STORE"] = os.path.abspath(path)
+
+
+def default_store() -> Optional[CompileStore]:
+    """The store named by ``REPRO_FUSE_STORE``, or ``None``."""
+    path = os.environ.get("REPRO_FUSE_STORE")
+    if not path:
+        return None
+    return open_store(path)
+
+
+def active_store() -> Optional[CompileStore]:
+    """The L2 store visible from this context, or ``None``.
+
+    A session carrying a store (``SessionOptions.store_path``) wins;
+    otherwise the environment default.  Mirrors the session-first
+    resolution of :func:`repro.perf.memo.fusion_cache`.
+    """
+    from repro.core.context import current_session
+
+    session = current_session()
+    if session is not None and session.caches.store is not None:
+        return session.caches.store
+    return default_store()
+
+
+def reset_open_stores() -> None:
+    """Drop the per-process handle registry (tests; closes connections)."""
+    with _OPEN_LOCK:
+        for store in _OPEN.values():
+            store.close()
+        _OPEN.clear()

@@ -164,7 +164,10 @@ class TestEndpoints:
         assert doc["service"]["workers"] == 1
         counters = doc["metrics"]["counters"]
         assert counters.get("serve.requests", 0) >= 1
-        assert all(name.startswith("serve.") for name in counters)
+        # serve.* plus the daemon-process store.* (L2 cache) families only
+        assert all(
+            name.startswith(("serve.", "store.")) for name in counters
+        )
 
     def test_unknown_paths_are_404(self, daemon):
         assert _get(daemon.url, "/nope")[0] == 404
