@@ -20,6 +20,7 @@ from repro.perf.bench import (
     bench_backend_sweep,
     bench_backends,
     bench_fusion_cache,
+    bench_plan,
     bench_solvers,
     bench_store,
     bench_store_gallery,
@@ -76,6 +77,50 @@ def test_smoke_store_gallery_warm(report, perf_record):
     assert warm.extra["bitIdentical"] is True
     assert warm.extra["store"]["hitRatio"] >= 0.90
     report.text(render_records_text(records_to_json(records)))
+
+
+def test_smoke_plan_auto_vs_static(report, perf_record):
+    """Fast tier: the execution planner against the static backends.
+
+    After the static configs feed the profile tier, ``auto`` must resolve
+    to a concrete backend, stay bit-identical (bench_plan verifies before
+    timing), and not land on the measured-worst config -- timings at smoke
+    size are noisy, so the archived bar is generous (auto within 2x of
+    best-static, and clearly better than a worst-static that is ~5x off).
+    """
+    records = bench_plan("fig2", sizes=((SMOKE_N, SMOKE_M),), jobs=(1, 2), repeats=2)
+    perf_record(records)
+    report.text(render_records_text(records_to_json(records)))
+    auto = next(r for r in records if r.backend == "auto")
+    assert auto.extra["bitIdentical"] is True
+    assert auto.extra["chosen"]["backend"] in ("interp", "compiled", "numpy", "parallel")
+    assert auto.extra["vsBestStatic"] <= 2.0
+    assert auto.extra["vsWorstStatic"] <= 1.0
+
+
+@pytest.mark.perf
+def test_perf_plan_auto_tracks_best_static(report, perf_record):
+    """The acceptance row: on warm profile data the planner's pick for
+    fig2 at smoke and full size is the measured-fastest config, and the
+    planned execution's median is never worse than the worst static
+    backend (it should be within noise of the best)."""
+    records = bench_plan(
+        "fig2", sizes=((SMOKE_N, SMOKE_M), (FULL_N, FULL_M)), jobs=(1, 2), repeats=3
+    )
+    perf_record(records)
+    report.text(render_records_text(records_to_json(records)))
+    for n in (SMOKE_N, FULL_N):
+        auto = next(r for r in records if r.backend == "auto" and r.n == n)
+        chosen = auto.extra["chosen"]
+        best = auto.extra["bestStatic"]
+        # the pick is profile-driven and lands on (or within noise of)
+        # the measured winner; interp is ~40-400x off at these sizes, so
+        # a wrong pick fails the ratio bars immediately
+        assert chosen["source"] in ("profile", "model")
+        assert auto.extra["vsBestStatic"] <= 1.5
+        assert auto.extra["vsWorstStatic"] <= 0.5
+        assert chosen["backend"] != "interp"
+        assert best["backend"] != "interp"
 
 
 @pytest.mark.perf

@@ -77,6 +77,43 @@ _DEMOS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for worker/job counts: an integer >= 1.
+
+    Rejecting ``0``/negatives here turns them into argparse usage errors
+    (exit 2 with the subcommand's usage line) instead of a deadlock or an
+    obscure pool failure deep inside an executor.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer >= 1, got {value}"
+        )
+    return value
+
+
+def _jobs_list(text: str) -> Tuple[int, ...]:
+    """Argparse type for comma-separated job counts (each >= 1)."""
+    try:
+        values = tuple(int(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one job count")
+    if any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"job counts must be >= 1, got {list(values)}"
+        )
+    return values
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     """Observability options shared by ``fuse``, ``run`` and ``bench``."""
     group = parser.add_argument_group("observability")
@@ -220,15 +257,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-emit", action="store_true", help="skip code emission")
     p_run.add_argument(
         "--backend",
-        choices=["interp", "compiled", "numpy", "parallel"],
+        choices=["interp", "compiled", "numpy", "parallel", "auto"],
         default=None,
         help="also execute the fused program with this backend "
         "(compiled/numpy/parallel results are verified bit-identical against "
-        "the interpreter; not available with --resilient)",
+        "the interpreter; auto = execution planner picks per shape, "
+        "docs/PLANNING.md; not available with --resilient)",
     )
     p_run.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="worker count for --backend parallel (default: cpu count)",
@@ -251,10 +289,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     p_ba.add_argument(
         "--jobs",
-        type=int,
-        default=4,
+        type=_positive_int,
+        default=None,
         metavar="N",
-        help="worker-thread count (default 4; 1 = serial)",
+        help="worker-thread count (default: the execution planner's batch "
+        "default, 4; 1 = serial)",
     )
     p_ba.add_argument(
         "--strategy",
@@ -308,8 +347,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--host", default="127.0.0.1", help="bind address")
     p_sv.add_argument("--port", type=int, default=8337, metavar="N",
                       help="bind port (default 8337; 0 = ephemeral)")
-    p_sv.add_argument("--workers", type=int, default=2, metavar="N",
+    p_sv.add_argument("--workers", type=_positive_int, default=2, metavar="N",
                       help="pool worker processes (default 2)")
+    p_sv.add_argument("--backend",
+                      choices=["interp", "compiled", "numpy", "parallel", "auto"],
+                      default="interp",
+                      help="default execution backend stamped onto requests "
+                      "that carry none (auto = execution planner resolves "
+                      "per program, docs/PLANNING.md; explicit request "
+                      "backends always win)")
     p_sv.add_argument("--max-inflight", type=int, default=None, metavar="N",
                       help="admission quota before shedding (default workers*4)")
     p_sv.add_argument("--deadline-ms", type=float, default=10_000.0, metavar="N",
@@ -334,10 +380,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     p_lg.add_argument("--requests", type=int, default=50, metavar="N",
                       help="total requests (default 50)")
-    p_lg.add_argument("--concurrency", type=int, default=8, metavar="N",
+    p_lg.add_argument("--concurrency", type=_positive_int, default=8, metavar="N",
                       help="client threads (default 8)")
-    p_lg.add_argument("--workers", type=int, default=2, metavar="N",
+    p_lg.add_argument("--workers", type=_positive_int, default=2, metavar="N",
                       help="daemon pool workers when spawning (default 2)")
+    p_lg.add_argument("--auto-every", type=int, default=0, metavar="N",
+                      dest="auto_every",
+                      help="every Nth request asks for backend=auto, so the "
+                      "report's plan block shows the planner's picks "
+                      "(default 0 = never)")
     p_lg.add_argument("--deadline-ms", type=float, default=10_000.0, metavar="N",
                       help="per-request deadline (default 10000)")
     p_lg.add_argument("--resilient-every", type=int, default=3, metavar="N",
@@ -381,7 +432,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "measures the interp/compiled/numpy crossover",
     )
     p_bench.add_argument(
-        "--jobs", metavar="J1,J2,...", default="1,2,4",
+        "--jobs", metavar="J1,J2,...", default="1,2,4", type=_jobs_list,
         help="comma-separated job counts for the parallel backend (default 1,2,4)",
     )
     p_bench.add_argument(
@@ -408,6 +459,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-store-bench", action="store_true",
         help="skip the persistent-store cold/warm benchmark",
+    )
+    p_bench.add_argument(
+        "--no-plan-bench", action="store_true",
+        help="skip the execution-planner auto-vs-static benchmark",
     )
     add_format_argument(p_bench, [TEXT, JSON])
     p_bench.add_argument(
@@ -703,7 +758,30 @@ def _execute_backend(out, args: argparse.Namespace) -> dict:
 
     reference = run_fused(fp, n, m, store=base.copy(), mode="serial")
     got = base.copy()
-    if args.backend in ("compiled", "numpy"):
+    if args.backend == "auto":
+        from repro.plan import Planner
+
+        planner = Planner()
+        plan = planner.plan_execution(
+            fp, n, m, schedule=schedule, is_doall=is_doall,
+            requested="auto", jobs=args.jobs,
+        )
+        record["resolved"] = plan.backend
+        record["jobs"] = plan.jobs
+        record["plan"] = plan.to_dict()
+        if plan.backend in ("compiled", "numpy"):
+            # compile outside the timed region, as for the static backends
+            execute_fused(plan.backend, fp, 1, 1,
+                          store=ArrayStore.for_program(out.nest, 1, 1, seed=0),
+                          schedule=schedule, is_doall=is_doall)
+        t0 = _time.perf_counter()
+        execute_fused(plan.backend, fp, n, m, store=got,
+                      schedule=schedule, is_doall=is_doall,
+                      jobs=plan.jobs, tile=plan.tile)
+        elapsed = _time.perf_counter() - t0
+        record["seconds"] = round(elapsed, 6)
+        planner.record(plan, elapsed)
+    elif args.backend in ("compiled", "numpy"):
         # compile outside the timed region: the kernel is what recurs
         execute_fused(args.backend, fp, 1, 1,
                       store=ArrayStore.for_program(out.nest, 1, 1, seed=0),
@@ -796,6 +874,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(out.fusion.summary())
         if execution is not None:
             parts = [f"backend={execution['backend']}"]
+            if "resolved" in execution:
+                parts.append(f"resolved={execution['resolved']}")
             if "jobs" in execution:
                 parts.append(f"jobs={execution['jobs']}")
             parts.append(f"size={execution['n']}x{execution['m']}")
@@ -803,6 +883,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if "verified" in execution:
                 parts.append(execution["verified"])
             print("execution   : " + ", ".join(parts))
+            plan = execution.get("plan")
+            if plan is not None and "rationale" in plan:
+                print(f"plan        : [{plan['source']}] {plan['rationale']}")
         if not args.no_emit:
             print()
             print("! ===== emitted program =====")
@@ -875,11 +958,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown_ms=args.breaker_cooldown_ms,
         allow_faults=args.chaos,
         seed=args.seed,
+        backend=args.backend,
         store_path=args.store,
     )
     daemon = ServeDaemon(config, host=args.host, port=args.port)
     print(f"repro-fuse serve: listening on {daemon.url} "
           f"({args.workers} workers"
+          + (f", backend {args.backend}" if args.backend != "interp" else "")
           + (f", store {args.store}" if args.store else "")
           + (", CHAOS MODE" if args.chaos else "") + ")",
           file=sys.stderr, flush=True)
@@ -914,6 +999,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         out=args.out,
         store_path=args.store,
         warm_passes=args.warm_passes,
+        auto_every=args.auto_every,
     )
     report = run_loadgen(opts)
     if args.format == "json":
@@ -935,12 +1021,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     try:
         n, m = _parse_size(args.size)
-        jobs = tuple(int(x) for x in args.jobs.split(","))
+        jobs = args.jobs  # already a tuple via the _jobs_list argparse type
         sizes = parse_sizes(args.sizes) if args.sizes else None
     except ValueError as exc:
         print(
-            f"bad --size/--sizes/--jobs value ({exc}); "
-            "expected N,M / N1xM1,N2xM2,... / J1,J2,...",
+            f"bad --size/--sizes value ({exc}); "
+            "expected N,M / N1xM1,N2xM2,...",
             file=sys.stderr,
         )
         return ExitCode.USAGE
@@ -958,6 +1044,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             include_cache=not args.no_cache_bench,
             include_solver=not args.no_solver_bench,
             include_store=not args.no_store_bench,
+            include_plan=not args.no_plan_bench,
             store_path=args.store,
         )
     except ValueError as exc:  # unknown example name etc.
@@ -982,6 +1069,7 @@ def _stats_workload(path: str, n: int, m: int) -> None:
     """
     from repro.codegen.interp import ArrayStore, run_fused
     from repro.codegen.pycompile import compile_fused
+    from repro.core.backends import execute_fused
     from repro.pipeline import fuse_program
 
     source = _read_source(path)
@@ -993,6 +1081,13 @@ def _stats_workload(path: str, n: int, m: int) -> None:
     compile_fused(out.fused)
     kernel = compile_fused(out.fused)  # repeat -> kernel-cache hit
     kernel(ArrayStore.for_program(out.nest, n, m, seed=0), n, m)
+    # one planned execution so the report carries plan.* counters and a
+    # recent-decision line (docs/PLANNING.md)
+    execute_fused(
+        "auto", out.fused, n, m,
+        store=ArrayStore.for_program(out.nest, n, m, seed=0),
+        schedule=out.fusion.schedule, is_doall=out.fusion.is_doall,
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -1063,6 +1158,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"(hit ratio {stats.hit_ratio:.2f})"
             )
             print(f"file    : {stats.stored_hits} stored hit(s) all-time")
+            print(f"profiles: {stats.profile_rows} execution-profile row(s) "
+                  "(planner tier; docs/PLANNING.md)")
             if stats.disabled:
                 print("state   : DISABLED (unreadable or newer schema)")
         return ExitCode.FAILURE if stats.disabled else ExitCode.OK

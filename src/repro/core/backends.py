@@ -40,7 +40,8 @@ __all__ = [
     "execute_fused",
 ]
 
-#: Runner signature: ``(fp, n, m, store, schedule, is_doall, jobs) -> store``.
+#: Runner signature:
+#: ``(fp, n, m, store, schedule, is_doall, jobs, tile) -> store``.
 Runner = Callable[..., "ArrayStore"]
 
 
@@ -87,14 +88,26 @@ def execute_fused(
     schedule: Optional["IVec"] = None,
     is_doall: bool = True,
     jobs: Optional[int] = None,
+    tile: Optional[int] = None,
 ) -> "ArrayStore":
     """Run ``fp`` over ``store`` (mutated in place) with the named backend.
 
     ``schedule``/``is_doall`` come from the fusion result (the hyperplane
-    vector when the fusion is not DOALL); ``jobs`` only matters to the
-    ``parallel`` backend.
+    vector when the fusion is not DOALL); ``jobs``/``tile`` only matter to
+    the ``parallel`` backend.  ``name="auto"`` resolves through the
+    execution planner (:mod:`repro.plan`): profile rows for this program
+    and size when warm, the static cost model when cold.  Whatever is
+    chosen is bit-identical to ``interp`` -- the planner picks *how* to
+    run, never *what* is computed.
     """
-    return get(name).runner(fp, n, m, store, schedule, is_doall, jobs)
+    if name == "auto":
+        from repro.plan import default_planner
+
+        plan = default_planner().plan_execution(
+            fp, n, m, schedule=schedule, is_doall=is_doall, jobs=jobs,
+        )
+        name, jobs, tile = plan.backend, plan.jobs, plan.tile
+    return get(name).runner(fp, n, m, store, schedule, is_doall, jobs, tile)
 
 
 # ------------------------------------------------------------------ #
@@ -110,6 +123,7 @@ def _run_interp(
     schedule: Optional[IVec],
     is_doall: bool,
     jobs: Optional[int],
+    tile: Optional[int] = None,
 ) -> ArrayStore:
     from repro.codegen.interp import run_fused
 
@@ -124,6 +138,7 @@ def _run_compiled(
     schedule: Optional[IVec],
     is_doall: bool,
     jobs: Optional[int],
+    tile: Optional[int] = None,
 ) -> ArrayStore:
     from repro.codegen.pycompile import compile_fused
 
@@ -139,6 +154,7 @@ def _run_numpy(
     schedule: Optional[IVec],
     is_doall: bool,
     jobs: Optional[int],
+    tile: Optional[int] = None,
 ) -> ArrayStore:
     from repro.codegen.nplower import compile_numpy
 
@@ -154,11 +170,12 @@ def _run_parallel(
     schedule: Optional[IVec],
     is_doall: bool,
     jobs: Optional[int],
+    tile: Optional[int] = None,
 ) -> ArrayStore:
     from repro.perf.parallel import ParallelExecutor
 
     mode = "doall" if is_doall else "hyperplane"
-    with ParallelExecutor(jobs) as ex:
+    with ParallelExecutor(jobs, **({} if tile is None else {"tile": tile})) as ex:
         return ex.run(
             fp, n, m, store=store, mode=mode,
             schedule=None if is_doall else schedule,

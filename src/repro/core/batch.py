@@ -313,7 +313,7 @@ def run_batch(
     session: "Session",
     programs: Sequence[Any],
     *,
-    jobs: int = 4,
+    jobs: Optional[int] = None,
     strategy: Optional[Union[Strategy, str]] = None,
     resilient: bool = False,
     names: Optional[Sequence[str]] = None,
@@ -339,6 +339,11 @@ def run_batch(
     if pool not in BATCH_POOLS:
         raise ValueError(f"unknown pool {pool!r}; expected one of {BATCH_POOLS}")
     items = _normalize(programs, names)
+    if jobs is None:
+        # the old hard-coded default lives in the planning layer now
+        from repro.plan.model import DEFAULT_BATCH_JOBS
+
+        jobs = DEFAULT_BATCH_JOBS
     jobs = max(1, int(jobs))
     reg_scope = (
         obs.overriding_registry(session.registry)

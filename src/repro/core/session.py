@@ -93,10 +93,15 @@ class SessionOptions:
     #: Degradation-ladder variant: a :data:`LADDER_VARIANTS` name, an
     #: explicit tuple of rung labels, or ``None`` for the built-in descent.
     ladder: Optional[Union[str, Sequence[str]]] = None
-    #: Default worker count for :meth:`Session.fuse_many`.
-    jobs: int = 4
+    #: Default worker count for :meth:`Session.fuse_many` and for the
+    #: ``parallel`` execution backend.  ``None`` delegates the choice to
+    #: the execution planner (:mod:`repro.plan`): batch compilation takes
+    #: :data:`repro.plan.model.DEFAULT_BATCH_JOBS`, kernel execution the
+    #: planner's per-shape pick.
+    jobs: Optional[int] = None
     #: Execution backend for :meth:`Session.execute_fused`
-    #: (:mod:`repro.core.backends`: interp / compiled / numpy / parallel).
+    #: (:mod:`repro.core.backends`: interp / compiled / numpy / parallel,
+    #: or ``"auto"`` to let the planner decide per shape; docs/PLANNING.md).
     backend: str = "interp"
     #: Run the certificate-carrying MLDG edge-pruning pass
     #: (:mod:`repro.analysis.prune`).  Off: the pipeline compiles the
@@ -198,6 +203,7 @@ class Session:
         self._lock = threading.Lock()
         self._strict = PassManager(strict_passes(), name="strict")
         self._resilient = PassManager(resilient_passes(), name="resilient")
+        self._planner: Optional[Any] = None
 
     @classmethod
     def isolated(
@@ -248,6 +254,20 @@ class Session:
     def ladder_descent(self) -> Optional[Tuple[str, ...]]:
         """Rung labels for the resilient descent, or ``None`` for default."""
         return self.options.ladder_labels()
+
+    @property
+    def planner(self) -> Any:
+        """This session's execution planner (:class:`repro.plan.Planner`).
+
+        Bound to the session's L2 store when it has one; otherwise the
+        planner resolves the ambient store (or the in-process profile
+        table) at decision time.
+        """
+        if self._planner is None:
+            from repro.plan import Planner
+
+            self._planner = Planner(store=self.caches.store)
+        return self._planner
 
     @property
     def pass_names(self) -> Tuple[str, ...]:
@@ -427,20 +447,37 @@ class Session:
     ) -> Any:
         """Run a fused program through the session's execution backend.
 
-        Dispatches via the :mod:`repro.core.backends` registry under this
-        session's activation (so backend kernels hit the session's kernel
-        cache and metrics registry).  ``backend=None`` uses
-        :attr:`SessionOptions.backend`.
+        Every execution is resolved by the planner (:mod:`repro.plan`)
+        under the precedence *explicit > session > profile > model*: an
+        explicit ``backend`` argument wins, else the session's configured
+        backend, and ``"auto"`` lets the planner pick from profile rows
+        or the cost model.  Dispatch happens under this session's
+        activation (backend kernels hit the session's kernel cache and
+        metrics registry), and the observed wall time is fed back into
+        the profile tier -- gated exactly like the memo caches, so probe
+        budgets, fault injection and ``REPRO_FUSE_MEMO=0`` record nothing.
         """
+        import time as _time
+
         from repro.core.backends import execute_fused as _execute
 
-        name = backend if backend is not None else self.options.backend
         with self.activate():
-            return _execute(
-                name, fp, n, m,
-                store=store, schedule=schedule, is_doall=is_doall,
+            plan = self.planner.plan_execution(
+                fp, n, m,
+                schedule=schedule, is_doall=is_doall,
+                requested=backend, session_backend=self.options.backend,
                 jobs=jobs if jobs is not None else self.options.jobs,
             )
+            t0 = _time.perf_counter()
+            result = _execute(
+                plan.backend, fp, n, m,
+                store=store, schedule=schedule, is_doall=is_doall,
+                jobs=plan.jobs, tile=plan.tile,
+            )
+            self.planner.record(
+                plan, _time.perf_counter() - t0, budget=self.effective_budget
+            )
+            return result
 
     # ------------------------------------------------------------------ #
 

@@ -62,11 +62,14 @@ def snapshot_caches(registry: Optional[MetricsRegistry] = None) -> None:
 
 def stats_document(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
     """The ``repro-stats/1`` document ``repro-fuse stats`` prints."""
+    from repro.plan import plan_snapshot
+
     reg = registry if registry is not None else default_registry()
     return {
         "schema": STATS_SCHEMA,
         "metrics": reg.to_dict(),
         "caches": cache_snapshot(),
+        "plan": plan_snapshot(),
     }
 
 
@@ -95,5 +98,13 @@ def render_stats_text(doc: Dict[str, Any]) -> str:
             lines.append(
                 f"cache {name}: {info['hits']} hits / {info['misses']} misses "
                 f"/ {info['evictions']} evictions (size {info['currsize']})"
+            )
+    recent = (doc.get("plan") or {}).get("recent") or []
+    if recent:
+        lines.append("")
+        for p in recent:
+            lines.append(
+                f"plan {p['backend']}/j{p['jobs']} [{p['source']}] "
+                f"{p.get('bucket') or '?'}: {p['rationale']}"
             )
     return "\n".join(lines)

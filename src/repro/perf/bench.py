@@ -28,6 +28,7 @@ __all__ = [
     "bench_backends",
     "bench_backend_sweep",
     "bench_fusion_cache",
+    "bench_plan",
     "bench_solvers",
     "bench_store",
     "bench_store_gallery",
@@ -603,6 +604,130 @@ def bench_store_gallery(*, store_path: Optional[str] = None) -> List[BenchRecord
             shutil.rmtree(tmpdir, ignore_errors=True)
 
 
+def bench_plan(
+    example: str = "fig2",
+    *,
+    sizes: Sequence[Tuple[int, int]] = ((24, 24),),
+    jobs: Sequence[int] = (1, 2),
+    repeats: int = 3,
+    store_path: Optional[str] = None,
+) -> List[BenchRecord]:
+    """Planner-driven ``auto`` execution against every static backend.
+
+    Per size: every static config runs through ``Session.execute_fused``
+    first -- each run feeding the planner's profile tier in a private
+    store -- then ``auto`` runs on the now-warm profile.  The ``auto``
+    record archives the planner's pick (backend/jobs/source/rationale)
+    and its median against the best and worst static config, so
+    ``BENCH_perf.json`` shows whether the planner lands on the measured
+    winner (``vsBestStatic`` ~ 1.0) and stays off the loser
+    (``vsWorstStatic`` well under 1.0 wherever the spread is real).
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.codegen import ArrayStore
+    from repro.core.session import Session, SessionCaches, SessionOptions
+
+    tmpdir: Optional[str] = None
+    if store_path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-bench-plan-")
+        store_path = os.path.join(tmpdir, "plan-store.db")
+    records: List[BenchRecord] = []
+    try:
+        session = Session(
+            options=SessionOptions(backend="auto", store_path=store_path),
+            caches=SessionCaches.private(),
+        )
+        out = session.fuse_program(_example_source(example))
+        fp = out.fused
+        if fp is None:
+            raise ValueError(f"example {example!r} emitted no fused program")
+        schedule = out.fusion.schedule
+        is_doall = out.fusion.is_doall
+        static: List[Tuple[str, Optional[int]]] = [
+            ("interp", None), ("compiled", None), ("numpy", None),
+        ] + [("parallel", j) for j in jobs]
+
+        def run(
+            _n: int, _m: int, backend: Optional[str], j: Optional[int], store: Any
+        ) -> Any:
+            return session.execute_fused(
+                fp, _n, _m, store=store, backend=backend,
+                schedule=schedule, is_doall=is_doall, jobs=j,
+            )
+
+        for _n, _m in sizes:
+            base = ArrayStore.for_program(out.nest, _n, _m, seed=0)
+            reference = session.execute_fused(
+                fp, _n, _m, store=base.copy(), backend="interp",
+                schedule=schedule, is_doall=is_doall,
+            )
+            timings: Dict[Tuple[str, int], float] = {}
+            for backend, j in static:
+                median, err = time_callable(
+                    lambda: run(_n, _m, backend, j, base.copy()), repeats=repeats
+                )
+                timings[(backend, j if j is not None else 1)] = median
+                records.append(
+                    BenchRecord(
+                        name=f"{example}-plan", backend=backend,
+                        median_s=median, err_s=err, repeats=repeats,
+                        n=_n, m=_m, jobs=j,
+                    )
+                )
+            # the decision auto will make on the warm profile (pure
+            # function of the rows; re-deriving it here costs nothing)
+            plan = session.planner.plan_execution(
+                fp, _n, _m, schedule=schedule, is_doall=is_doall,
+                session_backend="auto",
+            )
+            got = run(_n, _m, None, None, base.copy())
+            if not reference.equal(got):  # pragma: no cover - correctness guard
+                raise AssertionError(
+                    f"auto backend diverged from the interpreter at {_n}x{_m}"
+                )
+            auto_median, auto_err = time_callable(
+                lambda: run(_n, _m, None, None, base.copy()), repeats=repeats
+            )
+            best_key = min(timings, key=lambda k: timings[k])
+            worst_key = max(timings, key=lambda k: timings[k])
+            records.append(
+                BenchRecord(
+                    name=f"{example}-plan", backend="auto",
+                    median_s=auto_median, err_s=auto_err, repeats=repeats,
+                    n=_n, m=_m,
+                    extra={
+                        "chosen": {
+                            "backend": plan.backend, "jobs": plan.jobs,
+                            "source": plan.source, "rationale": plan.rationale,
+                        },
+                        "bestStatic": {
+                            "backend": best_key[0], "jobs": best_key[1],
+                            "medianSeconds": timings[best_key],
+                        },
+                        "worstStatic": {
+                            "backend": worst_key[0], "jobs": worst_key[1],
+                            "medianSeconds": timings[worst_key],
+                        },
+                        "vsBestStatic": round(auto_median / timings[best_key], 3)
+                        if timings[best_key] else None,
+                        "vsWorstStatic": round(auto_median / timings[worst_key], 3)
+                        if timings[worst_key] else None,
+                        "bitIdentical": True,
+                    },
+                )
+            )
+    finally:
+        if tmpdir is not None:
+            from repro.store import open_store
+
+            open_store(store_path).close()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+    return records
+
+
 def bench_solvers(*, chain: int = 400, repeats: int = 3) -> List[BenchRecord]:
     """SLF worklist vs round-based relaxation on an adversarial chain.
 
@@ -659,6 +784,7 @@ def run_bench_suite(
     include_cache: bool = True,
     include_solver: bool = True,
     include_store: bool = True,
+    include_plan: bool = True,
     store_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the full suite; returns the ``BENCH_perf.json``-shaped document.
@@ -673,6 +799,11 @@ def run_bench_suite(
         records += bench_fusion_cache(example)
     if include_store:
         records += bench_store(example, repeats=repeats, store_path=store_path)
+    if include_plan:
+        records += bench_plan(
+            example, sizes=sizes if sizes is not None else [(n, m)],
+            jobs=jobs, repeats=repeats,
+        )
     if include_solver:
         records += bench_solvers()
     return records_to_json(records)

@@ -299,7 +299,9 @@ class ParallelExecutor:
         in slice kernels) or ``"process"`` (forked workers over POSIX
         shared memory).
     tile:
-        Cells per wavefront tile for hyperplane execution (default 256).
+        Cells per wavefront tile for hyperplane execution.  ``None``
+        takes :data:`repro.plan.model.DEFAULT_TILE` (the planner chooses
+        a fitted tile per shape; see docs/PLANNING.md).
 
     Usable as a context manager; :meth:`close` shuts the pool down.
     """
@@ -309,12 +311,16 @@ class ParallelExecutor:
         jobs: Optional[int] = None,
         *,
         pool: str = "thread",
-        tile: int = 256,
+        tile: Optional[int] = None,
     ) -> None:
+        from repro.plan.model import DEFAULT_TILE
+
         if pool not in ("thread", "process"):
             raise ValueError(f"unknown pool kind {pool!r} (use 'thread' or 'process')")
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if tile is None:
+            tile = DEFAULT_TILE
         if tile < 1:
             raise ValueError("tile must be >= 1")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)

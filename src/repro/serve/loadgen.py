@@ -58,6 +58,7 @@ class LoadgenOptions:
     out: Optional[str] = None  # write BENCH_serve.json here
     store_path: Optional[str] = None  # shared persistent store for the daemon
     warm_passes: int = 1  # replay the stream N times (store warm-up measure)
+    auto_every: int = 0  # every Nth request asks backend="auto" (0 = never)
 
 
 def _workloads() -> List[Tuple[str, str]]:
@@ -103,6 +104,11 @@ def _build_requests(opts: LoadgenOptions) -> List[Dict[str, Any]]:
             resilient=(k % max(1, opts.resilient_every) == 0),
             deadline_ms=deadline,
             fault=fault,
+            backend=(
+                "auto"
+                if opts.auto_every > 0 and k % opts.auto_every == 0
+                else "interp"
+            ),
         )
         d = req.to_dict()
         d["emit"] = opts.emit
@@ -247,11 +253,17 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
     finally:
         client.close()
     by_status: Dict[str, int] = {}
+    by_backend: Dict[str, int] = {}
+    plan_sample: Optional[Dict[str, Any]] = None
     malformed: List[str] = []
     retries = crashes = timeouts = 0
     for o in done:
         resp = CompileResponse.from_dict(o.response)
         by_status[resp.status] = by_status.get(resp.status, 0) + 1
+        if resp.backend is not None:
+            by_backend[resp.backend] = by_backend.get(resp.backend, 0) + 1
+        if plan_sample is None and resp.plan is not None:
+            plan_sample = resp.plan
         retries += resp.retries
         crashes += resp.worker_crashes
         timeouts += resp.timeouts
@@ -274,6 +286,7 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
             "url": opts.url,
             "storePath": opts.store_path,
             "warmPasses": passes,
+            "autoEvery": opts.auto_every,
         },
         "totalRequests": len(done),
         "wallS": round(wall_s, 3),
@@ -293,6 +306,15 @@ def run_loadgen(opts: Optional[LoadgenOptions] = None) -> Dict[str, Any]:
         "malformed": malformed,
         "passes": pass_blocks,
         "service": service_snapshot,
+        "plan": {
+            # resolved execution backends echoed by workers; "auto"
+            # requests carry the planner's concrete pick + rationale
+            "autoRequests": sum(
+                1 for r in requests if r.get("backend") == "auto"
+            ) * passes,
+            "byBackend": dict(sorted(by_backend.items())),
+            "sample": plan_sample,
+        },
     }
     if opts.out:
         with open(opts.out, "w", encoding="utf-8") as fh:
@@ -323,6 +345,12 @@ def render_report_text(report: Dict[str, Any]) -> str:
                 f"  pass {block['pass']}: wall={block['wallS']}s "
                 f"p50={lat['p50']} p99={lat['p99']} mean={lat['mean']}"
             )
+    plan = report.get("plan") or {}
+    if plan.get("byBackend"):
+        parts.append(
+            f"  plan: {plan['autoRequests']} auto request(s); backends "
+            + ", ".join(f"{k}={v}" for k, v in plan["byBackend"].items())
+        )
     store = (report.get("service") or {}).get("store")
     if store:
         parts.append(

@@ -114,6 +114,8 @@ class ServeConfig:
     ladder: Optional[Union[str, Sequence[str]]] = field(default=None)
     #: Execution backend (:mod:`repro.core.backends`) threaded into worker
     #: and fallback session options; requests carrying ``backend`` win.
+    #: ``"auto"`` defers to the execution planner (:mod:`repro.plan`) --
+    #: the worker resolves it and echoes the pick on the response.
     backend: str = "interp"
     #: Path of the shared L2 compile store (:mod:`repro.store`).  Stamped
     #: onto requests that carry no ``storePath`` of their own, so every
@@ -138,10 +140,10 @@ class CompileService:
         self._ladder_labels = self._resolve_config_ladder()
         from repro.core.backends import backend_names
 
-        if self.config.backend not in backend_names():
+        if self.config.backend not in backend_names() + ("auto",):
             raise ValueError(
                 f"unknown execution backend {self.config.backend!r}; "
-                f"known: {list(backend_names())}"
+                f"known: {list(backend_names()) + ['auto']}"
             )
         self.pool = SupervisedPool(
             self.config.workers,
@@ -541,6 +543,12 @@ class CompileService:
             code=SV005,
             trace_id=tracer.trace_id,
         )
+        # same precedence as worker dispatch: explicit request backend
+        # wins, else the daemon default; "auto" resolves via the planner
+        serve_worker.resolve_backend(
+            req.backend if req.backend != "interp" else self.config.backend,
+            session, out, resp,
+        )
         self._learn_hash(req.digest, resp.structural_hash)
         return self._finalize(resp, attempts, crashes, timeouts, queue_ms)
 
@@ -609,6 +617,8 @@ class CompileService:
 
     def snapshot(self) -> Dict[str, Any]:
         """Operational state for ``/statz`` and the loadgen report."""
+        from repro.plan import plan_snapshot
+
         snap: Dict[str, Any] = {
             "uptimeS": round(time.monotonic() - self._started, 3),
             "workers": self.config.workers,
@@ -616,6 +626,10 @@ class CompileService:
             "admission": self.admission.snapshot(),
             "breaker": self.breaker.snapshot(),
             "workloadClasses": len(self._hash_by_digest),
+            # planner decisions made in *this* process (the fallback path;
+            # worker-side plans travel in response envelopes) plus the
+            # configured default backend the dispatch stamps
+            "plan": {"backend": self.config.backend, **plan_snapshot()},
         }
         if self.config.store_path is not None:
             # file-level stats: entries and storedHits aggregate the whole

@@ -140,10 +140,10 @@ class CompileRequest:
                 raise WireError(f"unknown ladder rungs {bad!r}")
         from repro.core.backends import backend_names
 
-        if self.backend not in backend_names():
+        if self.backend not in backend_names() + ("auto",):
             raise WireError(
                 f"unknown execution backend {self.backend!r}; "
-                f"known: {list(backend_names())}"
+                f"known: {list(backend_names()) + ['auto']}"
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise WireError("'deadlineMs' must be positive")
@@ -267,6 +267,14 @@ class CompileResponse:
     queue_ms: Optional[float] = None
     total_ms: Optional[float] = None
     retry_after_ms: Optional[float] = None
+    #: Concrete execution backend this compile was served under.  When the
+    #: request (or the daemon default) said ``"auto"``, the worker resolves
+    #: it through the execution planner and echoes the choice here; for
+    #: explicit requests it echoes the request verbatim.
+    backend: Optional[str] = None
+    #: ``ExecutionPlan.to_dict()`` of the planner decision, only present
+    #: when the backend was resolved from ``"auto"``.
+    plan: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.status not in RESPONSE_STATUSES:
@@ -319,6 +327,8 @@ class CompileResponse:
             "queueMs": self.queue_ms,
             "totalMs": self.total_ms,
             "retryAfterMs": self.retry_after_ms,
+            "backend": self.backend,
+            "plan": self.plan,
         }
         return out
 
@@ -356,6 +366,8 @@ class CompileResponse:
             queue_ms=data.get("queueMs"),
             total_ms=data.get("totalMs"),
             retry_after_ms=data.get("retryAfterMs"),
+            backend=data.get("backend"),
+            plan=data.get("plan"),
         )
 
 

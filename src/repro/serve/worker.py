@@ -42,7 +42,7 @@ import time
 from contextlib import ExitStack
 from typing import Any, Dict, Optional
 
-__all__ = ["init_worker", "compile_request", "faults_allowed"]
+__all__ = ["init_worker", "compile_request", "faults_allowed", "resolve_backend"]
 
 _STATE: Dict[str, Any] = {"allow_faults": False}
 
@@ -195,8 +195,49 @@ def _compile(req: "Any", tracer: "Any", resp: "Any") -> None:
     resp.status = "ok"
     resp.structural_hash = structural_hash(out.mldg)
     resp.notes = list(out.notes)
+    resolve_backend(req.backend, session, out, resp)
     l2_hits = obs.default_registry().counter("store.hits").value - l2_hits_before
     if l2_hits > 0:
         # visible evidence of cross-worker warmth in response/bench output
         resp.notes.append(f"store: {int(l2_hits)} L2 hit(s) (pid {os.getpid()})")
     resp.diagnostics = [d.to_dict() for d in out.diagnostics]
+
+
+#: Nominal iteration-space extents the worker plans at when a request
+#: says ``backend="auto"``.  Serve compiles but never executes kernels,
+#: so the planner's answer here is advisory -- clients that execute at a
+#: real size re-plan locally and get the size-bucketed decision.
+_PLAN_SHAPE = (256, 256)
+
+
+def resolve_backend(backend: str, session: "Any", out: "Any", resp: "Any") -> None:
+    """Echo the effective execution backend on the response.
+
+    Explicit requests echo verbatim (the precedence contract: an explicit
+    per-request backend always beats the daemon default and the planner).
+    ``"auto"`` is resolved through the session's planner -- against the
+    request's L2 store when one rode the wire, so profile rows written by
+    executing clients steer the serve-side answer too.
+    """
+    if backend != "auto":
+        resp.backend = backend
+        return
+    fused = getattr(out, "fused", None)
+    if fused is None:
+        # nothing executable came out of the pipeline (e.g. a rung below
+        # fusion); the ground-truth interpreter is the only honest answer
+        resp.backend = "interp"
+        return
+    fusion = getattr(out, "fusion", None)
+    if fusion is None:
+        fusion = getattr(out, "resilient", None)
+    schedule = getattr(fusion, "schedule", None)
+    is_doall = getattr(fusion, "is_doall", None)
+    if is_doall is None:
+        is_doall = schedule is None
+    plan = session.planner.plan_execution(
+        fused, _PLAN_SHAPE[0], _PLAN_SHAPE[1],
+        schedule=schedule, is_doall=bool(is_doall), requested="auto",
+    )
+    resp.backend = plan.backend
+    resp.plan = plan.to_dict()

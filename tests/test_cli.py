@@ -515,3 +515,150 @@ class TestBench:
 
     def test_bench_bad_size_exit_2(self, capsys):
         assert main(["bench", "--size", "banana"]) == 2
+
+
+class TestJobsValidation:
+    """Worker counts below 1 are argparse usage errors, not pool hangs.
+
+    ``--jobs 0`` used to reach the executor layer and fail obscurely (or
+    deadlock); every worker-count flag now validates at parse time and
+    exits 2 with the subcommand's usage line.
+    """
+
+    @pytest.mark.parametrize("value", ["0", "-3", "banana"])
+    def test_run_jobs(self, fig2_file, capsys, value):
+        with pytest.raises(SystemExit) as err:
+            main(["run", fig2_file, "--backend", "parallel", "--jobs", value])
+        assert err.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_batch_jobs(self, fig2_file, capsys, value):
+        with pytest.raises(SystemExit) as err:
+            main(["batch", fig2_file, "--jobs", value])
+        assert err.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_serve_workers(self, capsys):
+        # rejected at parse time, before any port is bound
+        with pytest.raises(SystemExit) as err:
+            main(["serve", "--workers", "0"])
+        assert err.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--concurrency", "--workers"])
+    def test_loadgen_counts(self, capsys, flag):
+        with pytest.raises(SystemExit) as err:
+            main(["loadgen", flag, "0"])
+        assert err.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value,message", [
+        ("0", ">= 1"),
+        ("1,0,4", ">= 1"),
+        ("banana", "comma-separated integers"),
+        (",", "at least one"),
+    ])
+    def test_bench_jobs_list(self, capsys, value, message):
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "--jobs", value])
+        assert err.value.code == 2
+        assert message in capsys.readouterr().err
+
+    def test_valid_jobs_still_accepted(self, fig2_file, capsys):
+        assert (
+            main(
+                ["run", fig2_file, "--backend", "parallel", "--jobs", "1",
+                 "--size", "8,8", "--no-emit"]
+            )
+            == 0
+        )
+        assert "jobs=1" in capsys.readouterr().out
+
+
+@pytest.fixture
+def clean_store_env(monkeypatch):
+    """Contain ``--store``'s process-global side effects to one test.
+
+    ``repro-fuse --store PATH`` exports ``REPRO_FUSE_STORE`` so worker
+    pools inherit the file; inside one pytest process that would leak an
+    ambient L2 store into every later test.
+    """
+    import os
+
+    from repro.store import reset_open_stores
+
+    monkeypatch.delenv("REPRO_FUSE_STORE", raising=False)
+    yield
+    reset_open_stores()
+    os.environ.pop("REPRO_FUSE_STORE", None)
+
+
+class TestRunAutoBackend:
+    """``run --backend auto`` delegates to the execution planner."""
+
+    def test_auto_resolves_and_verifies(self, fig2_file, capsys):
+        assert (
+            main(
+                ["run", fig2_file, "--backend", "auto", "--size", "12,12",
+                 "--no-emit"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend=auto" in out
+        assert "resolved=" in out
+        assert "bit-identical to interpreter" in out
+        assert "plan        :" in out  # the [source] rationale line
+
+    def test_auto_json_carries_the_plan(self, fig2_file, capsys):
+        assert (
+            main(
+                ["run", fig2_file, "--backend", "auto", "--size", "12,12",
+                 "--format", "json", "--no-emit"]
+            )
+            == 0
+        )
+        execution = json.loads(capsys.readouterr().out)["execution"]
+        assert execution["backend"] == "auto"
+        assert execution["resolved"] in ("interp", "compiled", "numpy",
+                                         "parallel")
+        plan = execution["plan"]
+        assert plan["backend"] == execution["resolved"]
+        assert plan["source"] in ("profile", "model")
+        assert plan["rationale"]
+        assert execution["verified"] == "bit-identical to interpreter"
+
+    def test_auto_warms_the_store_profile_tier(self, fig2_file, tmp_path,
+                                               capsys, clean_store_env):
+        store = str(tmp_path / "plan.db")
+        for _ in range(2):
+            assert (
+                main(
+                    ["run", fig2_file, "--backend", "auto", "--size", "12,12",
+                     "--format", "json", "--no-emit", "--store", store]
+                )
+                == 0
+            )
+            capsys.readouterr()
+        # the recorded timings are visible to cache maintenance
+        assert main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "execution-profile row(s)" in out
+        assert "profiles: 0" not in out
+
+    def test_cache_stats_json_reports_profile_rows(self, fig2_file, tmp_path,
+                                                   capsys, clean_store_env):
+        store = str(tmp_path / "plan.db")
+        assert (
+            main(
+                ["run", fig2_file, "--backend", "auto", "--size", "12,12",
+                 "--no-emit", "--store", store]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", store,
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["profileRows"] >= 1
